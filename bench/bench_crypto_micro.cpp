@@ -1,0 +1,145 @@
+// Crypto micro-benchmarks (google-benchmark): throughput of the functional
+// crypto substrate and a head-to-head of the three encryption disciplines
+// the paper contrasts (standard CTR, shared-OTP, B-AES), plus the SECA
+// attack itself.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/attacks.h"
+#include "crypto/baes.h"
+#include "crypto/ctr.h"
+#include "crypto/mac.h"
+#include "crypto/sha256.h"
+
+using namespace seda;
+using namespace seda::crypto;
+
+namespace {
+
+std::vector<u8> make_key()
+{
+    std::vector<u8> key(16);
+    Rng rng(42);
+    for (auto& b : key) b = rng.next_byte();
+    return key;
+}
+
+std::vector<u8> make_data(std::size_t n)
+{
+    std::vector<u8> data(n);
+    Rng rng(7);
+    for (auto& b : data) b = rng.next_byte();
+    return data;
+}
+
+void bm_aes128_block(benchmark::State& state)
+{
+    const Aes aes(make_key());
+    Block16 blk{};
+    for (auto _ : state) {
+        blk = aes.encrypt_block(blk);
+        benchmark::DoNotOptimize(blk);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 16);
+}
+BENCHMARK(bm_aes128_block);
+
+void bm_sha256_64b(benchmark::State& state)
+{
+    const auto data = make_data(64);
+    for (auto _ : state) {
+        auto d = sha256(data);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 64);
+}
+BENCHMARK(bm_sha256_64b);
+
+void bm_hmac_mac64(benchmark::State& state)
+{
+    const auto key = make_key();
+    const auto data = make_data(static_cast<std::size_t>(state.range(0)));
+    Mac_context ctx{0x1000, 1, 3, 0, 7};
+    for (auto _ : state) {
+        auto m = positional_block_mac(key, data, ctx);
+        benchmark::DoNotOptimize(m);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(bm_hmac_mac64)->Arg(64)->Arg(512)->Arg(4096);
+
+// One protected unit, three encryption disciplines.  The work per unit is
+// what differs: standard CTR runs one AES invocation per 16 B segment,
+// B-AES runs one AES invocation total plus XORs -- the software analogue of
+// the paper's N-engines-vs-XOR-lanes hardware trade (Fig. 4).
+void bm_ctr_standard(benchmark::State& state)
+{
+    const Aes_ctr ctr(make_key());
+    auto data = make_data(static_cast<std::size_t>(state.range(0)));
+    u64 vn = 0;
+    for (auto _ : state) {
+        ctr.crypt_standard(data, 0x4000, ++vn);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(bm_ctr_standard)->Arg(64)->Arg(512);
+
+void bm_baes_crypt(benchmark::State& state)
+{
+    const Baes_engine baes(make_key());
+    auto data = make_data(static_cast<std::size_t>(state.range(0)));
+    u64 vn = 0;
+    for (auto _ : state) {
+        baes.crypt(data, 0x4000, ++vn);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(bm_baes_crypt)->Arg(64)->Arg(512);
+
+void bm_baes_otp_fanout(benchmark::State& state)
+{
+    const Baes_engine baes(make_key());
+    u64 vn = 0;
+    for (auto _ : state) {
+        auto pads = baes.otps(0x8000, ++vn, static_cast<std::size_t>(state.range(0)));
+        benchmark::DoNotOptimize(pads.data());
+    }
+}
+BENCHMARK(bm_baes_otp_fanout)->Arg(4)->Arg(8)->Arg(32);
+
+void bm_seca_attack(benchmark::State& state)
+{
+    Rng rng(11);
+    const auto plain = make_sparse_plaintext(4096, 0.6, rng);
+    const Aes_ctr ctr(make_key());
+    auto cipher = plain;
+    ctr.crypt_shared_otp(cipher, 0xA000, 5);
+    const Block16 zero{};
+    for (auto _ : state) {
+        auto r = seca_attack(cipher, zero, plain);
+        benchmark::DoNotOptimize(r.recovered);
+    }
+}
+BENCHMARK(bm_seca_attack);
+
+void bm_xor_mac_fold(benchmark::State& state)
+{
+    Rng rng(3);
+    std::vector<u64> macs(static_cast<std::size_t>(state.range(0)));
+    for (auto& m : macs) m = rng.next_u64();
+    for (auto _ : state) {
+        auto v = xor_fold(macs);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(bm_xor_mac_fold)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

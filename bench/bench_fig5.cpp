@@ -1,0 +1,47 @@
+// Fig. 5: normalized off-chip memory traffic of the five protection schemes
+// (SGX-64B, MGX-64B, SGX-512B, MGX-512B, SeDA) across the 13 workloads, on
+// (a) the server NPU and (b) the edge NPU, normalized to the unprotected
+// baseline.  Also prints the paper's headline averages for comparison.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/experiment.h"
+
+using namespace seda;
+
+namespace {
+
+void run_panel(const accel::Npu_config& npu, const char* panel)
+{
+    const auto suite = core::run_suite(npu, core::paper_schemes());
+    std::cout << "Fig. 5" << panel << ": normalized memory traffic, " << suite.npu_name
+              << " (Table II config)\n\n";
+
+    std::vector<std::string> header = {"scheme"};
+    for (const auto& p : suite.series.front().points) header.push_back(std::string(p.model));
+    header.push_back("avg");
+
+    Ascii_table table(header);
+    for (const auto& s : suite.series) {
+        std::vector<std::string> row = {s.scheme};
+        for (const auto& p : s.points) row.push_back(fmt_f(p.norm_traffic, 3));
+        row.push_back(fmt_f(s.avg_norm_traffic(), 4));
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+}  // namespace
+
+int main()
+{
+    run_panel(accel::Npu_config::server(), "(a)");
+    run_panel(accel::Npu_config::edge(), "(b)");
+
+    std::cout << "Paper reference (avg traffic overhead, server / edge):\n"
+              << "  SGX-64B  +30.00% / +28.29%     MGX-64B  +12.51% / +12.63%\n"
+              << "  SGX-512B ~+22.2% / ~+23.2%     MGX-512B ~+8.9%  / ~+10.2%\n"
+              << "  SeDA     +0.12%  / +0.03%\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 6: normalized performance (baseline cycles / scheme cycles; higher is
+// better, baseline = 1.0) of the five protection schemes across the 13
+// workloads, on (a) the server NPU and (b) the edge NPU.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/experiment.h"
+
+using namespace seda;
+
+namespace {
+
+void run_panel(const accel::Npu_config& npu, const char* panel)
+{
+    const auto suite = core::run_suite(npu, core::paper_schemes());
+    std::cout << "Fig. 6" << panel << ": normalized performance, " << suite.npu_name
+              << " (Table II config)\n\n";
+
+    std::vector<std::string> header = {"scheme"};
+    for (const auto& p : suite.series.front().points) header.push_back(std::string(p.model));
+    header.push_back("avg");
+
+    Ascii_table table(header);
+    for (const auto& s : suite.series) {
+        std::vector<std::string> row = {s.scheme};
+        for (const auto& p : s.points) row.push_back(fmt_f(p.norm_perf, 3));
+        row.push_back(fmt_f(s.avg_norm_perf(), 4));
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nslowdown vs baseline:";
+    for (const auto& s : suite.series)
+        std::cout << "  " << s.scheme << " " << fmt_pct(1.0 - s.avg_norm_perf());
+    std::cout << "\n\n";
+}
+
+}  // namespace
+
+int main()
+{
+    run_panel(accel::Npu_config::server(), "(a)");
+    run_panel(accel::Npu_config::edge(), "(b)");
+
+    std::cout << "Paper reference (avg slowdown, server / edge):\n"
+              << "  SGX-64B  22.04% / 21.10%     MGX-64B  10.93% / 10.95%\n"
+              << "  SGX-512B  8.49% /  5.84%     MGX-512B  4.28% /  2.90%\n"
+              << "  SeDA     <1%    / <1%\n";
+    return 0;
+}

@@ -1,0 +1,49 @@
+// Table III: feature + measured comparison of the memory-protection schemes.
+// Qualitative columns restate the paper's table; the two measured columns
+// come from running all 13 workloads on the server NPU.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/experiment.h"
+
+using namespace seda;
+
+int main()
+{
+    const auto npu = accel::Npu_config::server();
+    const auto suite = core::run_suite(npu, core::paper_schemes());
+
+    struct Row {
+        const char* scheme;
+        const char* enc_gran;
+        const char* integ_gran;
+        const char* offchip;
+        const char* tiling_aware;
+        const char* enc_scalable;
+    };
+    constexpr Row k_rows[] = {
+        {"sgx-64", "16B", "64B", "MAC,VN,IT", "no", "no"},
+        {"mgx-64", "16B", "64B", "MAC", "no", "no"},
+        {"sgx-512", "16B", "512B", "MAC,VN,IT", "no", "no"},
+        {"mgx-512", "16B", "512B", "MAC", "no", "no"},
+        {"seda", "bandwidth-aware", "multi-level", "minimal to none", "yes", "yes"},
+    };
+
+    std::cout << "Table III: comparison of memory protection schemes "
+                 "(measured: server NPU, 13-workload average)\n\n";
+    Ascii_table table({"scheme", "enc_granularity", "integrity_granularity",
+                       "offchip_access", "tiling_aware", "enc_scalable",
+                       "traffic_overhead", "perf_slowdown"});
+    for (const Row& r : k_rows) {
+        const core::Scheme_series* series = nullptr;
+        for (const auto& s : suite.series)
+            if (s.scheme == r.scheme) series = &s;
+        table.add_row({r.scheme, r.enc_gran, r.integ_gran, r.offchip, r.tiling_aware,
+                       r.enc_scalable,
+                       series ? fmt_pct(series->avg_norm_traffic() - 1.0) : "-",
+                       series ? fmt_pct(1.0 - series->avg_norm_perf()) : "-"});
+    }
+    table.print(std::cout);
+    std::cout << "\n(IT = integrity tree; encryption granularity 16B = one AES block.)\n";
+    return 0;
+}

@@ -1,0 +1,109 @@
+// Attack demo: runs the paper's two attacks (Algorithms 1 and 2) against
+// both the vulnerable designs and the SeDA defenses, with real crypto.
+//
+//  SECA  - Single-Element Collision Attack against shared-OTP encryption of
+//          a sparse DNN tensor; defeated by B-AES per-segment pads.
+//  RePA  - Re-Permutation Attack against a commutative XOR-MAC layer MAC
+//          built from ciphertext-only block MACs; defeated by the
+//          positional MAC that binds PA, VN, layer, fmap and block indices.
+//
+// Build & run:  ./build/examples/attack_demo
+#include <iostream>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "crypto/attacks.h"
+#include "crypto/baes.h"
+
+using namespace seda;
+using namespace seda::crypto;
+
+namespace {
+
+void demo_seca()
+{
+    std::cout << "=== SECA: Single-Element Collision Attack (Algorithm 1) ===\n\n";
+    Rng rng(99);
+    std::vector<u8> key(16);
+    for (auto& b : key) b = rng.next_byte();
+
+    // A 4 KiB activation block: 70% of 16 B segments are all-zero (ReLU).
+    const auto plaintext = make_sparse_plaintext(4096, 0.7, rng);
+    const Addr pa = 0x8000'1000;
+    const u64 vn = 17;
+    const Block16 guess{};  // the attacker guesses "most frequent value = 0"
+
+    Ascii_table table({"encryption", "segments", "recovered", "rate", "attack"});
+
+    // Vulnerable: one OTP shared by all 256 segments.
+    {
+        const Aes_ctr ctr(key);
+        auto cipher = plaintext;
+        ctr.crypt_shared_otp(cipher, pa, vn);
+        const auto r = seca_attack(cipher, guess, plaintext);
+        table.add_row({"shared OTP", std::to_string(r.segments),
+                       std::to_string(r.recovered), fmt_pct(r.recovery_rate()),
+                       r.success() ? "SUCCEEDS" : "fails"});
+    }
+    // Defense: B-AES per-segment pads from keyExpansion round keys.
+    {
+        const Baes_engine baes(key);
+        auto cipher = plaintext;
+        baes.crypt(cipher, pa, vn);
+        const auto r = seca_attack(cipher, guess, plaintext);
+        table.add_row({"B-AES (SeDA)", std::to_string(r.segments),
+                       std::to_string(r.recovered), fmt_pct(r.recovery_rate()),
+                       r.success() ? "SUCCEEDS" : "fails"});
+    }
+    table.print(std::cout);
+    std::cout << "\nWith a shared OTP the attacker XORs the most frequent ciphertext\n"
+                 "with the guessed plaintext and strips the whole block; B-AES gives\n"
+                 "every 16 B segment its own pad, so the collision reveals nothing.\n\n";
+}
+
+void demo_repa()
+{
+    std::cout << "=== RePA: Re-Permutation Attack (Algorithm 2) ===\n\n";
+    Rng rng(7);
+    std::vector<u8> key(16);
+    for (auto& b : key) b = rng.next_byte();
+
+    // One layer: 32 encrypted 64 B blocks.
+    std::vector<std::vector<u8>> blocks;
+    std::vector<Addr> addrs;
+    std::vector<u64> vns;
+    for (u32 i = 0; i < 32; ++i) {
+        std::vector<u8> blk(64);
+        for (auto& b : blk) b = rng.next_byte();
+        blocks.push_back(std::move(blk));
+        addrs.push_back(0xA000'0000 + i * 64);
+        vns.push_back(3);
+    }
+
+    Ascii_table table({"layer MAC scheme", "verification", "data", "attack"});
+    for (const auto kind : {Layer_mac_kind::naive_xor, Layer_mac_kind::positional_xor}) {
+        Rng attack_rng(1234);
+        const auto r = repa_attack(blocks, addrs, vns, /*layer_id=*/5, key, kind,
+                                   attack_rng);
+        table.add_row({kind == Layer_mac_kind::naive_xor ? "ciphertext-only XOR-MAC"
+                                                         : "positional XOR-MAC (SeDA)",
+                       r.verification_passed ? "PASSES" : "rejected",
+                       r.data_intact ? "intact" : "corrupted",
+                       r.attack_succeeded() ? "SUCCEEDS" : "fails"});
+    }
+    table.print(std::cout);
+    std::cout << "\nXOR is commutative: shuffling blocks preserves a ciphertext-only\n"
+                 "layer MAC while the accelerator consumes permuted data.  Binding\n"
+                 "blk||PA||VN||layer||fmap||blk_idx into each MAC (Alg. 2, defense)\n"
+                 "makes any permutation change the fold.\n";
+}
+
+}  // namespace
+
+int main()
+{
+    demo_seca();
+    demo_repa();
+    return 0;
+}

@@ -1,0 +1,50 @@
+// Design-space sweep: how does each protection scheme scale as the NPU's
+// memory bandwidth grows?  This exercises the paper's scalability claim --
+// SeDA's overhead stays near zero while unit-MAC schemes keep paying, and
+// the crypto hardware needed to keep up is one AES engine plus XOR lanes
+// (B-AES) instead of a linearly growing engine farm (T-AES).
+//
+// Usage:  ./build/examples/npu_design_space [model]   (default: yolo_tiny)
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "core/experiment.h"
+#include "crypto/engine_model.h"
+
+using namespace seda;
+
+int main(int argc, char** argv)
+{
+    const std::string model = argc > 1 ? argv[1] : "yolo_tiny";
+    const std::string_view models[] = {std::string_view(model)};
+
+    std::cout << "Protection overhead vs NPU memory bandwidth (" << model << ")\n\n";
+    Ascii_table table({"bw_gbps", "scheme", "traffic_overhead", "slowdown",
+                       "baes_area_um2", "t_aes_area_um2"});
+
+    for (const double bw : {10.0, 20.0, 40.0, 80.0}) {
+        auto npu = accel::Npu_config::server();
+        npu.dram_bw_gbps = bw;
+        npu.name = "server-" + fmt_f(bw, 0) + "GBps";
+
+        const auto suite = core::run_suite(npu, core::paper_schemes(), models);
+        const double mult = npu.link_bytes_per_npu_cycle() / 16.0;
+        const auto b = crypto::b_aes_cost(std::max(1.0, mult));
+        const auto t = crypto::t_aes_cost(std::max(1.0, mult));
+
+        for (const auto& s : suite.series) {
+            if (s.scheme != "sgx-64" && s.scheme != "mgx-512" && s.scheme != "seda")
+                continue;
+            table.add_row({fmt_f(bw, 0), s.scheme,
+                           fmt_pct(s.avg_norm_traffic() - 1.0),
+                           fmt_pct(1.0 - s.avg_norm_perf()), fmt_f(b.area_um2, 0),
+                           fmt_f(t.area_um2, 0)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nSeDA's traffic overhead is bandwidth-independent (layer MACs only)\n"
+                 "and its crypto area grows by XOR lanes, not AES engines.\n";
+    return 0;
+}

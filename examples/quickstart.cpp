@@ -1,0 +1,112 @@
+// Quickstart: the five-minute tour of the SeDA library.
+//
+//  1. Functional crypto: encrypt a DNN tensor with B-AES, MAC it with the
+//     positional block MAC, fold a layer MAC, verify, and watch a tampered
+//     byte get caught.
+//  2. System simulation: run a small CNN through the secure-NPU pipeline on
+//     the edge NPU under SeDA and compare against the unprotected baseline.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+#include <vector>
+
+#include "accel/accel_sim.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/experiment.h"
+#include "crypto/baes.h"
+#include "crypto/mac.h"
+
+using namespace seda;
+
+namespace {
+
+void crypto_roundtrip()
+{
+    std::cout << "--- 1. functional crypto roundtrip ---------------------------\n";
+    // A 256-byte "tensor tile" with ReLU-style sparsity.
+    Rng rng(2024);
+    std::vector<u8> tensor(256);
+    for (auto& b : tensor) b = rng.next_unit() < 0.5 ? 0 : rng.next_byte();
+    const std::vector<u8> original = tensor;
+
+    // Encrypt in place with B-AES: one AES invocation per 64 B unit, pads
+    // fanned out from keyExpansion round keys.
+    std::vector<u8> key(16, 0x5E);
+    const crypto::Baes_engine baes(key);
+    const Addr pa = 0x8000'0000;
+    const u64 vn = 1;
+    baes.crypt(tensor, pa, vn);
+    std::cout << "encrypted 256 B tile at PA=0x" << std::hex << pa << std::dec
+              << " VN=" << vn << "\n";
+
+    // Positional block MACs folded into a layer MAC (Alg. 2 defense).
+    crypto::Xor_mac_accumulator layer_mac;
+    for (u32 blk = 0; blk < 4; ++blk) {
+        crypto::Mac_context ctx{pa + blk * 64, vn, /*layer=*/0, /*fmap=*/0, blk};
+        layer_mac.fold(crypto::positional_block_mac(
+            key, std::span<const u8>(tensor).subspan(blk * 64, 64), ctx));
+    }
+    const u64 stored = layer_mac.value();
+
+    // Decrypt (same operation) and verify.
+    baes.crypt(tensor, pa, vn);
+    std::cout << "decrypt matches original: " << (tensor == original ? "yes" : "NO")
+              << "\n";
+
+    // Tamper with one ciphertext byte and re-verify the layer MAC.
+    baes.crypt(tensor, pa, vn);  // re-encrypt
+    tensor[100] ^= 0x01;
+    crypto::Xor_mac_accumulator check;
+    for (u32 blk = 0; blk < 4; ++blk) {
+        crypto::Mac_context ctx{pa + blk * 64, vn, 0, 0, blk};
+        check.fold(crypto::positional_block_mac(
+            key, std::span<const u8>(tensor).subspan(blk * 64, 64), ctx));
+    }
+    std::cout << "tampered bit detected: " << (check.value() != stored ? "yes" : "NO")
+              << "\n\n";
+}
+
+void simulate_small_cnn()
+{
+    std::cout << "--- 2. secure-NPU simulation ---------------------------------\n";
+    accel::Model_desc model;
+    model.name = "tiny-cnn";
+    model.layers = {
+        accel::Layer_desc::make_conv("conv1", 34, 34, 3, 3, 3, 16, 1),
+        accel::Layer_desc::make_conv("conv2", 34, 34, 16, 3, 3, 32, 1),
+        accel::Layer_desc::make_pool("pool", 32, 32, 32, 2, 2),
+        accel::Layer_desc::make_fc("fc", 16 * 16 * 32, 10),
+    };
+
+    const auto npu = accel::Npu_config::edge();
+    const auto sim = accel::simulate_model(model, npu);
+
+    Ascii_table table({"scheme", "cycles", "traffic", "verify_events", "slowdown"});
+    core::Run_stats base;
+    for (const std::string id : {"baseline", "sgx-64", "seda"}) {
+        auto scheme = core::make_scheme(id);
+        const auto stats = core::run_protected(sim, *scheme);
+        if (id == "baseline") base = stats;
+        const double slowdown = base.total_cycles == 0
+                                    ? 0.0
+                                    : static_cast<double>(stats.total_cycles) /
+                                              static_cast<double>(base.total_cycles) -
+                                          1.0;
+        table.add_row({id, std::to_string(stats.total_cycles),
+                       fmt_bytes(stats.traffic_bytes),
+                       std::to_string(stats.verify_events), fmt_pct(slowdown)});
+    }
+    table.print(std::cout);
+    std::cout << "\nSeDA protects the same traffic with near-zero overhead; see\n"
+                 "examples/secure_inference for the full 13-workload comparison.\n";
+}
+
+}  // namespace
+
+int main()
+{
+    crypto_roundtrip();
+    simulate_small_cnn();
+    return 0;
+}

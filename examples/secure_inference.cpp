@@ -1,0 +1,63 @@
+// Secure inference: protects a real workload end to end and breaks the cost
+// down per layer -- the view a deployment engineer would want before turning
+// memory protection on.
+//
+// Usage:  ./build/examples/secure_inference [model] [npu] [scheme]
+//   model  - zoo name (default: resnet18); see models/zoo.h for all 13
+//   npu    - "server" or "edge" (default: server)
+//   scheme - baseline | sgx-64 | sgx-512 | mgx-64 | mgx-512 | seda (default)
+#include <iostream>
+#include <string>
+
+#include "accel/accel_sim.h"
+#include "common/table.h"
+#include "core/experiment.h"
+#include "models/zoo.h"
+
+using namespace seda;
+
+int main(int argc, char** argv)
+{
+    const std::string model_name = argc > 1 ? argv[1] : "resnet18";
+    const std::string npu_name = argc > 2 ? argv[2] : "server";
+    const std::string scheme_id = argc > 3 ? argv[3] : "seda";
+
+    const auto npu =
+        npu_name == "edge" ? accel::Npu_config::edge() : accel::Npu_config::server();
+    const auto sim = accel::simulate_model(models::model_by_name(model_name), npu);
+
+    protect::Baseline_scheme baseline;
+    const auto base = core::run_protected(sim, baseline);
+    auto scheme = core::make_scheme(scheme_id);
+    const auto stats = core::run_protected(sim, *scheme);
+
+    std::cout << "model: " << model_name << "  npu: " << npu.name
+              << "  scheme: " << scheme_id << "\n"
+              << "array: " << npu.array_rows << "x" << npu.array_cols << " @ "
+              << npu.freq_ghz << " GHz, SRAM " << fmt_bytes(npu.sram_bytes)
+              << ", DRAM " << npu.dram_bw_gbps << " GB/s\n\n";
+
+    Ascii_table table({"layer", "compute_cyc", "mem_cyc", "layer_cyc", "traffic",
+                       "verify_events"});
+    for (const auto& l : stats.layers) {
+        if (l.layer_cycles == 0 && l.traffic_bytes == 0) continue;
+        table.add_row({l.layer_name, std::to_string(l.compute_cycles),
+                       std::to_string(l.mem_cycles), std::to_string(l.layer_cycles),
+                       fmt_bytes(l.traffic_bytes), std::to_string(l.verify_events)});
+    }
+    table.print(std::cout);
+
+    const double slowdown = static_cast<double>(stats.total_cycles) /
+                                static_cast<double>(base.total_cycles) -
+                            1.0;
+    const double traffic_oh = static_cast<double>(stats.traffic_bytes) /
+                                  static_cast<double>(base.traffic_bytes) -
+                              1.0;
+    std::cout << "\ntotal: " << stats.total_cycles << " cycles ("
+              << fmt_f(stats.seconds(npu.freq_ghz) * 1e3, 3) << " ms), traffic "
+              << fmt_bytes(stats.traffic_bytes) << "\n"
+              << "vs baseline: slowdown " << fmt_pct(slowdown) << ", traffic overhead "
+              << fmt_pct(traffic_oh) << ", DRAM row-hit rate "
+              << fmt_pct(stats.dram_row_hit_rate) << "\n";
+    return 0;
+}

@@ -1,0 +1,213 @@
+#include "accel/accel_sim.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace seda::accel {
+namespace {
+
+void account(Layer_sim& sim, const Access_range& r)
+{
+    const Bytes b = r.block_count() * k_block_bytes;
+    if (r.is_write)
+        sim.write_bytes += b;
+    else
+        sim.read_bytes += b;
+    sim.trace.push_back(r);
+}
+
+/// n-outer order for non-resident matmul weights: each weight tile streams
+/// once, the ifmap is re-read per weight tile, and the output is written
+/// tile-major (one contiguous stripe per weight tile).
+void emit_n_outer_matmul(Layer_sim& sim, const Layer_desc& layer)
+{
+    const Tiling_plan& p = sim.plan;
+    const u64 n = layer.gemm_n_dim();
+    const Bytes per_out_channel = layer.weight_bytes() / n;
+    const u64 m = static_cast<u64>(layer.ofmap_rows());
+
+    u32 tile = 0;
+    Addr out_cursor = sim.ofmap_base;
+    for (int nt = 0; nt < p.n_tiles; ++nt) {
+        const u64 ch0 = static_cast<u64>(nt) * static_cast<u64>(p.t_n);
+        const u64 chs = std::min<u64>(static_cast<u64>(p.t_n), n - ch0);
+
+        Access_range w;
+        w.begin = sim.weight_base + ch0 * per_out_channel;
+        w.length = chs * per_out_channel;
+        w.is_write = false;
+        w.tensor = Tensor_kind::weight;
+        w.tile_idx = tile;
+        account(sim, w);
+
+        Access_range in;
+        in.begin = sim.ifmap_base;
+        in.length = layer.ifmap_bytes();
+        in.is_write = false;
+        in.tensor = Tensor_kind::ifmap;
+        in.tile_idx = tile;
+        account(sim, in);
+
+        Access_range out;
+        out.begin = out_cursor;
+        out.length = m * chs * k_elem_bytes;
+        out.is_write = true;
+        out.tensor = Tensor_kind::ofmap;
+        out.tile_idx = tile;
+        account(sim, out);
+        out_cursor += align_up(out.length, k_block_bytes);
+        ++tile;
+    }
+}
+
+/// Weight tiles, ifmap slabs (with halo) and ofmap stripes for one layer.
+void emit_tiled_layer(Layer_sim& sim, const Layer_desc& layer)
+{
+    const Tiling_plan& p = sim.plan;
+    const bool spatial = layer.kind != Layer_kind::matmul;
+    const int stride = spatial ? layer.stride : 1;
+    const int oh = layer.ofmap_rows();
+    const int ih = layer.ifmap_rows();
+    const u64 n = std::max<u64>(1, layer.gemm_n_dim());
+    const Bytes per_out_channel = n > 0 ? layer.weight_bytes() / n : 0;
+
+    u32 tile = 0;
+    for (int mt = 0; mt < p.m_tiles; ++mt) {
+        const int orow0 = mt * p.t_oh;
+        const int orows = std::min(p.t_oh, oh - orow0);
+
+        // Ifmap slab (includes halo rows shared with the previous tile).
+        const int irow0 = orow0 * stride;
+        const int irows = std::min(ih - irow0, (orows - 1) * stride +
+                                                   (spatial ? layer.filt_h : 1));
+        if (irows > 0 && p.ifmap_row_bytes > 0) {
+            Access_range r;
+            r.begin = sim.ifmap_base + static_cast<Addr>(irow0) * p.ifmap_row_bytes;
+            r.length = static_cast<Bytes>(irows) * p.ifmap_row_bytes;
+            r.is_write = false;
+            r.tensor = Tensor_kind::ifmap;
+            r.tile_idx = tile;
+            account(sim, r);
+        }
+
+        // Weight tiles: streamed again for every row tile unless resident.
+        if (layer.weight_bytes() > 0 && (mt == 0 || !p.weights_resident)) {
+            for (int nt = 0; nt < p.n_tiles; ++nt) {
+                const u64 ch0 = static_cast<u64>(nt) * static_cast<u64>(p.t_n);
+                const u64 chs = std::min<u64>(static_cast<u64>(p.t_n), n - ch0);
+                Access_range r;
+                r.begin = sim.weight_base + ch0 * per_out_channel;
+                r.length = chs * per_out_channel;
+                r.is_write = false;
+                r.tensor = Tensor_kind::weight;
+                r.tile_idx = tile;
+                account(sim, r);
+            }
+        }
+
+        // Partial-sum spill for K-split layers: each extra K tile round-trips
+        // the ofmap stripe at accumulator precision.
+        if (p.k_tiles > 1) {
+            const Bytes stripe = static_cast<Bytes>(orows) * p.ofmap_row_bytes *
+                                 (k_psum_bytes / k_elem_bytes);
+            for (int kt = 1; kt < p.k_tiles; ++kt) {
+                Access_range w;
+                w.begin = sim.ofmap_base + static_cast<Addr>(orow0) * p.ofmap_row_bytes;
+                w.length = stripe;
+                w.is_write = true;
+                w.tensor = Tensor_kind::ofmap;
+                w.tile_idx = tile;
+                account(sim, w);
+                Access_range rd = w;
+                rd.is_write = false;
+                account(sim, rd);
+            }
+        }
+
+        // Ofmap stripe, written once per row tile (all channels buffered
+        // across the n-loop).
+        if (p.ofmap_row_bytes > 0 && orows > 0) {
+            Access_range r;
+            r.begin = sim.ofmap_base + static_cast<Addr>(orow0) * p.ofmap_row_bytes;
+            r.length = static_cast<Bytes>(orows) * p.ofmap_row_bytes;
+            r.is_write = true;
+            r.tensor = Tensor_kind::ofmap;
+            r.tile_idx = tile;
+            account(sim, r);
+        }
+        ++tile;
+    }
+}
+
+/// Embedding gather: index reads, pseudo-random row gathers, output writes.
+void emit_embedding_layer(Layer_sim& sim, const Layer_desc& layer)
+{
+    Rng rng(0x5EDAULL ^ (static_cast<u64>(sim.layer_id) << 32));
+    const Bytes row = static_cast<Bytes>(layer.emb_dim) * k_elem_bytes;
+
+    // Index vector (produced upstream, read from the activation region).
+    Access_range idx;
+    idx.begin = sim.ifmap_base;
+    idx.length = layer.ifmap_bytes();
+    idx.is_write = false;
+    idx.tensor = Tensor_kind::ifmap;
+    account(sim, idx);
+
+    for (int i = 0; i < layer.emb_lookups; ++i) {
+        const u64 which = rng.next_below(static_cast<u64>(layer.emb_rows));
+        Access_range r;
+        r.begin = sim.weight_base + which * row;
+        r.length = row;
+        r.is_write = false;
+        r.tensor = Tensor_kind::weight;
+        r.tile_idx = static_cast<u32>(i);
+        account(sim, r);
+    }
+
+    Access_range out;
+    out.begin = sim.ofmap_base;
+    out.length = layer.ofmap_bytes();
+    out.is_write = true;
+    out.tensor = Tensor_kind::ofmap;
+    account(sim, out);
+}
+
+}  // namespace
+
+Model_sim simulate_model(Model_desc model, const Npu_config& npu)
+{
+    npu.validate();
+    require(!model.layers.empty(), "simulate_model: model has no layers");
+
+    auto owned = std::make_shared<const Model_desc>(std::move(model));
+    Model_sim out{owned, npu, Memory_map(*owned), {}};
+    out.layers.reserve(owned->layers.size());
+
+    for (std::size_t i = 0; i < owned->layers.size(); ++i) {
+        const Layer_desc& layer = owned->layers[i];
+        layer.validate();
+
+        Layer_sim sim;
+        sim.layer = &layer;
+        sim.layer_id = static_cast<u32>(i);
+        sim.weight_base = out.map.weight_addr[i];
+        sim.ifmap_base = Memory_map::ifmap_addr(i);
+        sim.ofmap_base = Memory_map::ofmap_addr(i);
+        sim.compute = systolic_compute(layer, npu);
+
+        if (layer.kind == Layer_kind::embedding) {
+            emit_embedding_layer(sim, layer);
+        } else {
+            sim.plan = plan_tiling(layer, npu);
+            if (sim.plan.n_outer)
+                emit_n_outer_matmul(sim, layer);
+            else
+                emit_tiled_layer(sim, layer);
+        }
+        out.layers.push_back(std::move(sim));
+    }
+    return out;
+}
+
+}  // namespace seda::accel

@@ -1,0 +1,60 @@
+// The cycle-level DNN accelerator simulator (SCALE-Sim-class substrate).
+//
+// For every layer it produces (a) the systolic-array compute cycles and
+// (b) the ordered DRAM access trace: weight tiles, ifmap slabs including
+// halo re-reads, and ofmap stripes, laid out by accel/memory_map.h.  The
+// protection schemes then rewrite the trace, and dram::Dram_sim prices it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "accel/layer.h"
+#include "accel/memory_map.h"
+#include "accel/npu_config.h"
+#include "accel/systolic.h"
+#include "accel/tiler.h"
+#include "accel/trace.h"
+
+namespace seda::accel {
+
+struct Layer_sim {
+    const Layer_desc* layer = nullptr;
+    u32 layer_id = 0;
+    Compute_result compute;
+    Tiling_plan plan;
+    Layer_trace trace;           ///< data accesses only (no security metadata)
+    Addr ifmap_base = 0;
+    Addr ofmap_base = 0;
+    Addr weight_base = 0;
+    Bytes read_bytes = 0;        ///< block-granular DRAM read volume
+    Bytes write_bytes = 0;       ///< block-granular DRAM write volume
+};
+
+struct Model_sim {
+    /// The simulated model, owned on the heap so Layer_sim::layer pointers
+    /// stay valid across copies/moves of this struct.
+    std::shared_ptr<const Model_desc> model;
+    Npu_config npu;
+    Memory_map map;
+    std::vector<Layer_sim> layers;
+
+    [[nodiscard]] Cycles total_compute_cycles() const
+    {
+        Cycles t = 0;
+        for (const auto& l : layers) t += l.compute.cycles;
+        return t;
+    }
+    [[nodiscard]] Bytes total_traffic_bytes() const
+    {
+        Bytes t = 0;
+        for (const auto& l : layers) t += l.read_bytes + l.write_bytes;
+        return t;
+    }
+};
+
+/// Runs the trace-generation phase of the simulator for a whole model.
+/// The model is taken by value and owned by the returned Model_sim.
+[[nodiscard]] Model_sim simulate_model(Model_desc model, const Npu_config& npu);
+
+}  // namespace seda::accel

@@ -1,0 +1,269 @@
+#include "accel/layer.h"
+
+namespace seda::accel {
+
+Layer_desc Layer_desc::make_conv(std::string name, int ih, int iw, int cin, int fh, int fw,
+                                 int cout, int stride)
+{
+    Layer_desc l;
+    l.name = std::move(name);
+    l.kind = Layer_kind::conv;
+    l.ifmap_h = ih;
+    l.ifmap_w = iw;
+    l.c_in = cin;
+    l.filt_h = fh;
+    l.filt_w = fw;
+    l.c_out = cout;
+    l.stride = stride;
+    l.validate();
+    return l;
+}
+
+Layer_desc Layer_desc::make_dwconv(std::string name, int ih, int iw, int c, int fh, int fw,
+                                   int stride)
+{
+    Layer_desc l;
+    l.name = std::move(name);
+    l.kind = Layer_kind::dwconv;
+    l.ifmap_h = ih;
+    l.ifmap_w = iw;
+    l.c_in = c;
+    l.filt_h = fh;
+    l.filt_w = fw;
+    l.c_out = c;
+    l.stride = stride;
+    l.validate();
+    return l;
+}
+
+Layer_desc Layer_desc::make_fc(std::string name, int in_features, int out_features)
+{
+    return make_matmul(std::move(name), 1, in_features, out_features);
+}
+
+Layer_desc Layer_desc::make_matmul(std::string name, int m, int k, int n)
+{
+    Layer_desc l;
+    l.name = std::move(name);
+    l.kind = Layer_kind::matmul;
+    l.gemm_m = m;
+    l.gemm_k = k;
+    l.gemm_n = n;
+    l.validate();
+    return l;
+}
+
+Layer_desc Layer_desc::make_pool(std::string name, int ih, int iw, int c, int window,
+                                 int stride)
+{
+    Layer_desc l;
+    l.name = std::move(name);
+    l.kind = Layer_kind::pool;
+    l.ifmap_h = ih;
+    l.ifmap_w = iw;
+    l.c_in = c;
+    l.c_out = c;
+    l.filt_h = window;
+    l.filt_w = window;
+    l.stride = stride;
+    l.validate();
+    return l;
+}
+
+Layer_desc Layer_desc::make_embedding(std::string name, int rows, int dim, int lookups)
+{
+    Layer_desc l;
+    l.name = std::move(name);
+    l.kind = Layer_kind::embedding;
+    l.emb_rows = rows;
+    l.emb_dim = dim;
+    l.emb_lookups = lookups;
+    l.validate();
+    return l;
+}
+
+int Layer_desc::ofmap_h() const
+{
+    switch (kind) {
+        case Layer_kind::matmul: return gemm_m;
+        case Layer_kind::embedding: return emb_lookups;
+        default: return (ifmap_h - filt_h) / stride + 1;
+    }
+}
+
+int Layer_desc::ofmap_w() const
+{
+    switch (kind) {
+        case Layer_kind::matmul: return 1;
+        case Layer_kind::embedding: return 1;
+        default: return (ifmap_w - filt_w) / stride + 1;
+    }
+}
+
+int Layer_desc::out_channels() const
+{
+    switch (kind) {
+        case Layer_kind::matmul: return gemm_n;
+        case Layer_kind::embedding: return emb_dim;
+        default: return c_out;
+    }
+}
+
+u64 Layer_desc::gemm_m_dim() const
+{
+    switch (kind) {
+        case Layer_kind::conv:
+        case Layer_kind::dwconv:
+            return static_cast<u64>(ofmap_h()) * static_cast<u64>(ofmap_w());
+        case Layer_kind::matmul: return static_cast<u64>(gemm_m);
+        default: return 0;
+    }
+}
+
+u64 Layer_desc::gemm_k_dim() const
+{
+    switch (kind) {
+        case Layer_kind::conv:
+            return static_cast<u64>(filt_h) * static_cast<u64>(filt_w) * static_cast<u64>(c_in);
+        case Layer_kind::dwconv:
+            return static_cast<u64>(filt_h) * static_cast<u64>(filt_w);
+        case Layer_kind::matmul: return static_cast<u64>(gemm_k);
+        default: return 0;
+    }
+}
+
+u64 Layer_desc::gemm_n_dim() const
+{
+    switch (kind) {
+        case Layer_kind::conv: return static_cast<u64>(c_out);
+        case Layer_kind::dwconv: return static_cast<u64>(c_in);
+        case Layer_kind::matmul: return static_cast<u64>(gemm_n);
+        default: return 0;
+    }
+}
+
+Bytes Layer_desc::ifmap_bytes() const
+{
+    switch (kind) {
+        case Layer_kind::matmul:
+            return static_cast<Bytes>(gemm_m) * static_cast<Bytes>(gemm_k) * k_elem_bytes;
+        case Layer_kind::embedding:
+            // The gathered indices; 4 bytes each.
+            return static_cast<Bytes>(emb_lookups) * 4;
+        default:
+            return static_cast<Bytes>(ifmap_h) * static_cast<Bytes>(ifmap_w) *
+                   static_cast<Bytes>(c_in) * k_elem_bytes;
+    }
+}
+
+Bytes Layer_desc::weight_bytes() const
+{
+    switch (kind) {
+        case Layer_kind::conv:
+            return static_cast<Bytes>(filt_h) * static_cast<Bytes>(filt_w) *
+                   static_cast<Bytes>(c_in) * static_cast<Bytes>(c_out) * k_elem_bytes;
+        case Layer_kind::dwconv:
+            return static_cast<Bytes>(filt_h) * static_cast<Bytes>(filt_w) *
+                   static_cast<Bytes>(c_in) * k_elem_bytes;
+        case Layer_kind::matmul:
+            return static_cast<Bytes>(gemm_k) * static_cast<Bytes>(gemm_n) * k_elem_bytes;
+        case Layer_kind::embedding:
+            return static_cast<Bytes>(emb_rows) * static_cast<Bytes>(emb_dim) * k_elem_bytes;
+        default: return 0;  // pooling has no parameters
+    }
+}
+
+Bytes Layer_desc::ofmap_bytes() const
+{
+    switch (kind) {
+        case Layer_kind::embedding:
+            return static_cast<Bytes>(emb_lookups) * static_cast<Bytes>(emb_dim) * k_elem_bytes;
+        default:
+            return static_cast<Bytes>(ofmap_h()) * static_cast<Bytes>(ofmap_w()) *
+                   static_cast<Bytes>(out_channels()) * k_elem_bytes;
+    }
+}
+
+Bytes Layer_desc::ifmap_row_bytes() const
+{
+    switch (kind) {
+        case Layer_kind::matmul: return static_cast<Bytes>(gemm_k) * k_elem_bytes;
+        case Layer_kind::embedding: return static_cast<Bytes>(emb_dim) * k_elem_bytes;
+        default:
+            return static_cast<Bytes>(ifmap_w) * static_cast<Bytes>(c_in) * k_elem_bytes;
+    }
+}
+
+Bytes Layer_desc::ofmap_row_bytes() const
+{
+    switch (kind) {
+        case Layer_kind::matmul: return static_cast<Bytes>(gemm_n) * k_elem_bytes;
+        case Layer_kind::embedding: return static_cast<Bytes>(emb_dim) * k_elem_bytes;
+        default:
+            return static_cast<Bytes>(ofmap_w()) * static_cast<Bytes>(out_channels()) *
+                   k_elem_bytes;
+    }
+}
+
+int Layer_desc::ifmap_rows() const
+{
+    switch (kind) {
+        case Layer_kind::matmul: return gemm_m;
+        case Layer_kind::embedding: return emb_lookups;
+        default: return ifmap_h;
+    }
+}
+
+int Layer_desc::ofmap_rows() const
+{
+    switch (kind) {
+        case Layer_kind::matmul: return gemm_m;
+        case Layer_kind::embedding: return emb_lookups;
+        default: return ofmap_h();
+    }
+}
+
+void Layer_desc::validate() const
+{
+    require(!name.empty(), "Layer_desc: name must not be empty");
+    switch (kind) {
+        case Layer_kind::conv:
+        case Layer_kind::dwconv:
+        case Layer_kind::pool:
+            require(ifmap_h > 0 && ifmap_w > 0 && c_in > 0, name + ": bad ifmap dims");
+            require(filt_h > 0 && filt_w > 0, name + ": bad filter dims");
+            require(stride > 0, name + ": bad stride");
+            require(ifmap_h >= filt_h && ifmap_w >= filt_w,
+                    name + ": filter larger than (padded) ifmap");
+            require((ifmap_h - filt_h) % stride == 0 && (ifmap_w - filt_w) % stride == 0,
+                    name + ": ifmap dims not compatible with stride (adjust padding)");
+            if (kind != Layer_kind::pool)
+                require(c_out > 0, name + ": bad output channels");
+            if (kind == Layer_kind::dwconv)
+                require(c_out == c_in, name + ": depthwise requires c_out == c_in");
+            break;
+        case Layer_kind::matmul:
+            require(gemm_m > 0 && gemm_k > 0 && gemm_n > 0, name + ": bad GEMM dims");
+            break;
+        case Layer_kind::embedding:
+            require(emb_rows > 0 && emb_dim > 0 && emb_lookups > 0,
+                    name + ": bad embedding dims");
+            break;
+    }
+}
+
+Bytes Model_desc::total_weight_bytes() const
+{
+    Bytes t = 0;
+    for (const auto& l : layers) t += l.weight_bytes();
+    return t;
+}
+
+u64 Model_desc::total_macs() const
+{
+    u64 t = 0;
+    for (const auto& l : layers) t += l.macs();
+    return t;
+}
+
+}  // namespace seda::accel

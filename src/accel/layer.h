@@ -1,0 +1,118 @@
+// DNN layer descriptors and their derived GEMM geometry.
+//
+// The simulator follows SCALE-Sim's convention: every compute layer is
+// lowered onto the systolic array as a GEMM
+//     M = output pixels,  K = reduction length,  N = output channels,
+// with convolutions contributing K = filt_h * filt_w * c_in and depthwise
+// convolutions mapping channels across array columns (K = filt_h * filt_w,
+// N = c_in).  Feature maps are stored NHWC with 1-byte elements (Table II),
+// so one "ifmap row" (all channels of one spatial row) is contiguous -- the
+// unit the tiler and the authentication-block search both reason about.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/error.h"
+#include "common/types.h"
+
+namespace seda::accel {
+
+enum class Layer_kind {
+    conv,       ///< standard convolution
+    dwconv,     ///< depthwise convolution (c_out == c_in, one filter/channel)
+    matmul,     ///< explicit GEMM (FC layers use M == 1, transformers M > 1)
+    pool,       ///< pooling: memory traffic only, vector-unit compute
+    embedding,  ///< table gather: memory traffic only (DLRM / NCF)
+};
+
+/// Bytes per tensor element (Table II: 1-byte precision on both NPUs).
+inline constexpr Bytes k_elem_bytes = 1;
+/// Partial sums spilled during K-splits are kept at accumulator width.
+inline constexpr Bytes k_psum_bytes = 4;
+
+struct Layer_desc {
+    std::string name;
+    Layer_kind kind = Layer_kind::conv;
+
+    // Convolution / pooling geometry (ifmap dims already include padding,
+    // as in SCALE-Sim topology files; convolutions are "valid").
+    int ifmap_h = 0;
+    int ifmap_w = 0;
+    int c_in = 0;
+    int filt_h = 0;
+    int filt_w = 0;
+    int c_out = 0;
+    int stride = 1;
+
+    // Explicit GEMM geometry (kind == matmul).
+    int gemm_m = 0;
+    int gemm_k = 0;
+    int gemm_n = 0;
+
+    // Embedding geometry (kind == embedding).
+    int emb_rows = 0;     ///< rows in the table
+    int emb_dim = 0;      ///< bytes per row (1-byte elements)
+    int emb_lookups = 0;  ///< gathers performed
+
+    // ---- constructors for the model zoo -------------------------------
+
+    static Layer_desc make_conv(std::string name, int ih, int iw, int cin, int fh, int fw,
+                                int cout, int stride);
+    static Layer_desc make_dwconv(std::string name, int ih, int iw, int c, int fh, int fw,
+                                  int stride);
+    static Layer_desc make_fc(std::string name, int in_features, int out_features);
+    static Layer_desc make_matmul(std::string name, int m, int k, int n);
+    static Layer_desc make_pool(std::string name, int ih, int iw, int c, int window,
+                                int stride);
+    static Layer_desc make_embedding(std::string name, int rows, int dim, int lookups);
+
+    // ---- derived geometry ----------------------------------------------
+
+    [[nodiscard]] int ofmap_h() const;
+    [[nodiscard]] int ofmap_w() const;
+    [[nodiscard]] int out_channels() const;
+
+    /// GEMM dims the layer lowers to (0s for pool/embedding).
+    [[nodiscard]] u64 gemm_m_dim() const;
+    [[nodiscard]] u64 gemm_k_dim() const;
+    [[nodiscard]] u64 gemm_n_dim() const;
+
+    [[nodiscard]] Bytes ifmap_bytes() const;
+    [[nodiscard]] Bytes weight_bytes() const;
+    [[nodiscard]] Bytes ofmap_bytes() const;
+
+    /// Multiply-accumulates performed (0 for pool/embedding).
+    [[nodiscard]] u64 macs() const { return gemm_m_dim() * gemm_k_dim() * gemm_n_dim(); }
+
+    /// One NHWC ifmap row: ifmap_w * c_in bytes (K for matmul rows).
+    [[nodiscard]] Bytes ifmap_row_bytes() const;
+    /// One NHWC ofmap row: ofmap_w * c_out bytes (N for matmul rows).
+    [[nodiscard]] Bytes ofmap_row_bytes() const;
+    /// Spatial ifmap rows (M for matmul).
+    [[nodiscard]] int ifmap_rows() const;
+    /// Spatial ofmap rows (M for matmul).
+    [[nodiscard]] int ofmap_rows() const;
+
+    /// Validates the descriptor, throwing Seda_error on inconsistency.
+    void validate() const;
+
+    [[nodiscard]] bool is_compute() const
+    {
+        return kind == Layer_kind::conv || kind == Layer_kind::dwconv ||
+               kind == Layer_kind::matmul;
+    }
+};
+
+/// A whole network: an ordered list of layers.  Layer i+1 consumes layer i's
+/// ofmap as its ifmap (the model zoo keeps shapes consistent).
+struct Model_desc {
+    std::string name;
+    std::vector<Layer_desc> layers;
+
+    [[nodiscard]] Bytes total_weight_bytes() const;
+    [[nodiscard]] u64 total_macs() const;
+};
+
+}  // namespace seda::accel

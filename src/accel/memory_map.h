@@ -1,0 +1,55 @@
+// Off-chip address-space layout for a model run.
+//
+// Weights are packed once at provisioning; activations ping-pong between two
+// regions so layer i reads the buffer layer i-1 wrote.  Security metadata
+// regions (MACs, VNs, integrity-tree levels, layer MACs) live in the upper
+// half of the 16 GB protected space (Sec. IV-A) so metadata traffic lands in
+// distinct DRAM rows from data traffic, as it would in a real system.
+#pragma once
+
+#include <vector>
+
+#include "accel/layer.h"
+#include "common/bitutil.h"
+
+namespace seda::accel {
+
+struct Memory_map {
+    static constexpr Addr k_weight_base = 0x0000'0000ULL;
+    static constexpr Addr k_act_base[2] = {0x8000'0000ULL, 0xA000'0000ULL};
+    // Metadata regions sized for the worst case (8 B of MAC / VN per 64 B
+    // data block over the 4 GB data window): MAC and VN arrays get 512 MiB
+    // windows each; tree levels and layer MACs follow.
+    static constexpr Addr k_mac_base = 0x1'0000'0000ULL;
+    static constexpr Addr k_vn_base = 0x1'8000'0000ULL;
+    static constexpr Addr k_tree_base = 0x2'0000'0000ULL;
+    static constexpr Addr k_layer_mac_base = 0x2'4000'0000ULL;
+    static constexpr Bytes k_protected_bytes = 16ULL * 1024 * 1024 * 1024;
+
+    /// Per-layer weight region start (block aligned).
+    std::vector<Addr> weight_addr;
+
+    explicit Memory_map(const Model_desc& model)
+    {
+        Addr cursor = k_weight_base;
+        weight_addr.reserve(model.layers.size());
+        for (const auto& l : model.layers) {
+            weight_addr.push_back(cursor);
+            cursor += align_up(l.weight_bytes(), k_block_bytes);
+        }
+    }
+
+    /// Activation region the given layer reads (its producer's output).
+    [[nodiscard]] static Addr ifmap_addr(std::size_t layer_idx)
+    {
+        return k_act_base[layer_idx % 2];
+    }
+
+    /// Activation region the given layer writes.
+    [[nodiscard]] static Addr ofmap_addr(std::size_t layer_idx)
+    {
+        return k_act_base[(layer_idx + 1) % 2];
+    }
+};
+
+}  // namespace seda::accel

@@ -1,0 +1,99 @@
+// NPU configurations (paper Table II) and clock-domain conversion helpers.
+#pragma once
+
+#include <string>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "dram/dram_config.h"
+
+namespace seda::accel {
+
+enum class Dataflow { weight_stationary, output_stationary };
+
+struct Npu_config {
+    std::string name;
+    int array_rows = 0;
+    int array_cols = 0;
+    double freq_ghz = 1.0;
+    Bytes sram_bytes = 0;        ///< total on-chip SRAM for ifmap/wgt/ofmap
+    double dram_bw_gbps = 0.0;   ///< aggregate off-chip bandwidth (decimal GB/s)
+    int dram_channels = 4;
+    Dataflow dataflow = Dataflow::weight_stationary;
+
+    /// SRAM is split evenly across the three operands, each double-buffered,
+    /// so the tiler sees one-sixth of the total per working tile.
+    [[nodiscard]] Bytes ifmap_buf_bytes() const { return sram_bytes / 6; }
+    [[nodiscard]] Bytes weight_buf_bytes() const { return sram_bytes / 6; }
+    [[nodiscard]] Bytes ofmap_buf_bytes() const { return sram_bytes / 6; }
+
+    /// Peak DRAM bytes per *NPU* cycle given the configured link bandwidth.
+    [[nodiscard]] double link_bytes_per_npu_cycle() const
+    {
+        return gb_per_s(dram_bw_gbps) / (freq_ghz * 1e9);
+    }
+
+    /// Memory-controller clock (Hz) at which the DDR model's peak equals the
+    /// configured aggregate bandwidth: channels move burst_bytes per t_bl.
+    [[nodiscard]] double controller_hz(const dram::Dram_config& d) const
+    {
+        const double peak_bytes_per_ctrl_cycle =
+            d.channels * d.peak_bytes_per_cycle_per_channel();
+        return gb_per_s(dram_bw_gbps) / peak_bytes_per_ctrl_cycle;
+    }
+
+    /// Converts memory-controller cycles into NPU cycles.
+    [[nodiscard]] double ctrl_to_npu_cycles(double ctrl_cycles,
+                                            const dram::Dram_config& d) const
+    {
+        return ctrl_cycles * (freq_ghz * 1e9) / controller_hz(d);
+    }
+
+    void validate() const
+    {
+        require(array_rows > 0 && array_cols > 0, "Npu_config: bad array dims");
+        require(freq_ghz > 0, "Npu_config: bad frequency");
+        require(sram_bytes >= 6, "Npu_config: SRAM too small");
+        require(dram_bw_gbps > 0, "Npu_config: bad bandwidth");
+        require(dram_channels > 0, "Npu_config: bad channel count");
+    }
+
+    /// Server NPU modeled after Google TPU v1 (Table II).
+    [[nodiscard]] static Npu_config server()
+    {
+        Npu_config c;
+        c.name = "server-tpu-v1";
+        c.array_rows = 256;
+        c.array_cols = 256;
+        c.freq_ghz = 1.0;
+        c.sram_bytes = 24_MiB;
+        c.dram_bw_gbps = 20.0;
+        c.dram_channels = 4;
+        return c;
+    }
+
+    /// Edge NPU modeled after Samsung Exynos 990 (Table II).
+    [[nodiscard]] static Npu_config edge()
+    {
+        Npu_config c;
+        c.name = "edge-exynos-990";
+        c.array_rows = 32;
+        c.array_cols = 32;
+        c.freq_ghz = 2.75;
+        c.sram_bytes = 480 * 1024;
+        c.dram_bw_gbps = 10.0;
+        c.dram_channels = 4;
+        return c;
+    }
+
+    /// DDR device description matching this NPU's channel count.
+    [[nodiscard]] dram::Dram_config dram_config() const
+    {
+        dram::Dram_config d;
+        d.channels = dram_channels;
+        return d;
+    }
+};
+
+}  // namespace seda::accel

@@ -1,0 +1,73 @@
+#include "accel/report.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace seda::accel {
+
+namespace {
+
+const char* kind_name(Layer_kind k)
+{
+    switch (k) {
+        case Layer_kind::conv: return "conv";
+        case Layer_kind::dwconv: return "dwconv";
+        case Layer_kind::matmul: return "matmul";
+        case Layer_kind::pool: return "pool";
+        case Layer_kind::embedding: return "embedding";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void write_compute_report(const Model_sim& sim, std::ostream& os)
+{
+    Ascii_table t({"layer", "kind", "M", "K", "N", "folds", "compute_cycles",
+                   "utilization"});
+    for (const auto& l : sim.layers) {
+        t.add_row({l.layer->name, kind_name(l.layer->kind),
+                   std::to_string(l.layer->gemm_m_dim()),
+                   std::to_string(l.layer->gemm_k_dim()),
+                   std::to_string(l.layer->gemm_n_dim()),
+                   std::to_string(l.compute.folds), std::to_string(l.compute.cycles),
+                   fmt_f(l.compute.utilization, 4)});
+    }
+    t.print_csv(os);
+}
+
+void write_memory_report(const Model_sim& sim, std::ostream& os)
+{
+    Ascii_table t({"layer", "ifmap_bytes", "weight_bytes", "ofmap_bytes",
+                   "dram_read_bytes", "dram_write_bytes", "halo_refetch_bytes",
+                   "weight_refetch_x"});
+    for (const auto& l : sim.layers) {
+        const Bytes weight = l.layer->weight_bytes();
+        Bytes weight_read = 0;
+        for (const auto& r : l.trace)
+            if (!r.is_write && r.tensor == Tensor_kind::weight) weight_read += r.length;
+        const double refetch =
+            weight == 0 ? 0.0
+                        : static_cast<double>(weight_read) / static_cast<double>(weight);
+        t.add_row({l.layer->name, std::to_string(l.layer->ifmap_bytes()),
+                   std::to_string(weight), std::to_string(l.layer->ofmap_bytes()),
+                   std::to_string(l.read_bytes), std::to_string(l.write_bytes),
+                   std::to_string(l.plan.halo_refetch_bytes()), fmt_f(refetch, 2)});
+    }
+    t.print_csv(os);
+}
+
+std::string reports_to_string(const Model_sim& sim)
+{
+    std::ostringstream ss;
+    ss << "# compute report: " << (sim.model ? sim.model->name : "?") << " on "
+       << sim.npu.name << "\n";
+    write_compute_report(sim, ss);
+    ss << "# memory report\n";
+    write_memory_report(sim, ss);
+    return ss.str();
+}
+
+}  // namespace seda::accel

@@ -1,0 +1,26 @@
+// SCALE-Sim-style per-layer reports (compute + memory), CSV-formatted.
+//
+// SCALE-Sim users consume two artifacts per run: a compute report (cycles,
+// utilization, folds per layer) and a bandwidth/traffic report (per-tensor
+// DRAM volumes).  The same views, generated from a Model_sim, make this
+// simulator's results comparable to the original tool's output files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "accel/accel_sim.h"
+
+namespace seda::accel {
+
+/// layer, kind, M, K, N, folds, compute_cycles, utilization
+void write_compute_report(const Model_sim& sim, std::ostream& os);
+
+/// layer, ifmap/weight/ofmap logical bytes, DRAM read/write bytes,
+/// halo-refetch bytes, weight-refetch factor
+void write_memory_report(const Model_sim& sim, std::ostream& os);
+
+/// Both reports as one string (convenience for examples/tools).
+[[nodiscard]] std::string reports_to_string(const Model_sim& sim);
+
+}  // namespace seda::accel

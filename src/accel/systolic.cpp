@@ -1,0 +1,43 @@
+#include "accel/systolic.h"
+
+namespace seda::accel {
+
+Compute_result systolic_compute(const Layer_desc& layer, const Npu_config& npu)
+{
+    Compute_result r;
+    const u64 rows = static_cast<u64>(npu.array_rows);
+    const u64 cols = static_cast<u64>(npu.array_cols);
+
+    if (!layer.is_compute()) {
+        // Pool / embedding run on the vector unit / DMA engine: one output
+        // element per lane per cycle across the array's column width.
+        const u64 elems = layer.ofmap_bytes() / k_elem_bytes;
+        r.cycles = ceil_div(elems, cols);
+        r.folds = 0;
+        r.utilization = 0.0;
+        return r;
+    }
+
+    const u64 m = layer.gemm_m_dim();
+    const u64 k = layer.gemm_k_dim();
+    const u64 n = layer.gemm_n_dim();
+
+    u64 folds = 0;
+    u64 per_fold = 0;
+    if (npu.dataflow == Dataflow::weight_stationary) {
+        folds = ceil_div(k, rows) * ceil_div(n, cols);
+        per_fold = m + 2 * rows + cols - 2;
+    } else {
+        folds = ceil_div(m, rows) * ceil_div(n, cols);
+        per_fold = k + 2 * rows + cols - 2;
+    }
+
+    r.folds = folds;
+    r.cycles = folds * per_fold;
+    r.utilization = static_cast<double>(layer.macs()) /
+                    (static_cast<double>(r.cycles) * static_cast<double>(rows) *
+                     static_cast<double>(cols));
+    return r;
+}
+
+}  // namespace seda::accel

@@ -1,0 +1,25 @@
+// Analytic cycle model of the systolic array (SCALE-Sim [17], [18] style).
+//
+// For each GEMM fold mapped onto the R x C array:
+//   weight stationary:  preload R rows of weights, stream the M-row operand,
+//                       drain the C-wide results:  M + 2R + C - 2 cycles;
+//                       folds = ceil(K/R) * ceil(N/C).
+//   output stationary:  accumulate K partials in place:  K + 2R + C - 2;
+//                       folds = ceil(M/R) * ceil(N/C).
+// Pool and embedding layers bypass the array (vector unit / DMA).
+#pragma once
+
+#include "accel/layer.h"
+#include "accel/npu_config.h"
+
+namespace seda::accel {
+
+struct Compute_result {
+    Cycles cycles = 0;
+    u64 folds = 0;
+    double utilization = 0.0;  ///< MACs / (cycles * R * C)
+};
+
+[[nodiscard]] Compute_result systolic_compute(const Layer_desc& layer, const Npu_config& npu);
+
+}  // namespace seda::accel

@@ -1,0 +1,81 @@
+#include "accel/tiler.h"
+
+#include <algorithm>
+
+namespace seda::accel {
+
+Tiling_plan plan_tiling(const Layer_desc& layer, const Npu_config& npu)
+{
+    require(layer.kind != Layer_kind::embedding, "plan_tiling: embedding layers do not tile");
+    npu.validate();
+
+    Tiling_plan p;
+    p.ifmap_row_bytes = layer.ifmap_row_bytes();
+    p.ofmap_row_bytes = layer.ofmap_row_bytes();
+
+    const bool spatial = layer.kind != Layer_kind::matmul;
+    const int fh = spatial ? layer.filt_h : 1;
+    const int stride = spatial ? layer.stride : 1;
+    const int oh = layer.ofmap_rows();
+    p.halo_rows = std::max(0, fh - stride);
+
+    // --- output-row tile height ------------------------------------------
+    // Largest t_oh whose ifmap slab and full-channel ofmap stripe both fit
+    // their (double-buffered) SRAM halves.
+    const auto ifmap_rows_for = [&](int t_oh) { return (t_oh - 1) * stride + fh; };
+    int t_oh = 1;
+    for (int cand = oh; cand >= 1; --cand) {
+        const Bytes ifmap_need =
+            static_cast<Bytes>(ifmap_rows_for(cand)) * p.ifmap_row_bytes;
+        const Bytes ofmap_need = static_cast<Bytes>(cand) * p.ofmap_row_bytes;
+        if (ifmap_need <= npu.ifmap_buf_bytes() && ofmap_need <= npu.ofmap_buf_bytes()) {
+            t_oh = cand;
+            break;
+        }
+    }
+    // Even a single output row can exceed the buffer on tiny edge NPUs; the
+    // datapath then streams the slab, which costs the same DRAM traffic, so
+    // t_oh = 1 remains a valid (worst-case) plan.
+    p.t_oh = t_oh;
+    p.m_tiles = static_cast<int>(ceil_div(static_cast<u64>(oh), static_cast<u64>(t_oh)));
+    p.ifmap_tile_rows = std::min(layer.ifmap_rows(), ifmap_rows_for(t_oh));
+
+    // --- weight tile width -------------------------------------------------
+    const u64 n = layer.gemm_n_dim();
+    const Bytes per_out_channel =
+        n > 0 ? layer.weight_bytes() / n : layer.weight_bytes();
+    if (layer.weight_bytes() == 0) {  // pooling: no weights
+        p.t_n = static_cast<int>(n == 0 ? 1 : n);
+        p.n_tiles = 1;
+        p.weights_resident = true;
+    } else if (per_out_channel > npu.weight_buf_bytes()) {
+        // One output channel's weights exceed the buffer: split K and spill
+        // partial sums (only pathological FC layers reach this).
+        p.t_n = 1;
+        p.n_tiles = static_cast<int>(n);
+        p.k_tiles = static_cast<int>(
+            ceil_div(per_out_channel, npu.weight_buf_bytes()));
+        p.weights_resident = false;
+    } else {
+        const u64 fit = npu.weight_buf_bytes() / per_out_channel;
+        p.t_n = static_cast<int>(std::min<u64>(n, std::max<u64>(1, fit)));
+        p.n_tiles = static_cast<int>(ceil_div(n, static_cast<u64>(p.t_n)));
+        p.weights_resident = layer.weight_bytes() <= npu.weight_buf_bytes();
+    }
+
+    // --- loop order ---------------------------------------------------------
+    // m-outer re-streams non-resident weights once per row tile; n-outer
+    // re-reads the ifmap once per weight tile.  Matmuls with huge weight
+    // tensors (vocabulary projections, big FC stacks) strongly prefer
+    // n-outer; convolutions keep the halo-friendly m-outer order.
+    if (layer.kind == Layer_kind::matmul && !p.weights_resident && p.m_tiles > 1) {
+        const Bytes m_outer_refetch =
+            layer.weight_bytes() * static_cast<Bytes>(p.m_tiles - 1);
+        const Bytes n_outer_refetch =
+            layer.ifmap_bytes() * static_cast<Bytes>(p.n_tiles - 1);
+        p.n_outer = n_outer_refetch < m_outer_refetch;
+    }
+    return p;
+}
+
+}  // namespace seda::accel

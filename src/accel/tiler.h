@@ -1,0 +1,47 @@
+// Tile-shape selection under the SRAM double-buffering budget.
+//
+// Layers execute as row-major output tiles: the m-loop walks output-row
+// tiles, the inner n-loop walks output-channel (weight) tiles.  An ofmap row
+// stripe stays in the output buffer across the n-loop and is written once.
+// Consecutive row tiles of a convolution share (filt_h - stride) ifmap rows
+// -- the intra-layer tiling overlap of Fig. 3(b); those halo rows are
+// re-fetched from DRAM, which is exactly the redundancy SeDA's optBlk search
+// must cope with (re-decryption and re-verification of overlap blocks).
+#pragma once
+
+#include "accel/layer.h"
+#include "accel/npu_config.h"
+
+namespace seda::accel {
+
+struct Tiling_plan {
+    int t_oh = 0;              ///< output rows per row tile
+    int m_tiles = 1;           ///< number of row tiles
+    int t_n = 0;               ///< output channels per weight tile
+    int n_tiles = 1;           ///< number of weight tiles
+    int k_tiles = 1;           ///< K splits (partial-sum spill); 1 normally
+    bool weights_resident = false;  ///< whole weight tensor fits on-chip
+    /// Loop order: false = row tiles outer (weights re-streamed per row
+    /// tile when not resident); true = weight tiles outer (ifmap re-read
+    /// per weight tile, output stored tile-major).  The tiler picks
+    /// whichever re-fetches fewer bytes; only matmuls ever choose n-outer.
+    bool n_outer = false;
+    int ifmap_tile_rows = 0;   ///< ifmap rows an interior row tile consumes
+    int halo_rows = 0;         ///< ifmap rows shared with the next row tile
+    Bytes ifmap_row_bytes = 0;
+    Bytes ofmap_row_bytes = 0;
+
+    /// DRAM bytes the halo re-reads add on top of reading the ifmap once.
+    [[nodiscard]] Bytes halo_refetch_bytes() const
+    {
+        if (m_tiles <= 1 || halo_rows <= 0) return 0;
+        return static_cast<Bytes>(m_tiles - 1) * static_cast<Bytes>(halo_rows) *
+               ifmap_row_bytes;
+    }
+};
+
+/// Chooses the tiling for a compute or pool layer on the given NPU.
+/// Embedding layers do not tile (gather-dominated); callers skip them.
+[[nodiscard]] Tiling_plan plan_tiling(const Layer_desc& layer, const Npu_config& npu);
+
+}  // namespace seda::accel

@@ -1,0 +1,51 @@
+// Compressed DRAM access traces.
+//
+// The accelerator touches memory in long contiguous stripes (NHWC row
+// ranges, packed weight tiles), so traces are stored as byte ranges rather
+// than per-block entries; the protection schemes and the DRAM model expand
+// them to 64 B blocks on the fly.  Halo re-reads appear naturally as ranges
+// that overlap ranges of earlier tiles.
+#pragma once
+
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/types.h"
+
+namespace seda::accel {
+
+enum class Tensor_kind : u8 { weight = 0, ifmap = 1, ofmap = 2 };
+
+struct Access_range {
+    Addr begin = 0;       ///< first byte
+    Bytes length = 0;     ///< bytes touched (need not be block aligned)
+    bool is_write = false;
+    Tensor_kind tensor = Tensor_kind::ifmap;
+    u32 tile_idx = 0;     ///< which tile of the layer issued this range
+
+    [[nodiscard]] Addr first_block() const { return align_down(begin, k_block_bytes); }
+    [[nodiscard]] Addr end_block() const { return align_up(begin + length, k_block_bytes); }
+    [[nodiscard]] u64 block_count() const
+    {
+        return (end_block() - first_block()) / k_block_bytes;
+    }
+};
+
+using Layer_trace = std::vector<Access_range>;
+
+/// Calls fn(block_addr) for every 64 B block a range covers.
+template <typename Fn>
+void for_each_block(const Access_range& r, Fn&& fn)
+{
+    for (Addr a = r.first_block(); a < r.end_block(); a += k_block_bytes) fn(a);
+}
+
+/// Total block-granular bytes a trace moves (the DRAM-visible volume).
+[[nodiscard]] inline Bytes trace_block_bytes(const Layer_trace& t)
+{
+    Bytes b = 0;
+    for (const auto& r : t) b += r.block_count() * k_block_bytes;
+    return b;
+}
+
+}  // namespace seda::accel

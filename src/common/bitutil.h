@@ -1,0 +1,55 @@
+// Small integer helpers: ceiling division, alignment, power-of-two tests.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <type_traits>
+
+#include "common/types.h"
+
+namespace seda {
+
+/// Ceiling division for non-negative integers: ceil(a / b), b > 0.
+template <typename T>
+[[nodiscard]] constexpr T ceil_div(T a, T b)
+{
+    static_assert(std::is_integral_v<T>);
+    assert(b > 0);
+    return static_cast<T>((a + b - 1) / b);
+}
+
+/// Rounds `v` up to the next multiple of `align` (align > 0).
+template <typename T>
+[[nodiscard]] constexpr T align_up(T v, T align)
+{
+    return ceil_div(v, align) * align;
+}
+
+/// Rounds `v` down to the previous multiple of `align` (align > 0).
+template <typename T>
+[[nodiscard]] constexpr T align_down(T v, T align)
+{
+    assert(align > 0);
+    return static_cast<T>((v / align) * align);
+}
+
+[[nodiscard]] constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)) for v > 0.
+[[nodiscard]] constexpr u32 log2_floor(u64 v)
+{
+    assert(v > 0);
+    return static_cast<u32>(63 - std::countl_zero(v));
+}
+
+/// Smallest power of two >= v (v >= 1).
+[[nodiscard]] constexpr u64 next_pow2(u64 v)
+{
+    assert(v >= 1);
+    return std::bit_ceil(v);
+}
+
+[[nodiscard]] constexpr u32 rotl32(u32 x, int s) { return std::rotl(x, s); }
+[[nodiscard]] constexpr u32 rotr32(u32 x, int s) { return std::rotr(x, s); }
+
+}  // namespace seda

@@ -1,0 +1,26 @@
+// Error type used for configuration and usage errors across the library.
+//
+// Following the Core Guidelines (E.2) configuration errors throw; internal
+// invariants use assert().  Integrity-verification *failures* are not errors:
+// they are modelled results and are reported through return values so that
+// the attack/defense experiments can observe them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace seda {
+
+class Seda_error : public std::runtime_error {
+public:
+    explicit Seda_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws Seda_error when `cond` is false.  Used to validate user-supplied
+/// configuration at module boundaries.
+inline void require(bool cond, const std::string& what)
+{
+    if (!cond) throw Seda_error(what);
+}
+
+}  // namespace seda

@@ -1,0 +1,76 @@
+// Deterministic pseudo-random generation for tests, workload synthesis and
+// attack experiments.
+//
+// We deliberately avoid std::rand() and default-seeded std::mt19937 so every
+// experiment in the paper-reproduction harness is bit-reproducible across
+// runs and platforms.  SplitMix64 seeds a xoshiro256** core.
+#pragma once
+
+#include <array>
+#include <limits>
+
+#include "common/types.h"
+
+namespace seda {
+
+/// SplitMix64: used to expand a single seed into a full xoshiro state.
+[[nodiscard]] constexpr u64 splitmix64(u64& state)
+{
+    state += 0x9E3779B97F4A7C15ULL;
+    u64 z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic PRNG (Blackman & Vigna).
+class Rng {
+public:
+    explicit constexpr Rng(u64 seed = 0x5EDA5EDA5EDA5EDAULL)
+    {
+        u64 sm = seed;
+        for (auto& s : state_) s = splitmix64(sm);
+    }
+
+    [[nodiscard]] constexpr u64 next_u64()
+    {
+        const u64 result = rotl(state_[1] * 5, 7) * 9;
+        const u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, bound).  bound must be > 0.
+    [[nodiscard]] constexpr u64 next_below(u64 bound)
+    {
+        // Rejection sampling to avoid modulo bias.
+        const u64 threshold = (std::numeric_limits<u64>::max() - bound + 1) % bound;
+        for (;;) {
+            const u64 r = next_u64();
+            if (r >= threshold) return r % bound;
+        }
+    }
+
+    [[nodiscard]] constexpr u8 next_byte() { return static_cast<u8>(next_u64() & 0xFF); }
+
+    /// Uniform double in [0, 1).
+    [[nodiscard]] constexpr double next_unit()
+    {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+private:
+    [[nodiscard]] static constexpr u64 rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<u64, 4> state_{};
+};
+
+}  // namespace seda

@@ -1,0 +1,66 @@
+// Lightweight statistics helpers shared by the simulators and benches.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace seda {
+
+/// Running summary of a stream of doubles (count / mean / min / max).
+class Running_stats {
+public:
+    void add(double v)
+    {
+        ++n_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    [[nodiscard]] u64 count() const { return n_; }
+    [[nodiscard]] double sum() const { return sum_; }
+    [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+    [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+    [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+
+private:
+    u64 n_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Arithmetic mean of a span (0 for empty).
+[[nodiscard]] inline double mean_of(std::span<const double> xs)
+{
+    if (xs.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+/// Geometric mean of a span of positive values (0 for empty).
+[[nodiscard]] inline double geomean_of(std::span<const double> xs)
+{
+    if (xs.empty()) return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        assert(x > 0.0);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/// Relative overhead of `value` vs `base` in percent: 100*(value/base - 1).
+[[nodiscard]] inline double overhead_pct(double value, double base)
+{
+    assert(base > 0.0);
+    return 100.0 * (value / base - 1.0);
+}
+
+}  // namespace seda

@@ -1,0 +1,34 @@
+// Fundamental scalar types and strong aliases used across the SeDA code base.
+//
+// The simulators deal in three quantities that are easy to confuse: byte
+// addresses, byte counts, and clock cycles.  All three are 64-bit unsigned;
+// the aliases below document intent at interfaces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace seda {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// A physical byte address in the accelerator's off-chip memory space.
+using Addr = std::uint64_t;
+
+/// A count of bytes (sizes, traffic totals).
+using Bytes = std::uint64_t;
+
+/// A count of clock cycles of whichever clock domain the context names.
+using Cycles = std::uint64_t;
+
+/// The off-chip burst / cacheline granularity used throughout the traces.
+inline constexpr Bytes k_block_bytes = 64;
+
+/// AES operates on 16-byte blocks; several modules need the constant.
+inline constexpr Bytes k_aes_block_bytes = 16;
+
+}  // namespace seda

@@ -1,0 +1,25 @@
+// Size and rate unit helpers.
+#pragma once
+
+#include "common/types.h"
+
+namespace seda {
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ULL; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return v * 1024ULL * 1024ULL; }
+inline constexpr Bytes operator""_GiB(unsigned long long v)
+{
+    return v * 1024ULL * 1024ULL * 1024ULL;
+}
+
+/// Decimal gigabytes-per-second, the unit NPU datasheets quote bandwidth in.
+[[nodiscard]] constexpr double gb_per_s(double v) { return v * 1e9; }
+
+/// Converts a byte volume and a clock frequency into the cycle count needed
+/// at a given sustained bytes/second rate.
+[[nodiscard]] constexpr double bytes_to_seconds(Bytes bytes, double bytes_per_second)
+{
+    return static_cast<double>(bytes) / bytes_per_second;
+}
+
+}  // namespace seda

@@ -1,0 +1,43 @@
+// First-order energy model (extension beyond the paper's evaluation).
+//
+// Security schemes trade off-chip traffic against on-chip crypto work; the
+// energy view makes that trade explicit: every extra metadata byte costs
+// ~20x more energy off-chip than the hash that could have replaced it.
+// Constants are first-order 28 nm figures (DRAM access ~20 pJ/B, 8-bit MAC
+// ~0.3 pJ, AES/hash datapaths ~2 pJ/B); the scheme *comparison* -- not the
+// absolute joules -- is the deliverable, mirroring how the paper treats
+// area/power in Fig. 4.
+#pragma once
+
+#include "accel/accel_sim.h"
+#include "core/secure_npu.h"
+
+namespace seda::core {
+
+struct Energy_params {
+    double dram_pj_per_byte = 20.0;  ///< off-chip access energy
+    double mac_pj = 0.3;             ///< one 8-bit multiply-accumulate
+    double aes_pj_per_byte = 2.0;    ///< encryption/decryption datapath
+    double hash_pj_per_byte = 1.6;   ///< MAC/hash engine datapath
+};
+
+struct Energy_breakdown {
+    double dram_uj = 0.0;    ///< all off-chip transfers (data + metadata)
+    double compute_uj = 0.0; ///< systolic-array MACs
+    double crypto_uj = 0.0;  ///< en/decryption of off-chip traffic
+    double hash_uj = 0.0;    ///< integrity hashing (incl. re-verification)
+
+    [[nodiscard]] double total_uj() const
+    {
+        return dram_uj + compute_uj + crypto_uj + hash_uj;
+    }
+};
+
+/// Estimates the energy of one protected run.  `verified_bytes` (hashing
+/// volume) is derived from the run's verify events and traffic: schemes that
+/// re-verify halo units hash more than the bytes they move.
+[[nodiscard]] Energy_breakdown estimate_energy(const Run_stats& run,
+                                               const accel::Model_sim& sim,
+                                               const Energy_params& params = {});
+
+}  // namespace seda::core

@@ -1,0 +1,97 @@
+#include "core/experiment.h"
+
+#include <array>
+
+#include "common/error.h"
+#include "models/zoo.h"
+#include "protect/layer_mac_scheme.h"
+#include "protect/unit_scheme.h"
+
+namespace seda::core {
+
+std::unique_ptr<protect::Protection_scheme> make_scheme(const std::string& id,
+                                                        const Seda_config& seda_cfg)
+{
+    if (id == "baseline") return std::make_unique<protect::Baseline_scheme>();
+    if (id == "sgx-64")
+        return std::make_unique<protect::Unit_mac_scheme>(protect::make_sgx_scheme(64));
+    if (id == "sgx-512")
+        return std::make_unique<protect::Unit_mac_scheme>(protect::make_sgx_scheme(512));
+    if (id == "mgx-64")
+        return std::make_unique<protect::Unit_mac_scheme>(protect::make_mgx_scheme(64));
+    if (id == "mgx-512")
+        return std::make_unique<protect::Unit_mac_scheme>(protect::make_mgx_scheme(512));
+    if (id == "tnpu-64")
+        return std::make_unique<protect::Unit_mac_scheme>(protect::make_tnpu_scheme(64));
+    if (id == "tnpu-512")
+        return std::make_unique<protect::Unit_mac_scheme>(protect::make_tnpu_scheme(512));
+    if (id == "securator")
+        return std::make_unique<protect::Layer_mac_scheme>(64);
+    if (id == "seda") return std::make_unique<Seda_scheme>(seda_cfg);
+    throw Seda_error("make_scheme: unknown scheme id '" + id + "'");
+}
+
+std::span<const std::string_view> paper_schemes()
+{
+    static constexpr std::array<std::string_view, 5> k_ids = {
+        "sgx-64", "mgx-64", "sgx-512", "mgx-512", "seda"};
+    return k_ids;
+}
+
+double Scheme_series::avg_norm_traffic() const
+{
+    double s = 0.0;
+    for (const auto& p : points) s += p.norm_traffic;
+    return points.empty() ? 0.0 : s / static_cast<double>(points.size());
+}
+
+double Scheme_series::avg_norm_perf() const
+{
+    double s = 0.0;
+    for (const auto& p : points) s += p.norm_perf;
+    return points.empty() ? 0.0 : s / static_cast<double>(points.size());
+}
+
+Suite_result run_suite(const accel::Npu_config& npu,
+                       std::span<const std::string_view> scheme_ids,
+                       std::span<const std::string_view> models,
+                       const protect::Perf_params& params, const Seda_config& seda_cfg)
+{
+    Suite_result result;
+    result.npu_name = npu.name;
+
+    std::vector<std::string_view> model_names(models.begin(), models.end());
+    if (model_names.empty())
+        for (const auto& e : models::all_models()) model_names.push_back(e.short_name);
+
+    // Simulate each model once; traces are scheme-independent.
+    std::vector<accel::Model_sim> sims;
+    std::vector<Run_stats> baselines;
+    sims.reserve(model_names.size());
+    for (const auto& name : model_names) {
+        sims.push_back(accel::simulate_model(models::model_by_name(name), npu));
+        protect::Baseline_scheme base;
+        baselines.push_back(run_protected(sims.back(), base, params));
+    }
+
+    for (const auto& id : scheme_ids) {
+        Scheme_series series;
+        series.scheme = std::string(id);
+        auto scheme = make_scheme(series.scheme, seda_cfg);
+        for (std::size_t m = 0; m < sims.size(); ++m) {
+            Workload_point pt;
+            pt.model = std::string(model_names[m]);
+            pt.baseline = baselines[m];
+            pt.stats = run_protected(sims[m], *scheme, params);
+            pt.norm_traffic = static_cast<double>(pt.stats.traffic_bytes) /
+                              static_cast<double>(pt.baseline.traffic_bytes);
+            pt.norm_perf = static_cast<double>(pt.baseline.total_cycles) /
+                           static_cast<double>(pt.stats.total_cycles);
+            series.points.push_back(std::move(pt));
+        }
+        result.series.push_back(std::move(series));
+    }
+    return result;
+}
+
+}  // namespace seda::core

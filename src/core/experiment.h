@@ -1,0 +1,53 @@
+// Experiment harness shared by the bench binaries: scheme factory, the
+// five-scheme comparison suite of Figs. 5/6, and normalization helpers.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/secure_npu.h"
+#include "core/seda_scheme.h"
+
+namespace seda::core {
+
+/// Scheme ids used across benches: "baseline", "sgx-64", "sgx-512",
+/// "mgx-64", "mgx-512", "seda", plus "securator" (the tiling-oblivious
+/// layer-MAC foil used by the ablation study).
+[[nodiscard]] std::unique_ptr<protect::Protection_scheme> make_scheme(
+    const std::string& id, const Seda_config& seda_cfg = {});
+
+/// The paper's five protection schemes, in Fig. 5/6 legend order.
+[[nodiscard]] std::span<const std::string_view> paper_schemes();
+
+struct Workload_point {
+    std::string model;
+    double norm_traffic = 1.0;  ///< scheme traffic / baseline traffic
+    double norm_perf = 1.0;     ///< baseline cycles / scheme cycles
+    Run_stats stats;
+    Run_stats baseline;
+};
+
+struct Scheme_series {
+    std::string scheme;
+    std::vector<Workload_point> points;
+
+    [[nodiscard]] double avg_norm_traffic() const;
+    [[nodiscard]] double avg_norm_perf() const;
+};
+
+struct Suite_result {
+    std::string npu_name;
+    std::vector<Scheme_series> series;
+};
+
+/// Runs every (scheme, model) combination on one NPU.  `models` uses zoo
+/// short or full names; empty means all 13 paper workloads.
+[[nodiscard]] Suite_result run_suite(const accel::Npu_config& npu,
+                                     std::span<const std::string_view> scheme_ids,
+                                     std::span<const std::string_view> models = {},
+                                     const protect::Perf_params& params = {},
+                                     const Seda_config& seda_cfg = {});
+
+}  // namespace seda::core

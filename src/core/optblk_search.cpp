@@ -1,0 +1,66 @@
+#include "core/optblk_search.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/error.h"
+
+namespace seda::core {
+
+Bytes projected_amplification(std::span<const accel::Access_range> ranges, Bytes unit_bytes)
+{
+    Bytes ampl = 0;
+    for (const auto& r : ranges) {
+        if (r.length == 0) continue;
+        const Addr lo = align_down(r.first_block(), unit_bytes);
+        const Addr hi = align_up(r.end_block(), unit_bytes);
+        ampl += (hi - lo) - (r.end_block() - r.first_block());
+    }
+    return ampl;
+}
+
+Optblk_choice search_optblk(std::span<const accel::Access_range> ranges,
+                            Bytes region_span_bytes, const Optblk_params& params)
+{
+    require(params.min_unit >= k_block_bytes && is_pow2(params.min_unit),
+            "search_optblk: min unit must be a power of two >= 64");
+    require(params.max_unit >= params.min_unit, "search_optblk: bad unit bounds");
+
+    std::vector<Bytes> candidates;
+    for (Bytes g = params.min_unit; g <= params.max_unit; g *= 2) candidates.push_back(g);
+    for (Bytes g : params.extra_candidates) {
+        // Geometry-derived candidates are block-aligned and deduplicated.
+        const Bytes aligned = align_down(std::max(g, params.min_unit), k_block_bytes);
+        if (aligned >= params.min_unit && aligned <= params.max_unit)
+            candidates.push_back(aligned);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+
+    // Lexicographic selection: amplification is real off-chip traffic and
+    // redundant decrypt/verify work (the thing SeDA exists to avoid), so
+    // candidates are ranked by amplification first, and only then by the
+    // weighted cost (which the ledger term drives toward coarse units).
+    // A 64 B candidate always achieves zero amplification on block-aligned
+    // traces, so the minimum-amplification tier is never empty.
+    Optblk_choice best;
+    bool first = true;
+    for (Bytes g : candidates) {
+        Optblk_choice c;
+        c.unit_bytes = g;
+        c.amplification_bytes = projected_amplification(ranges, g);
+        c.unit_count = ceil_div(std::max<Bytes>(region_span_bytes, g), g);
+        c.cost = params.amplification_weight * static_cast<double>(c.amplification_bytes) +
+                 params.ledger_weight * static_cast<double>(c.unit_count);
+        const bool better =
+            first || c.amplification_bytes < best.amplification_bytes ||
+            (c.amplification_bytes == best.amplification_bytes && c.cost < best.cost);
+        if (better) {
+            best = c;
+            first = false;
+        }
+    }
+    return best;
+}
+
+}  // namespace seda::core

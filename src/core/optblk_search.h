@@ -1,0 +1,53 @@
+// Authentication-block (optBlk) scheduling search, after SecureLoop [10].
+//
+// Given the actual access ranges that will touch a protected region (the
+// producer's writes plus the consumer's reads, under their own tilings),
+// the search scores candidate block sizes by
+//
+//   cost(g) = w_ampl * amplification_bytes(g) + w_ledger * unit_count(g)
+//
+// Amplification is the real quantity SeDA must avoid: an optBlk straddling
+// a tile edge forces fetching bytes outside the tile just to recompute its
+// MAC.  The ledger term models the on-chip bookkeeping (fold bitmap and
+// retained-window MACs) that grows with the number of units, pushing the
+// choice toward the *coarsest aligned* granularity -- which is exactly the
+// paper's "optimal block" between too-fine (metadata-heavy) and too-coarse
+// (overlap-hostile) extremes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "accel/trace.h"
+
+namespace seda::core {
+
+struct Optblk_params {
+    Bytes min_unit = 64;
+    Bytes max_unit = 4096;
+    double amplification_weight = 1.0;
+    double ledger_weight = 0.0625;  ///< cost-per-unit, byte-equivalents
+
+    /// Extra candidate sizes (beyond powers of two) derived from the access
+    /// geometry, e.g. the tile-row byte size; filled by the caller.
+    std::vector<Bytes> extra_candidates;
+};
+
+struct Optblk_choice {
+    Bytes unit_bytes = 64;
+    Bytes amplification_bytes = 0;  ///< projected for the scored trace
+    u64 unit_count = 0;             ///< distinct units the region spans
+    double cost = 0.0;
+};
+
+/// Projected amplification of protecting `ranges` at `unit_bytes`.
+[[nodiscard]] Bytes projected_amplification(std::span<const accel::Access_range> ranges,
+                                            Bytes unit_bytes);
+
+/// Scores all candidates over the region's access ranges and returns the
+/// cheapest.  `region_span_bytes` bounds the unit count (ledger size).
+[[nodiscard]] Optblk_choice search_optblk(std::span<const accel::Access_range> ranges,
+                                          Bytes region_span_bytes,
+                                          const Optblk_params& params = {});
+
+}  // namespace seda::core

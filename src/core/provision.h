@@ -1,0 +1,57 @@
+// Secure model provisioning: the software half of SeDA's deployment story.
+//
+// Before inference, the model owner encrypts the weights per authentication
+// block, MACs each block positionally, and folds everything into the single
+// on-chip **model MAC** (Fig. 3(b), Table I last row).  The accelerator
+// later streams the image from untrusted memory, re-computes block MACs on
+// the fly and compares the fold -- one 8-byte register decides whether any
+// bit of any layer was tampered with, at zero metadata traffic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "accel/layer.h"
+#include "accel/memory_map.h"
+#include "common/types.h"
+#include "crypto/baes.h"
+#include "crypto/mac.h"
+
+namespace seda::core {
+
+/// The deployable encrypted-model artifact.
+struct Model_image {
+    struct Layer_span {
+        Addr base = 0;          ///< weight region address (accel/memory_map.h)
+        Bytes bytes = 0;        ///< padded weight bytes
+        Bytes unit_bytes = 64;  ///< authentication-block size used
+        u32 layer_id = 0;
+    };
+
+    std::vector<u8> ciphertext;       ///< all layers' weights, encrypted
+    std::vector<Layer_span> layers;
+    std::vector<u64> layer_macs;      ///< per-layer XOR-folds (layer MAC level)
+    u64 model_mac = 0;                ///< fold of every block MAC (model level)
+    u64 provision_vn = 1;             ///< weights are written once at this VN
+};
+
+/// Encrypts + authenticates `weights` (the concatenated per-layer tensors,
+/// padded to 64 B per layer like Memory_map does) into a deployable image.
+[[nodiscard]] Model_image provision_model(const accel::Model_desc& model,
+                                          std::span<const u8> weights,
+                                          std::span<const u8> enc_key,
+                                          std::span<const u8> mac_key);
+
+/// Streams the image like the accelerator would: recomputes every block MAC
+/// over the ciphertext, folds, and compares both the per-layer MACs and the
+/// model MAC.  Returns false on any mismatch (tampered image).
+[[nodiscard]] bool verify_image(const Model_image& image, std::span<const u8> mac_key);
+
+/// Decrypts one layer's weights out of a verified image.
+[[nodiscard]] std::vector<u8> decrypt_layer(const Model_image& image, u32 layer_id,
+                                            std::span<const u8> enc_key);
+
+/// Total bytes a model's padded weight image occupies.
+[[nodiscard]] Bytes image_bytes(const accel::Model_desc& model);
+
+}  // namespace seda::core

@@ -1,0 +1,112 @@
+#include "core/secure_memory.h"
+
+#include "common/bitutil.h"
+#include "common/error.h"
+
+namespace seda::core {
+
+Secure_memory::Secure_memory(std::span<const u8> enc_key, std::span<const u8> mac_key,
+                             Config cfg)
+    : cfg_(cfg), baes_(enc_key), mac_key_(mac_key.begin(), mac_key.end())
+{
+    require(cfg_.unit_bytes >= k_aes_block_bytes && cfg_.unit_bytes % k_aes_block_bytes == 0,
+            "Secure_memory: unit must be a multiple of 16 bytes");
+}
+
+crypto::Mac_context Secure_memory::context_for(Addr addr, u64 vn, u32 layer_id,
+                                               u32 fmap_idx, u32 blk_idx) const
+{
+    crypto::Mac_context ctx;
+    ctx.pa = addr;
+    ctx.vn = vn;
+    ctx.layer_id = layer_id;
+    ctx.fmap_idx = fmap_idx;
+    ctx.blk_idx = blk_idx;
+    return ctx;
+}
+
+void Secure_memory::write(Addr addr, std::span<const u8> plaintext, u32 layer_id,
+                          u32 fmap_idx, u32 blk_idx)
+{
+    require(addr % cfg_.unit_bytes == 0, "Secure_memory::write: unaligned address");
+    require(plaintext.size() == cfg_.unit_bytes,
+            "Secure_memory::write: plaintext must be one unit");
+
+    const u64 vn = ++onchip_vns_[addr];  // increment on every write (Eq. 1)
+
+    Stored_unit unit;
+    unit.ciphertext.assign(plaintext.begin(), plaintext.end());
+    baes_.crypt(unit.ciphertext, addr, vn);
+    unit.mac = crypto::positional_block_mac(
+        mac_key_, unit.ciphertext, context_for(addr, vn, layer_id, fmap_idx, blk_idx));
+    unit.stored_vn = vn;  // only consulted when VNs are kept off-chip
+    units_[addr] = std::move(unit);
+}
+
+Verify_status Secure_memory::read(Addr addr, std::span<u8> out, u32 layer_id,
+                                  u32 fmap_idx, u32 blk_idx)
+{
+    require(out.size() == cfg_.unit_bytes, "Secure_memory::read: out must be one unit");
+    const auto it = units_.find(addr);
+    require(it != units_.end(), "Secure_memory::read: unit never written");
+    const Stored_unit& unit = it->second;
+
+    // Freshness source: the trusted on-chip table, or (vulnerably) whatever
+    // the untrusted memory claims.
+    const u64 vn = cfg_.onchip_vns ? onchip_vns_.at(addr) : unit.stored_vn;
+
+    const u64 expected = crypto::positional_block_mac(
+        mac_key_, unit.ciphertext, context_for(addr, vn, layer_id, fmap_idx, blk_idx));
+    if (expected != unit.mac) {
+        // With on-chip VNs a stale-but-self-consistent unit fails exactly
+        // here: its MAC was minted under an older VN.
+        if (cfg_.onchip_vns && unit.stored_vn != vn) return Verify_status::replay_detected;
+        return Verify_status::mac_mismatch;
+    }
+
+    std::copy(unit.ciphertext.begin(), unit.ciphertext.end(), out.begin());
+    baes_.crypt(out, addr, vn);
+    return Verify_status::ok;
+}
+
+u64 Secure_memory::fold_all_macs() const
+{
+    crypto::Xor_mac_accumulator acc;
+    for (const auto& [addr, unit] : units_) {
+        (void)addr;
+        acc.fold(unit.mac);
+    }
+    return acc.value();
+}
+
+void Secure_memory::tamper(Addr addr, std::size_t byte_offset, u8 xor_mask)
+{
+    auto it = units_.find(addr);
+    require(it != units_.end(), "Secure_memory::tamper: unit never written");
+    require(byte_offset < it->second.ciphertext.size(),
+            "Secure_memory::tamper: offset outside unit");
+    it->second.ciphertext[byte_offset] =
+        static_cast<u8>(it->second.ciphertext[byte_offset] ^ xor_mask);
+}
+
+void Secure_memory::swap_units(Addr a, Addr b)
+{
+    require(units_.count(a) == 1 && units_.count(b) == 1,
+            "Secure_memory::swap_units: both units must exist");
+    std::swap(units_.at(a), units_.at(b));
+}
+
+Secure_memory::Stored_unit Secure_memory::snapshot(Addr addr) const
+{
+    const auto it = units_.find(addr);
+    require(it != units_.end(), "Secure_memory::snapshot: unit never written");
+    return it->second;
+}
+
+void Secure_memory::rollback(Addr addr, const Stored_unit& old)
+{
+    require(units_.count(addr) == 1, "Secure_memory::rollback: unit never written");
+    units_.at(addr) = old;
+}
+
+}  // namespace seda::core

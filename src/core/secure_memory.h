@@ -1,0 +1,105 @@
+// Functional model of SeDA's protected off-chip memory.
+//
+// Unlike the trace-level simulators (which price traffic and time), this
+// class *runs the real crypto* on real bytes: writes encrypt with B-AES,
+// bump the on-chip version number and store a positional MAC; reads decrypt
+// and verify.  The untrusted side of the threat model is explicit: the
+// attacker interface mutates, swaps, or rolls back stored units exactly the
+// way a bus/memory adversary would (Sec. II-D), and the tests assert which
+// attacks each configuration catches:
+//
+//   tampering      - caught by the MAC (any configuration)
+//   re-permutation - caught by the positional MAC binding PA/layer/blk
+//   replay         - caught only with freshness on (on-chip VNs); with VNs
+//                    stored in the untrusted memory itself, rollback wins,
+//                    which is precisely why MGX/TNPU/SeDA keep them on-chip.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/baes.h"
+#include "crypto/mac.h"
+
+namespace seda::core {
+
+enum class Verify_status { ok, mac_mismatch, replay_detected };
+
+[[nodiscard]] constexpr const char* to_string(Verify_status s)
+{
+    switch (s) {
+        case Verify_status::ok: return "ok";
+        case Verify_status::mac_mismatch: return "mac_mismatch";
+        case Verify_status::replay_detected: return "replay_detected";
+    }
+    return "?";
+}
+
+struct Secure_mem_config {
+    Bytes unit_bytes = 64;  ///< protection-unit size (one MAC per unit)
+    /// true: VNs live on-chip (replay-protected).  false: the VN is
+    /// stored next to the unit in untrusted memory -- rollback becomes
+    /// invisible (the vulnerable strawman).
+    bool onchip_vns = true;
+};
+
+class Secure_memory {
+public:
+    using Config = Secure_mem_config;
+
+    /// A unit as the attacker sees it: ciphertext + stored metadata.
+    struct Stored_unit {
+        std::vector<u8> ciphertext;
+        u64 mac = 0;
+        u64 stored_vn = 0;  ///< only meaningful when !onchip_vns
+    };
+
+    Secure_memory(std::span<const u8> enc_key, std::span<const u8> mac_key,
+                  Config cfg = Config());
+
+    /// Encrypts and stores one unit-aligned, unit-sized write.  The version
+    /// number increments per write (Eq. 1); position fields bind the MAC
+    /// (Alg. 2 defense).
+    void write(Addr addr, std::span<const u8> plaintext, u32 layer_id, u32 fmap_idx,
+               u32 blk_idx);
+
+    /// Reads, decrypts and verifies one unit.  `out` must be unit-sized.
+    [[nodiscard]] Verify_status read(Addr addr, std::span<u8> out, u32 layer_id,
+                                     u32 fmap_idx, u32 blk_idx);
+
+    /// XOR-fold of all stored unit MACs: the layer/model MAC the verifier
+    /// compares after streaming a region (Fig. 3(b)).
+    [[nodiscard]] u64 fold_all_macs() const;
+
+    [[nodiscard]] const Config& config() const { return cfg_; }
+    [[nodiscard]] std::size_t unit_count() const { return units_.size(); }
+
+    // ---- attacker interface (untrusted memory / bus adversary) ----------
+
+    /// Flips bits inside a stored unit's ciphertext.
+    void tamper(Addr addr, std::size_t byte_offset, u8 xor_mask);
+
+    /// Swaps two stored units wholesale (ciphertext + metadata), the RePA
+    /// move at memory level.
+    void swap_units(Addr a, Addr b);
+
+    /// Copies the current stored state of a unit (attacker snapshot).
+    [[nodiscard]] Stored_unit snapshot(Addr addr) const;
+
+    /// Restores a previously snapshotted unit (replay / rollback attack).
+    void rollback(Addr addr, const Stored_unit& old);
+
+private:
+    [[nodiscard]] crypto::Mac_context context_for(Addr addr, u64 vn, u32 layer_id,
+                                                  u32 fmap_idx, u32 blk_idx) const;
+
+    Config cfg_;
+    crypto::Baes_engine baes_;
+    std::vector<u8> mac_key_;
+    std::map<Addr, Stored_unit> units_;   ///< the untrusted array
+    std::map<Addr, u64> onchip_vns_;      ///< trusted on-chip VN table
+};
+
+}  // namespace seda::core

@@ -1,0 +1,88 @@
+#include "core/secure_npu.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seda::core {
+
+namespace {
+
+/// Prices one protected layer result and folds it into the run stats.
+Layer_run_stats price_phase(const protect::Layer_protect_result& res, Cycles compute_cycles,
+                            const accel::Npu_config& npu, const dram::Dram_config& dcfg,
+                            dram::Dram_sim& dsim, int crypto_engines,
+                            const protect::Perf_params& pp)
+{
+    Layer_run_stats ls;
+    ls.compute_cycles = compute_cycles;
+
+    const Cycles ctrl_cycles = dsim.process_stream(res.timed_stream);
+    double mem = npu.ctrl_to_npu_cycles(static_cast<double>(ctrl_cycles), dcfg);
+    mem += pp.vn_prefetch_discount * static_cast<double>(res.prefetch_bytes) /
+           npu.link_bytes_per_npu_cycle();
+    mem += static_cast<double>(res.mac_demand_misses) * pp.stall_cycles_per_mac_miss;
+    mem += static_cast<double>(res.fixed_cycles);
+    ls.mem_cycles = static_cast<Cycles>(std::llround(mem));
+
+    if (crypto_engines > 0) {
+        const double crypto_rate = crypto::crypto_bytes_per_cycle(crypto_engines);
+        ls.crypto_cycles = static_cast<Cycles>(std::llround(
+            static_cast<double>(res.total_traffic_bytes()) / crypto_rate));
+    }
+
+    ls.layer_cycles = std::max({ls.compute_cycles, ls.mem_cycles, ls.crypto_cycles});
+    ls.traffic_bytes = res.total_traffic_bytes();
+    ls.verify_events = res.verify_events;
+    ls.mac_misses = res.mac_demand_misses;
+    return ls;
+}
+
+}  // namespace
+
+Run_stats run_protected(const accel::Model_sim& sim, protect::Protection_scheme& scheme,
+                        const protect::Perf_params& pp)
+{
+    const accel::Npu_config& npu = sim.npu;
+    const dram::Dram_config dcfg = npu.dram_config();
+    dram::Dram_sim dsim(dcfg);
+    const int crypto_engines = scheme.crypto_engine_equivalents(npu);
+
+    Run_stats run;
+    run.scheme_name = scheme.name();
+    run.model_name = sim.model ? sim.model->name : "?";
+    run.npu_name = npu.name;
+    run.layers.reserve(sim.layers.size() + 1);
+
+    scheme.begin_model(sim);
+    for (const auto& layer : sim.layers) {
+        const auto res = scheme.transform_layer(layer);
+        Layer_run_stats ls =
+            price_phase(res, layer.compute.cycles, npu, dcfg, dsim, crypto_engines, pp);
+        ls.layer_name = layer.layer->name;
+        run.prefetch_bytes += res.prefetch_bytes;
+        run.layers.push_back(ls);
+    }
+    {
+        const auto res = scheme.end_model();
+        Layer_run_stats ls = price_phase(res, 0, npu, dcfg, dsim, crypto_engines, pp);
+        ls.layer_name = "(end-of-model)";
+        run.prefetch_bytes += res.prefetch_bytes;
+        run.layers.push_back(ls);
+    }
+
+    for (const auto& ls : run.layers) {
+        run.total_cycles += ls.layer_cycles;
+        run.traffic_bytes += ls.traffic_bytes;
+        run.verify_events += ls.verify_events;
+        run.mac_misses += ls.mac_misses;
+    }
+    const auto& ds = dsim.stats();
+    for (int t = 0; t < static_cast<int>(dram::Traffic_tag::count); ++t)
+        run.bytes_by_tag[t] = ds.bytes_by_tag[t];
+    // Prefetch traffic never enters the DRAM stream; attribute it to the VN tag.
+    run.bytes_by_tag[static_cast<int>(dram::Traffic_tag::vn)] += run.prefetch_bytes;
+    run.dram_row_hit_rate = ds.row_hit_rate();
+    return run;
+}
+
+}  // namespace seda::core

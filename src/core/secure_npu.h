@@ -1,0 +1,60 @@
+// End-to-end secure-NPU pipeline: accelerator trace -> protection-scheme
+// rewrite -> DRAM pricing -> per-layer max(compute, memory, crypto) timing.
+//
+// Memory time for a layer =
+//     DRAM makespan of the demand stream (NPU cycles)
+//   + beta * prefetch bytes / link rate        (VN/tree, discounted)
+//   + MAC demand misses * unhidden stall cycles
+//   + scheme fixed cycles (layer-check drains)
+// and the layer executes in max(compute, memory, crypto) with double
+// buffering overlapping the three engines.  Traffic counts *all* bytes,
+// prefetched or not (Fig. 5 reports traffic; Fig. 6 reports time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/accel_sim.h"
+#include "crypto/engine_model.h"
+#include "dram/dram_sim.h"
+#include "protect/scheme.h"
+
+namespace seda::core {
+
+struct Layer_run_stats {
+    std::string layer_name;
+    Cycles compute_cycles = 0;
+    Cycles mem_cycles = 0;
+    Cycles crypto_cycles = 0;
+    Cycles layer_cycles = 0;
+    Bytes traffic_bytes = 0;
+    u64 verify_events = 0;
+    u64 mac_misses = 0;
+};
+
+struct Run_stats {
+    std::string scheme_name;
+    std::string model_name;
+    std::string npu_name;
+    Cycles total_cycles = 0;
+    Bytes traffic_bytes = 0;                       ///< demand + prefetch
+    Bytes bytes_by_tag[static_cast<int>(dram::Traffic_tag::count)] = {};
+    Bytes prefetch_bytes = 0;                      ///< VN + tree (also in traffic)
+    u64 verify_events = 0;
+    u64 mac_misses = 0;
+    double dram_row_hit_rate = 0.0;
+    std::vector<Layer_run_stats> layers;
+
+    [[nodiscard]] double seconds(double freq_ghz) const
+    {
+        return static_cast<double>(total_cycles) / (freq_ghz * 1e9);
+    }
+};
+
+/// Runs one (model, NPU, scheme) combination.  The scheme object is reused
+/// across runs; begin_model resets its state.
+[[nodiscard]] Run_stats run_protected(const accel::Model_sim& sim,
+                                      protect::Protection_scheme& scheme,
+                                      const protect::Perf_params& params = {});
+
+}  // namespace seda::core

@@ -1,0 +1,277 @@
+#include "core/seda_scheme.h"
+
+#include <algorithm>
+
+#include "accel/memory_map.h"
+
+namespace seda::core {
+
+using accel::Access_range;
+using accel::Memory_map;
+using accel::Tensor_kind;
+using protect::Layer_protect_result;
+
+namespace {
+
+constexpr Bytes k_mac_slot = 8;
+
+/// Collects the ranges of one tensor kind from a layer trace.
+std::vector<Access_range> ranges_of(const accel::Layer_sim& layer, Tensor_kind kind)
+{
+    std::vector<Access_range> out;
+    for (const auto& r : layer.trace)
+        if (r.tensor == kind) out.push_back(r);
+    return out;
+}
+
+/// Geometry-derived extra candidates for the optBlk search: tile strides and
+/// row sizes of the plans touching the region.
+void add_geometry_candidates(Optblk_params& params, const accel::Layer_sim& layer)
+{
+    const auto& p = layer.plan;
+    if (p.ofmap_row_bytes > 0) {
+        params.extra_candidates.push_back(p.ofmap_row_bytes);
+        params.extra_candidates.push_back(static_cast<Bytes>(p.t_oh) * p.ofmap_row_bytes);
+    }
+    if (p.ifmap_row_bytes > 0) {
+        params.extra_candidates.push_back(p.ifmap_row_bytes);
+        const int stride_rows =
+            layer.layer && layer.layer->is_compute() &&
+                    layer.layer->kind != accel::Layer_kind::matmul
+                ? p.t_oh * layer.layer->stride
+                : p.t_oh;
+        params.extra_candidates.push_back(static_cast<Bytes>(stride_rows) *
+                                          p.ifmap_row_bytes);
+    }
+}
+
+}  // namespace
+
+Seda_scheme::Seda_scheme(Seda_config cfg)
+    : cfg_(std::move(cfg)), stored_mac_cache_(8 * 1024, 8)
+{
+}
+
+void Seda_scheme::begin_model(const accel::Model_sim& sim)
+{
+    // One entry per layer plus a virtual trailing entry whose "ifmap epoch"
+    // is the last layer's ofmap (nobody consumes it inside the model, but
+    // its write pattern still needs an aligned unit).
+    choices_.assign(sim.layers.size() + 1, {});
+    stored_mac_cache_.clear();
+    rechecks_ = 0;
+    resident_layer_mac_line_ = ~0ULL;
+    layer_mac_line_dirty_ = false;
+
+    for (std::size_t i = 0; i < sim.layers.size(); ++i) {
+        const auto& layer = sim.layers[i];
+        Layer_choice& choice = choices_[i];
+
+        // --- weight region --------------------------------------------------
+        const auto w_ranges = ranges_of(layer, Tensor_kind::weight);
+        if (!w_ranges.empty()) {
+            choice.weight_macs_stored =
+                layer.layer->kind == accel::Layer_kind::embedding;
+            Optblk_params wp = cfg_.search;
+            if (layer.layer->weight_bytes() > 0 &&
+                layer.layer->gemm_n_dim() > 0) {
+                wp.extra_candidates.push_back(layer.layer->weight_bytes() /
+                                              std::max<u64>(1, layer.layer->gemm_n_dim()));
+            }
+            choice.weight = cfg_.forced_unit
+                                ? Optblk_choice{*cfg_.forced_unit,
+                                                projected_amplification(w_ranges,
+                                                                        *cfg_.forced_unit),
+                                                0, 0.0}
+                                : search_optblk(w_ranges, layer.layer->weight_bytes(), wp);
+        }
+
+        // --- ifmap epoch: this layer's reads + the producer's writes --------
+        auto epoch_ranges = ranges_of(layer, Tensor_kind::ifmap);
+        Optblk_params ap = cfg_.search;
+        add_geometry_candidates(ap, layer);
+        if (i > 0) {
+            const auto produced = ranges_of(sim.layers[i - 1], Tensor_kind::ofmap);
+            epoch_ranges.insert(epoch_ranges.end(), produced.begin(), produced.end());
+            add_geometry_candidates(ap, sim.layers[i - 1]);
+        }
+        if (!epoch_ranges.empty()) {
+            choice.ifmap =
+                cfg_.forced_unit
+                    ? Optblk_choice{*cfg_.forced_unit,
+                                    projected_amplification(epoch_ranges, *cfg_.forced_unit),
+                                    0, 0.0}
+                    : search_optblk(epoch_ranges, layer.layer->ifmap_bytes(), ap);
+        }
+    }
+
+    // Virtual epoch for the final ofmap.
+    const auto& last = sim.layers.back();
+    const auto final_ranges = ranges_of(last, Tensor_kind::ofmap);
+    if (!final_ranges.empty()) {
+        Optblk_params fp = cfg_.search;
+        add_geometry_candidates(fp, last);
+        choices_.back().ifmap =
+            cfg_.forced_unit
+                ? Optblk_choice{*cfg_.forced_unit,
+                                projected_amplification(final_ranges, *cfg_.forced_unit),
+                                0, 0.0}
+                : search_optblk(final_ranges, last.layer->ofmap_bytes(), fp);
+    }
+}
+
+void Seda_scheme::protect_range_folded(const Access_range& r, Bytes unit,
+                                       Layer_protect_result& out)
+{
+    const Addr lo = align_down(r.first_block(), unit);
+    const Addr hi = align_up(r.end_block(), unit);
+    for (Addr u = lo; u < hi; u += unit) {
+        const bool already = !ledger_.insert(u).second;
+        if (already) {
+            // Halo / refetch: re-verified against the retained-window MAC
+            // (retain_window) or skipped (dedup_only); never folded twice.
+            if (cfg_.reread == Reread_policy::retain_window) {
+                ++out.verify_events;
+                ++rechecks_;
+            }
+        } else {
+            ++out.verify_events;
+        }
+        // Blocks of the unit: requested ones are data; any block pulled in
+        // only to complete the unit's MAC is amplification (an RMW fetch on
+        // the write path).  The optBlk search drives this to zero for
+        // aligned units.
+        for (Addr block = u; block < u + unit; block += k_block_bytes) {
+            const bool inside = block >= r.first_block() && block < r.end_block();
+            dram::Request req;
+            req.addr = block;
+            req.is_write = inside && r.is_write;
+            req.tag = inside ? dram::Traffic_tag::data : dram::Traffic_tag::amplification;
+            out.timed_stream.push_back(req);
+        }
+    }
+}
+
+void Seda_scheme::protect_range_stored_macs(const Access_range& r, Bytes unit,
+                                            Layer_protect_result& out)
+{
+    const Addr lo = align_down(r.first_block(), unit);
+    const Addr hi = align_up(r.end_block(), unit);
+    for (Addr u = lo; u < hi; u += unit) {
+        for (Addr block = u; block < u + unit; block += k_block_bytes) {
+            const bool inside = block >= r.first_block() && block < r.end_block();
+            dram::Request req;
+            req.addr = block;
+            req.is_write = inside && r.is_write;
+            req.tag = inside ? dram::Traffic_tag::data : dram::Traffic_tag::amplification;
+            out.timed_stream.push_back(req);
+        }
+        ++out.verify_events;
+        if (cfg_.colocate_gather_macs) continue;  // MAC rides in the same burst
+        // Separate-region optBlk MAC, filtered by the on-chip MAC cache.
+        const Addr slot = Memory_map::k_mac_base + (u / unit) * k_mac_slot;
+        const auto acc = stored_mac_cache_.access(slot, r.is_write);
+        if (!acc.hit) {
+            dram::Request fill;
+            fill.addr = align_down(slot, k_block_bytes);
+            fill.is_write = false;
+            fill.tag = dram::Traffic_tag::mac;
+            out.timed_stream.push_back(fill);
+            if (!r.is_write) ++out.mac_demand_misses;
+        }
+        if (acc.writeback) {
+            dram::Request wb;
+            wb.addr = acc.writeback_addr;
+            wb.is_write = true;
+            wb.tag = dram::Traffic_tag::mac;
+            out.timed_stream.push_back(wb);
+        }
+    }
+}
+
+Layer_protect_result Seda_scheme::transform_layer(const accel::Layer_sim& layer)
+{
+    Layer_protect_result out;
+    out.timed_stream.reserve(
+        static_cast<std::size_t>((layer.read_bytes + layer.write_bytes) / k_block_bytes));
+    ledger_.clear();
+
+    require(layer.layer_id < choices_.size(),
+            "Seda_scheme: transform_layer before begin_model");
+    const Layer_choice& choice = choices_[layer.layer_id];
+
+    for (const auto& r : layer.trace) {
+        switch (r.tensor) {
+            case Tensor_kind::weight:
+                if (choice.weight_macs_stored)
+                    protect_range_stored_macs(r, choice.weight.unit_bytes, out);
+                else
+                    protect_range_folded(r, choice.weight.unit_bytes, out);
+                break;
+            case Tensor_kind::ifmap:
+                protect_range_folded(r, choice.ifmap.unit_bytes, out);
+                break;
+            case Tensor_kind::ofmap: {
+                // The ofmap is the *next* epoch's region; its unit is the
+                // consumer's choice (the virtual trailing entry for the
+                // final layer).
+                const Bytes unit = choices_[layer.layer_id + 1].ifmap.unit_bytes;
+                protect_range_folded(r, std::max<Bytes>(unit, k_block_bytes), out);
+                break;
+            }
+        }
+    }
+
+    if (cfg_.layer_macs_offchip) {
+        // Layer MACs are 8 B each, eight to a line; the engine keeps the
+        // current line on-chip, so only a line *change* costs a read, and
+        // the dirty line publishes when it is replaced (or at end_model).
+        const Addr line = Memory_map::k_layer_mac_base +
+                          align_down(static_cast<Addr>(layer.layer_id) * 8, k_block_bytes);
+        if (line != resident_layer_mac_line_) {
+            if (layer_mac_line_dirty_) {
+                dram::Request wb;
+                wb.addr = resident_layer_mac_line_;
+                wb.is_write = true;
+                wb.tag = dram::Traffic_tag::layer_mac;
+                out.timed_stream.push_back(wb);
+            }
+            dram::Request rd;
+            rd.addr = line;
+            rd.is_write = false;
+            rd.tag = dram::Traffic_tag::layer_mac;
+            out.timed_stream.push_back(rd);
+            resident_layer_mac_line_ = line;
+        }
+        layer_mac_line_dirty_ = true;  // this layer's MAC was folded into it
+    }
+
+    out.fixed_cycles = static_cast<Cycles>(cfg_.layer_check_drain_cycles);
+    return out;
+}
+
+Layer_protect_result Seda_scheme::end_model()
+{
+    Layer_protect_result out;
+    if (cfg_.layer_macs_offchip && layer_mac_line_dirty_) {
+        dram::Request wb;
+        wb.addr = resident_layer_mac_line_;
+        wb.is_write = true;
+        wb.tag = dram::Traffic_tag::layer_mac;
+        out.timed_stream.push_back(wb);
+        layer_mac_line_dirty_ = false;
+    }
+    stored_mac_cache_.flush_dirty([&](Addr line) {
+        dram::Request wb;
+        wb.addr = line;
+        wb.is_write = true;
+        wb.tag = dram::Traffic_tag::mac;
+        out.timed_stream.push_back(wb);
+    });
+    // Model-MAC comparison for the weights happens on-chip: one fold compare,
+    // a single pipeline drain, no traffic.
+    out.fixed_cycles = static_cast<Cycles>(cfg_.layer_check_drain_cycles);
+    return out;
+}
+
+}  // namespace seda::core

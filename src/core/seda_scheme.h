@@ -1,0 +1,95 @@
+// The SeDA protection engine: bandwidth-aware encryption plus multi-level
+// integrity verification (Sec. III).
+//
+// Confidentiality: B-AES (crypto/baes.h) -- one AES engine whose base OTP is
+// fanned out with keyExpansion round keys, so pad throughput always matches
+// the link and costs XOR lanes, not engines (Fig. 4).
+//
+// Integrity: three MAC levels (Fig. 3(b), Table I):
+//   * optBlk MAC  - computed on the fly over `optBlk`-sized units as data
+//                   streams; granularity chosen per region by the
+//                   SecureLoop-style search (core/optblk_search.h) so units
+//                   align with both the producer's and the consumer's tiling
+//                   (zero amplification) .  For gather-access regions
+//                   (embedding tables), where a layer-level fold can never
+//                   cover the partial read set, optBlk MACs are *stored*
+//                   off-chip and fetched through a MAC cache instead.
+//   * layer MAC   - XOR-fold of a region epoch's optBlk MACs; one line of
+//                   off-chip traffic per layer in the paper's fairness
+//                   setting (on-chip storage removes even that).
+//   * model MAC   - a single on-chip MAC covering all weights; no traffic,
+//                   verified at the end of inference.
+//
+// Halo re-reads: an optBlk read again within a layer is *not* folded twice
+// (XOR would cancel).  With Reread_policy::retain_window the engine keeps
+// the overlap-window optBlk MACs in on-chip SRAM and checks re-reads against
+// them (full integrity); dedup_only skips the re-check and trusts the first
+// fold, a strictly weaker guarantee kept for the ablation study.
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/optblk_search.h"
+#include "protect/metadata_cache.h"
+#include "protect/scheme.h"
+
+namespace seda::core {
+
+enum class Reread_policy { retain_window, dedup_only };
+
+struct Seda_config {
+    Reread_policy reread = Reread_policy::retain_window;
+    /// Paper Sec. IV-A: "To ensure fairness, SeDA stores layer MACs
+    /// off-chip."  Disable to model the pure on-chip variant.
+    bool layer_macs_offchip = true;
+    /// Ablation override: force one optBlk size instead of searching.
+    std::optional<Bytes> forced_unit;
+    /// Gather regions (embedding tables): true colocates each optBlk MAC
+    /// with its row inside the same burst, SEAL-style [6], so a gather costs
+    /// no extra traffic and no dependent fetch; false stores MACs in a
+    /// separate region behind a MAC cache (the ablation baseline).
+    bool colocate_gather_macs = true;
+    Optblk_params search;
+    /// Pipeline drain while the layer's XOR-fold is compared (Table I:
+    /// layer-level checks incur a "slight delay"); the hash engine drains
+    /// in a few tens of cycles at 16 B/cycle.
+    double layer_check_drain_cycles = 32.0;
+};
+
+class Seda_scheme final : public protect::Protection_scheme {
+public:
+    explicit Seda_scheme(Seda_config cfg = {});
+
+    [[nodiscard]] std::string name() const override { return "seda"; }
+    void begin_model(const accel::Model_sim& sim) override;
+    [[nodiscard]] protect::Layer_protect_result transform_layer(
+        const accel::Layer_sim& layer) override;
+    [[nodiscard]] protect::Layer_protect_result end_model() override;
+
+    /// Per-layer granularity decisions, for Table I and the ablation bench.
+    struct Layer_choice {
+        Optblk_choice ifmap;   ///< unit protecting the layer's ifmap epoch
+        Optblk_choice weight;  ///< unit protecting the layer's weights
+        bool weight_macs_stored = false;  ///< gather path (embedding tables)
+    };
+    [[nodiscard]] const std::vector<Layer_choice>& choices() const { return choices_; }
+    [[nodiscard]] const Seda_config& config() const { return cfg_; }
+
+private:
+    void protect_range_folded(const accel::Access_range& r, Bytes unit,
+                              protect::Layer_protect_result& out);
+    void protect_range_stored_macs(const accel::Access_range& r, Bytes unit,
+                                   protect::Layer_protect_result& out);
+
+    Seda_config cfg_;
+    std::vector<Layer_choice> choices_;
+    protect::Metadata_cache stored_mac_cache_;  ///< gather-path MAC filter
+    std::unordered_set<u64> ledger_;            ///< folded units, current layer
+    u64 rechecks_ = 0;                          ///< halo re-verifications (stats)
+    Addr resident_layer_mac_line_ = ~0ULL;      ///< on-chip layer-MAC line
+    bool layer_mac_line_dirty_ = false;
+};
+
+}  // namespace seda::core

@@ -1,0 +1,65 @@
+#include "core/tiling_analysis.h"
+
+#include <map>
+
+namespace seda::core {
+
+Overlap_summary analyze_overlap(const accel::Layer_sim& layer)
+{
+    Overlap_summary s;
+    // Count per-block touch multiplicity over the layer's read trace.
+    std::map<Addr, int> touches;
+    Bytes weight_read = 0;
+    for (const auto& r : layer.trace) {
+        if (r.is_write) continue;
+        if (r.tensor == accel::Tensor_kind::ifmap) {
+            accel::for_each_block(r, [&](Addr a) { ++touches[a]; });
+        } else if (r.tensor == accel::Tensor_kind::weight) {
+            weight_read += r.block_count() * k_block_bytes;
+        }
+    }
+    for (const auto& [addr, n] : touches) {
+        (void)addr;
+        s.ifmap_read_bytes += static_cast<Bytes>(n) * k_block_bytes;
+        if (n > 1) s.halo_refetch_bytes += static_cast<Bytes>(n - 1) * k_block_bytes;
+    }
+    const Bytes weight_once =
+        layer.layer ? align_up(layer.layer->weight_bytes(), k_block_bytes) : 0;
+    s.weight_refetch_bytes = weight_read > weight_once ? weight_read - weight_once : 0;
+    s.halo_fraction = s.ifmap_read_bytes == 0
+                          ? 0.0
+                          : static_cast<double>(s.halo_refetch_bytes) /
+                                static_cast<double>(s.ifmap_read_bytes);
+    return s;
+}
+
+Alignment_info analyze_alignment(const accel::Layer_sim& producer,
+                                 const accel::Layer_sim& consumer)
+{
+    Alignment_info info;
+    // The producer writes row tiles of t_oh ofmap rows; the consumer reads
+    // slabs starting every t_oh*stride of *its* ifmap rows -- both are
+    // multiples of one producer ofmap row in bytes.
+    info.producer_stride_bytes =
+        static_cast<Bytes>(producer.plan.t_oh) * producer.plan.ofmap_row_bytes;
+    const int consumer_stride =
+        consumer.layer && consumer.layer->is_compute() && consumer.layer->kind !=
+                accel::Layer_kind::matmul
+            ? consumer.plan.t_oh * consumer.layer->stride
+            : consumer.plan.t_oh;
+    info.consumer_stride_bytes =
+        static_cast<Bytes>(consumer_stride) * consumer.plan.ifmap_row_bytes;
+    return info;
+}
+
+bool unit_aligned(const Alignment_info& info, Bytes unit_bytes)
+{
+    if (unit_bytes == 0) return false;
+    const bool p_ok =
+        info.producer_stride_bytes == 0 || info.producer_stride_bytes % unit_bytes == 0;
+    const bool c_ok =
+        info.consumer_stride_bytes == 0 || info.consumer_stride_bytes % unit_bytes == 0;
+    return p_ok && c_ok;
+}
+
+}  // namespace seda::core

@@ -1,0 +1,40 @@
+// Intra-layer / inter-layer tiling analysis (Fig. 3(b)).
+//
+// Quantifies the two effects SeDA's software half exploits:
+//   * intra-layer overlap: halo rows re-fetched between adjacent row tiles
+//     cause redundant decryption + integrity work in unit-MAC schemes;
+//   * inter-layer patterns: the producer writes its ofmap under one tiling,
+//     the consumer reads the same region under another; authentication
+//     blocks that straddle either pattern's boundaries force amplified
+//     fetches on one side.
+#pragma once
+
+#include "accel/accel_sim.h"
+
+namespace seda::core {
+
+struct Overlap_summary {
+    Bytes ifmap_read_bytes = 0;     ///< total ifmap bytes fetched (incl. halo)
+    Bytes halo_refetch_bytes = 0;   ///< bytes fetched more than once
+    Bytes weight_refetch_bytes = 0; ///< weight bytes beyond one full pass
+    double halo_fraction = 0.0;     ///< halo / total ifmap reads
+};
+
+/// Intra-layer overlap metrics for one simulated layer.
+[[nodiscard]] Overlap_summary analyze_overlap(const accel::Layer_sim& layer);
+
+struct Alignment_info {
+    Bytes producer_stride_bytes = 0;  ///< byte period of producer write tiles
+    Bytes consumer_stride_bytes = 0;  ///< byte period of consumer read tiles
+};
+
+/// Producer/consumer geometry for the activation region between layer i
+/// (producer of its ofmap) and layer i+1 (consumer as ifmap).
+[[nodiscard]] Alignment_info analyze_alignment(const accel::Layer_sim& producer,
+                                               const accel::Layer_sim& consumer);
+
+/// True when an authentication block of `unit_bytes` never straddles either
+/// pattern's tile boundaries (zero inter-layer amplification).
+[[nodiscard]] bool unit_aligned(const Alignment_info& info, Bytes unit_bytes);
+
+}  // namespace seda::core

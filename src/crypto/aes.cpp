@@ -1,0 +1,173 @@
+#include "crypto/aes.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace seda::crypto {
+namespace {
+
+constexpr std::array<u8, 256> make_sbox()
+{
+    std::array<u8, 256> t{};
+    for (int i = 0; i < 256; ++i) t[static_cast<std::size_t>(i)] = aes_sbox_value(static_cast<u8>(i));
+    return t;
+}
+
+constexpr std::array<u8, 256> make_inv_sbox()
+{
+    const auto sbox = make_sbox();
+    std::array<u8, 256> t{};
+    for (int i = 0; i < 256; ++i) t[sbox[static_cast<std::size_t>(i)]] = static_cast<u8>(i);
+    return t;
+}
+
+constexpr auto k_sbox = make_sbox();
+constexpr auto k_inv_sbox = make_inv_sbox();
+
+// Compile-time sanity anchors from FIPS-197 (full vectors are in the tests).
+static_assert(make_sbox()[0x00] == 0x63);
+static_assert(make_sbox()[0x53] == 0xED);
+static_assert(make_inv_sbox()[0x63] == 0x00);
+
+void sub_bytes(Block16& s)
+{
+    for (auto& b : s) b = k_sbox[b];
+}
+
+void inv_sub_bytes(Block16& s)
+{
+    for (auto& b : s) b = k_inv_sbox[b];
+}
+
+// State is column-major per FIPS-197: byte index = row + 4*column.
+void shift_rows(Block16& s)
+{
+    Block16 t = s;
+    for (int r = 1; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            s[static_cast<std::size_t>(r + 4 * c)] =
+                t[static_cast<std::size_t>(r + 4 * ((c + r) % 4))];
+}
+
+void inv_shift_rows(Block16& s)
+{
+    Block16 t = s;
+    for (int r = 1; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            s[static_cast<std::size_t>(r + 4 * ((c + r) % 4))] =
+                t[static_cast<std::size_t>(r + 4 * c)];
+}
+
+void mix_columns(Block16& s)
+{
+    for (int c = 0; c < 4; ++c) {
+        const std::size_t o = static_cast<std::size_t>(4 * c);
+        const u8 a0 = s[o], a1 = s[o + 1], a2 = s[o + 2], a3 = s[o + 3];
+        s[o] = static_cast<u8>(gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3);
+        s[o + 1] = static_cast<u8>(a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3);
+        s[o + 2] = static_cast<u8>(a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3));
+        s[o + 3] = static_cast<u8>(gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2));
+    }
+}
+
+void inv_mix_columns(Block16& s)
+{
+    for (int c = 0; c < 4; ++c) {
+        const std::size_t o = static_cast<std::size_t>(4 * c);
+        const u8 a0 = s[o], a1 = s[o + 1], a2 = s[o + 2], a3 = s[o + 3];
+        s[o] = static_cast<u8>(gf_mul(a0, 0x0E) ^ gf_mul(a1, 0x0B) ^ gf_mul(a2, 0x0D) ^
+                               gf_mul(a3, 0x09));
+        s[o + 1] = static_cast<u8>(gf_mul(a0, 0x09) ^ gf_mul(a1, 0x0E) ^ gf_mul(a2, 0x0B) ^
+                                   gf_mul(a3, 0x0D));
+        s[o + 2] = static_cast<u8>(gf_mul(a0, 0x0D) ^ gf_mul(a1, 0x09) ^ gf_mul(a2, 0x0E) ^
+                                   gf_mul(a3, 0x0B));
+        s[o + 3] = static_cast<u8>(gf_mul(a0, 0x0B) ^ gf_mul(a1, 0x0D) ^ gf_mul(a2, 0x09) ^
+                                   gf_mul(a3, 0x0E));
+    }
+}
+
+void add_round_key(Block16& s, const Block16& rk)
+{
+    for (std::size_t i = 0; i < s.size(); ++i) s[i] = static_cast<u8>(s[i] ^ rk[i]);
+}
+
+}  // namespace
+
+Aes::Aes(std::span<const u8> key)
+{
+    int nk = 0;  // key length in 32-bit words
+    switch (key.size()) {
+        case 16: nk = 4; rounds_ = 10; break;
+        case 24: nk = 6; rounds_ = 12; break;
+        case 32: nk = 8; rounds_ = 14; break;
+        default:
+            throw Seda_error("Aes: key must be 16, 24 or 32 bytes");
+    }
+
+    const int total_words = 4 * (rounds_ + 1);
+    std::vector<std::array<u8, 4>> w(static_cast<std::size_t>(total_words));
+    for (int i = 0; i < nk; ++i)
+        for (int b = 0; b < 4; ++b)
+            w[static_cast<std::size_t>(i)][static_cast<std::size_t>(b)] =
+                key[static_cast<std::size_t>(4 * i + b)];
+
+    u8 rcon = 0x01;
+    for (int i = nk; i < total_words; ++i) {
+        std::array<u8, 4> temp = w[static_cast<std::size_t>(i - 1)];
+        if (i % nk == 0) {
+            // RotWord then SubWord then Rcon.
+            std::rotate(temp.begin(), temp.begin() + 1, temp.end());
+            for (auto& b : temp) b = k_sbox[b];
+            temp[0] = static_cast<u8>(temp[0] ^ rcon);
+            rcon = gf_mul(rcon, 2);
+        } else if (nk > 6 && i % nk == 4) {
+            for (auto& b : temp) b = k_sbox[b];
+        }
+        for (int b = 0; b < 4; ++b)
+            w[static_cast<std::size_t>(i)][static_cast<std::size_t>(b)] = static_cast<u8>(
+                w[static_cast<std::size_t>(i - nk)][static_cast<std::size_t>(b)] ^
+                temp[static_cast<std::size_t>(b)]);
+    }
+
+    round_keys_.resize(static_cast<std::size_t>(rounds_ + 1));
+    for (int r = 0; r <= rounds_; ++r)
+        for (int c = 0; c < 4; ++c)
+            for (int b = 0; b < 4; ++b)
+                round_keys_[static_cast<std::size_t>(r)][static_cast<std::size_t>(4 * c + b)] =
+                    w[static_cast<std::size_t>(4 * r + c)][static_cast<std::size_t>(b)];
+}
+
+Block16 Aes::encrypt_block(const Block16& in) const
+{
+    Block16 s = in;
+    add_round_key(s, round_keys_[0]);
+    for (int r = 1; r < rounds_; ++r) {
+        sub_bytes(s);
+        shift_rows(s);
+        mix_columns(s);
+        add_round_key(s, round_keys_[static_cast<std::size_t>(r)]);
+    }
+    sub_bytes(s);
+    shift_rows(s);
+    add_round_key(s, round_keys_[static_cast<std::size_t>(rounds_)]);
+    return s;
+}
+
+Block16 Aes::decrypt_block(const Block16& in) const
+{
+    Block16 s = in;
+    add_round_key(s, round_keys_[static_cast<std::size_t>(rounds_)]);
+    for (int r = rounds_ - 1; r >= 1; --r) {
+        inv_shift_rows(s);
+        inv_sub_bytes(s);
+        add_round_key(s, round_keys_[static_cast<std::size_t>(r)]);
+        inv_mix_columns(s);
+    }
+    inv_shift_rows(s);
+    inv_sub_bytes(s);
+    add_round_key(s, round_keys_[0]);
+    return s;
+}
+
+}  // namespace seda::crypto

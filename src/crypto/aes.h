@@ -1,0 +1,94 @@
+// FIPS-197 AES block cipher (128/192/256-bit keys), implemented from scratch.
+//
+// This is the functional model of the paper's "AES Engine" (Fig. 2(b)):
+// keyExpansion, AddRoundKey, SubBytes, ShiftRows, MixColumns.  The round keys
+// produced by keyExpansion are exposed because SeDA's bandwidth-aware
+// encryption (B-AES, Fig. 3(a) / Algorithm 1 defense) derives per-segment
+// one-time pads by XORing the base OTP with them.
+//
+// The S-boxes are generated at compile time from the GF(2^8) field inverse
+// and the FIPS affine transform, which removes any transcription risk; the
+// FIPS-197 appendix vectors are checked in tests/crypto/aes_test.cpp.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace seda::crypto {
+
+/// One 128-bit AES state / data block.
+using Block16 = std::array<u8, 16>;
+
+/// XOR of two 16-byte blocks; the workhorse of CTR mode and B-AES.
+[[nodiscard]] constexpr Block16 xor_blocks(const Block16& a, const Block16& b)
+{
+    Block16 out{};
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = static_cast<u8>(a[i] ^ b[i]);
+    return out;
+}
+
+/// AES cipher with a fixed key schedule.  Thread-compatible: const methods
+/// may be called concurrently from multiple threads.
+class Aes {
+public:
+    /// Builds the key schedule for a 16, 24 or 32-byte key (AES-128/192/256).
+    /// Throws Seda_error for any other key length.
+    explicit Aes(std::span<const u8> key);
+
+    [[nodiscard]] Block16 encrypt_block(const Block16& in) const;
+    [[nodiscard]] Block16 decrypt_block(const Block16& in) const;
+
+    /// Number of cipher rounds: 10 / 12 / 14 for AES-128/192/256.
+    [[nodiscard]] int rounds() const { return rounds_; }
+
+    /// Round keys from keyExpansion as rounds()+1 16-byte blocks.
+    /// B-AES XORs these onto the base OTP to fan out per-segment pads.
+    [[nodiscard]] std::span<const Block16> round_keys() const { return round_keys_; }
+
+private:
+    int rounds_ = 0;
+    std::vector<Block16> round_keys_;
+};
+
+/// GF(2^8) multiply modulo the AES polynomial x^8+x^4+x^3+x+1.  Exposed for
+/// tests and for the S-box generation.
+[[nodiscard]] constexpr u8 gf_mul(u8 a, u8 b)
+{
+    u8 p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1) p = static_cast<u8>(p ^ a);
+        const bool hi = (a & 0x80) != 0;
+        a = static_cast<u8>(a << 1);
+        if (hi) a = static_cast<u8>(a ^ 0x1B);
+        b = static_cast<u8>(b >> 1);
+    }
+    return p;
+}
+
+/// The AES forward S-box value for `x` (field inverse + affine transform).
+[[nodiscard]] constexpr u8 aes_sbox_value(u8 x)
+{
+    // Multiplicative inverse via exponentiation: x^254 = x^-1 in GF(2^8).
+    u8 inv = 0;
+    if (x != 0) {
+        u8 acc = 1;
+        u8 base = x;
+        int e = 254;
+        while (e > 0) {
+            if (e & 1) acc = gf_mul(acc, base);
+            base = gf_mul(base, base);
+            e >>= 1;
+        }
+        inv = acc;
+    }
+    const auto rotl8 = [](u8 v, int s) {
+        return static_cast<u8>(static_cast<u8>(v << s) | static_cast<u8>(v >> (8 - s)));
+    };
+    return static_cast<u8>(inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^ rotl8(inv, 3) ^
+                           rotl8(inv, 4) ^ 0x63);
+}
+
+}  // namespace seda::crypto

@@ -1,0 +1,78 @@
+// Executable models of the paper's two attacks and their SeDA defenses.
+//
+// SECA - Single-Element Collision Attack (Algorithm 1).  When every 16-byte
+// segment of a protected unit shares one OTP, an attacker who can guess the
+// most frequent plaintext value (for DNN tensors: zero, thanks to ReLU
+// sparsity and zero padding) recovers the OTP from the most frequent
+// ciphertext value and with it every segment of the unit.  B-AES gives each
+// segment a distinct pad, so the recovered "OTP" decrypts (essentially)
+// nothing beyond the guessed value itself.
+//
+// RePA - Re-Permutation Attack (Algorithm 2).  A layer MAC built by XORing
+// per-block MACs of the raw ciphertext is order-invariant; an attacker can
+// shuffle the layer's blocks in memory and still pass verification while the
+// accelerator consumes permuted (hence corrupted) data.  SeDA's positional
+// MAC (blk || PA || VN || layer_id || fmap_idx || blk_idx) breaks the
+// symmetry and detects any shuffle.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/ctr.h"
+#include "crypto/mac.h"
+
+namespace seda::crypto {
+
+// ---------------------------------------------------------------- SECA ----
+
+struct Seca_result {
+    Block16 recovered_otp{};       ///< most_value_c XOR most_value_p (Alg. 1 l.2)
+    std::size_t segments = 0;      ///< 16-byte segments in the attacked unit
+    std::size_t recovered = 0;     ///< segments whose plaintext the attack recovered
+    [[nodiscard]] double recovery_rate() const
+    {
+        return segments == 0 ? 0.0 : static_cast<double>(recovered) / static_cast<double>(segments);
+    }
+    /// The attack is deemed successful when it decrypts a majority of the unit.
+    [[nodiscard]] bool success() const { return recovery_rate() > 0.5; }
+};
+
+/// Runs Algorithm 1 (attack half) against `ciphertext`.  `most_value_p` is
+/// the attacker's plaintext-frequency prior; `true_plaintext` is the
+/// evaluation oracle used to count how many segments were truly recovered.
+[[nodiscard]] Seca_result seca_attack(std::span<const u8> ciphertext,
+                                      const Block16& most_value_p,
+                                      std::span<const u8> true_plaintext);
+
+/// Synthesizes a DNN-like plaintext unit: `zero_fraction` of the 16-byte
+/// segments are all-zero (ReLU sparsity), the rest pseudo-random.
+[[nodiscard]] std::vector<u8> make_sparse_plaintext(std::size_t bytes, double zero_fraction,
+                                                    Rng& rng);
+
+// ---------------------------------------------------------------- RePA ----
+
+/// How the layer MAC under attack was built.
+enum class Layer_mac_kind {
+    naive_xor,      ///< XOR of ciphertext-only MACs (Securator-style, vulnerable)
+    positional_xor  ///< XOR of SeDA positional MACs (Alg. 2 defense)
+};
+
+struct Repa_result {
+    bool verification_passed = false;  ///< attacker's shuffled layer verified OK
+    bool data_intact = false;          ///< plaintext order actually unchanged
+    /// A successful attack passes verification while the data is corrupt.
+    [[nodiscard]] bool attack_succeeded() const { return verification_passed && !data_intact; }
+};
+
+/// Runs Algorithm 2 (attack half): shuffles the ciphertext blocks of one
+/// layer and re-verifies the layer MAC under the given scheme.
+[[nodiscard]] Repa_result repa_attack(std::span<const std::vector<u8>> layer_blocks,
+                                      std::span<const Addr> block_addrs,
+                                      std::span<const u64> block_vns, u32 layer_id,
+                                      std::span<const u8> mac_key, Layer_mac_kind kind,
+                                      Rng& rng);
+
+}  // namespace seda::crypto

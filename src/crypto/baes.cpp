@@ -1,0 +1,51 @@
+#include "crypto/baes.h"
+
+#include "common/error.h"
+
+namespace seda::crypto {
+
+Baes_engine::Baes_engine(std::span<const u8> key)
+    : key_(key.begin(), key.end()), ctr_(key)
+{
+}
+
+std::vector<Block16> Baes_engine::otps(Addr pa, u64 vn, std::size_t lanes) const
+{
+    std::vector<Block16> pads;
+    pads.reserve(lanes);
+    const Block16 base = ctr_.otp(pa, vn);
+    const auto primary = ctr_.engine().round_keys();
+    for (std::size_t i = 0; i < lanes && i < primary.size(); ++i)
+        pads.push_back(xor_blocks(base, primary[i]));
+
+    // Extension for very wide units: re-key the expansion with
+    // key ^ (PA || VN) ^ bank to mint additional independent key banks.
+    u64 bank = 1;
+    while (pads.size() < lanes) {
+        const Block16 ctr_block = counter_add(make_counter(pa, vn), bank);
+        std::vector<u8> derived = key_;
+        for (std::size_t i = 0; i < derived.size(); ++i)
+            derived[i] = static_cast<u8>(derived[i] ^ ctr_block[i % ctr_block.size()]);
+        const Aes expanded(derived);
+        for (const auto& rk : expanded.round_keys()) {
+            if (pads.size() == lanes) break;
+            pads.push_back(xor_blocks(base, rk));
+        }
+        ++bank;
+    }
+    return pads;
+}
+
+void Baes_engine::crypt(std::span<u8> data, Addr pa, u64 vn) const
+{
+    const std::size_t lanes = (data.size() + k_aes_block_bytes - 1) / k_aes_block_bytes;
+    const auto pads = otps(pa, vn, lanes);
+    for (std::size_t seg = 0; seg < lanes; ++seg) {
+        const std::size_t off = seg * k_aes_block_bytes;
+        const std::size_t n = std::min<std::size_t>(k_aes_block_bytes, data.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            data[off + i] = static_cast<u8>(data[off + i] ^ pads[seg][i]);
+    }
+}
+
+}  // namespace seda::crypto

@@ -1,0 +1,48 @@
+// B-AES: SeDA's bandwidth-aware encryption mechanism (Fig. 3(a), Alg. 1).
+//
+// One AES engine produces the base OTP = AES-CTR_Ke(PA || VN) for a protected
+// unit; per-16-byte-segment pads are then fanned out with XOR gates:
+//
+//     OTP_i = OTP ^ key_i        (key_i from the engine's keyExpansion)
+//
+// which defeats the Single-Element Collision Attack (SECA) that a shared OTP
+// permits, at the hardware cost of XOR lanes instead of extra AES engines.
+// When a unit has more segments than the schedule has round keys, the paper's
+// extension applies: keyExpansion is re-run with input key ^ (PA || VN),
+// yielding a further bank of pads, and so on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/aes.h"
+#include "crypto/ctr.h"
+
+namespace seda::crypto {
+
+class Baes_engine {
+public:
+    explicit Baes_engine(std::span<const u8> key);
+
+    /// Distinct pads for segments 0..lanes-1 of the unit at (pa, vn).
+    /// Lane 0..r use the primary schedule's round keys; further lanes come
+    /// from derived schedules keyed with key ^ (PA || VN) (+ bank index).
+    [[nodiscard]] std::vector<Block16> otps(Addr pa, u64 vn, std::size_t lanes) const;
+
+    /// Encrypts/decrypts `data` in place, one B-AES lane per 16-byte segment.
+    /// CTR-style XOR discipline, so the two operations coincide.
+    void crypt(std::span<u8> data, Addr pa, u64 vn) const;
+
+    /// Number of pads available without re-running keyExpansion
+    /// (= round keys of the primary schedule).
+    [[nodiscard]] std::size_t native_lanes() const { return ctr_.engine().round_keys().size(); }
+
+    [[nodiscard]] const Aes_ctr& ctr() const { return ctr_; }
+
+private:
+    std::vector<u8> key_;
+    Aes_ctr ctr_;
+};
+
+}  // namespace seda::crypto

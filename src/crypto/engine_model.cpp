@@ -1,0 +1,44 @@
+#include "crypto/engine_model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace seda::crypto {
+
+Crypto_hw_cost t_aes_cost(double bandwidth_multiple, const Engine_model_params& p)
+{
+    require(bandwidth_multiple > 0.0, "t_aes_cost: bandwidth multiple must be positive");
+    Crypto_hw_cost c;
+    c.aes_engines = static_cast<int>(std::ceil(bandwidth_multiple));
+    c.xor_lanes = 0;
+    c.area_um2 = c.aes_engines * p.aes_area_um2;
+    c.power_uw = c.aes_engines * p.aes_power_uw;
+    return c;
+}
+
+Crypto_hw_cost b_aes_cost(double bandwidth_multiple, const Engine_model_params& p)
+{
+    require(bandwidth_multiple > 0.0, "b_aes_cost: bandwidth multiple must be positive");
+    Crypto_hw_cost c;
+    c.aes_engines = 1;
+    c.xor_lanes = static_cast<int>(std::ceil(bandwidth_multiple)) - 1;
+    c.area_um2 = p.aes_area_um2 + c.xor_lanes * p.xor_lane_area_um2;
+    c.power_uw = p.aes_power_uw + c.xor_lanes * p.xor_lane_power_uw;
+    return c;
+}
+
+double crypto_bytes_per_cycle(int engine_equivalents, const Engine_model_params& p)
+{
+    require(engine_equivalents >= 1, "crypto_bytes_per_cycle: need at least one lane");
+    return engine_equivalents * p.engine_bytes_per_cycle;
+}
+
+int required_engine_equivalents(double link_bytes_per_cycle, const Engine_model_params& p)
+{
+    require(link_bytes_per_cycle > 0.0,
+            "required_engine_equivalents: link rate must be positive");
+    return static_cast<int>(std::ceil(link_bytes_per_cycle / p.engine_bytes_per_cycle));
+}
+
+}  // namespace seda::crypto

@@ -1,0 +1,56 @@
+// 28 nm area / power / throughput model for the crypto hardware (Fig. 4).
+//
+// Two scaling strategies are compared as the accelerator's bandwidth demand
+// grows to B times the throughput of a single AES engine:
+//   * T-AES (traditional): instantiate ceil(B) parallel AES engines.
+//   * B-AES (SeDA):        one AES engine plus (ceil(B) - 1) XOR lanes that
+//                          fan the base OTP out with round keys.
+//
+// Per-engine constants are calibrated to the energy-efficient 28 nm AES
+// implementations surveyed in Banerjee's thesis [22] and to the axes of the
+// paper's Fig. 4 (8x T-AES = ~45k um^2 / ~24k uW).  The claim reproduced is
+// the *scaling shape*: T-AES grows linearly, B-AES stays nearly flat.
+#pragma once
+
+#include "common/types.h"
+
+namespace seda::crypto {
+
+struct Crypto_hw_cost {
+    double area_um2 = 0.0;
+    double power_uw = 0.0;
+    int aes_engines = 0;
+    int xor_lanes = 0;
+};
+
+struct Engine_model_params {
+    // One pipelined AES-128 engine at 28 nm.
+    double aes_area_um2 = 5600.0;
+    double aes_power_uw = 2900.0;
+    // One 128-bit XOR lane (128 XOR2 cells + pipeline flops + mux control).
+    double xor_lane_area_um2 = 240.0;
+    double xor_lane_power_uw = 22.0;
+    // Sustained throughput of one pipelined engine: 16 B per clock.
+    double engine_bytes_per_cycle = 16.0;
+};
+
+/// Hardware cost of the traditional multi-engine design at a given
+/// bandwidth multiple (>= 1 engine even for fractional demand).
+[[nodiscard]] Crypto_hw_cost t_aes_cost(double bandwidth_multiple,
+                                        const Engine_model_params& p = {});
+
+/// Hardware cost of SeDA's bandwidth-aware design at the same multiple.
+[[nodiscard]] Crypto_hw_cost b_aes_cost(double bandwidth_multiple,
+                                        const Engine_model_params& p = {});
+
+/// Crypto throughput (bytes/cycle) delivered by `engine_equivalents` lanes;
+/// used by the performance model to throttle memory streams whose pads
+/// cannot be produced fast enough.
+[[nodiscard]] double crypto_bytes_per_cycle(int engine_equivalents,
+                                            const Engine_model_params& p = {});
+
+/// Engine-equivalents needed so the crypto path sustains `link_bytes_per_cycle`.
+[[nodiscard]] int required_engine_equivalents(double link_bytes_per_cycle,
+                                              const Engine_model_params& p = {});
+
+}  // namespace seda::crypto

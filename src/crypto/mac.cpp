@@ -1,0 +1,84 @@
+#include "crypto/mac.h"
+
+#include <algorithm>
+#include <array>
+
+namespace seda::crypto {
+namespace {
+
+constexpr std::size_t k_hmac_block = 64;  // SHA-256 block size in bytes
+
+u64 truncate64(const Digest256& d)
+{
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | d[static_cast<std::size_t>(i)];
+    return v;
+}
+
+void append_u64(std::vector<u8>& out, u64 v)
+{
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (56 - 8 * i)));
+}
+
+void append_u32(std::vector<u8>& out, u32 v)
+{
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (24 - 8 * i)));
+}
+
+}  // namespace
+
+Digest256 hmac_sha256(std::span<const u8> key, std::span<const u8> message)
+{
+    std::array<u8, k_hmac_block> k0{};
+    if (key.size() > k_hmac_block) {
+        const Digest256 kd = sha256(key);
+        std::copy(kd.begin(), kd.end(), k0.begin());
+    } else {
+        std::copy(key.begin(), key.end(), k0.begin());
+    }
+
+    std::array<u8, k_hmac_block> ipad{};
+    std::array<u8, k_hmac_block> opad{};
+    for (std::size_t i = 0; i < k_hmac_block; ++i) {
+        ipad[i] = static_cast<u8>(k0[i] ^ 0x36);
+        opad[i] = static_cast<u8>(k0[i] ^ 0x5c);
+    }
+
+    Sha256 inner;
+    inner.update(ipad);
+    inner.update(message);
+    const Digest256 inner_digest = inner.finish();
+
+    Sha256 outer;
+    outer.update(opad);
+    outer.update(inner_digest);
+    return outer.finish();
+}
+
+u64 naive_block_mac(std::span<const u8> key, std::span<const u8> ciphertext)
+{
+    return truncate64(hmac_sha256(key, ciphertext));
+}
+
+u64 positional_block_mac(std::span<const u8> key, std::span<const u8> ciphertext,
+                         const Mac_context& ctx)
+{
+    // HASH_Kh(blk || PA || VN || layer_id || fmap_idx || blk_idx), Alg. 2 l.8.
+    std::vector<u8> msg(ciphertext.begin(), ciphertext.end());
+    msg.reserve(ciphertext.size() + 8 + 8 + 4 + 4 + 4);
+    append_u64(msg, ctx.pa);
+    append_u64(msg, ctx.vn);
+    append_u32(msg, ctx.layer_id);
+    append_u32(msg, ctx.fmap_idx);
+    append_u32(msg, ctx.blk_idx);
+    return truncate64(hmac_sha256(key, msg));
+}
+
+u64 xor_fold(std::span<const u64> macs)
+{
+    u64 acc = 0;
+    for (u64 m : macs) acc ^= m;
+    return acc;
+}
+
+}  // namespace seda::crypto

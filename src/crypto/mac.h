@@ -1,0 +1,74 @@
+// Message-authentication layer: HMAC-SHA256, the 64-bit truncated block MACs
+// the protection schemes store per protected unit, and the XOR-MAC
+// aggregation that SeDA folds into layer MACs.
+//
+// Two block-MAC flavours exist deliberately:
+//   * naive_block_mac     - MAC over the ciphertext alone.  XOR-folding these
+//                           is the Securator-style layer MAC that Algorithm 2
+//                           shows is vulnerable to the Re-Permutation Attack
+//                           (RePA): XOR is commutative, so shuffled blocks
+//                           still verify.
+//   * positional_block_mac- SeDA's defense: the MAC binds blk || PA || VN ||
+//                           layer_id || fmap_idx || blk_idx, so any
+//                           re-permutation changes the layer MAC.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "crypto/sha256.h"
+
+namespace seda::crypto {
+
+/// HMAC-SHA256 per RFC 2104 / FIPS 198-1.
+[[nodiscard]] Digest256 hmac_sha256(std::span<const u8> key, std::span<const u8> message);
+
+/// Position/identity fields bound into a SeDA block MAC (Algorithm 2, def.).
+struct Mac_context {
+    Addr pa = 0;        ///< physical address of the unit
+    u64 vn = 0;         ///< version number at write time
+    u32 layer_id = 0;   ///< DNN layer producing/owning the data
+    u32 fmap_idx = 0;   ///< feature-map index within the layer
+    u32 blk_idx = 0;    ///< authentication-block index within the feature map
+};
+
+/// 64-bit MAC over the ciphertext only (RePA-vulnerable baseline).
+[[nodiscard]] u64 naive_block_mac(std::span<const u8> key, std::span<const u8> ciphertext);
+
+/// 64-bit MAC binding the ciphertext to its position (SeDA / Alg. 2 defense).
+[[nodiscard]] u64 positional_block_mac(std::span<const u8> key,
+                                       std::span<const u8> ciphertext,
+                                       const Mac_context& ctx);
+
+/// XOR-MAC aggregator (Bellare, Guerin, Rogaway): parallelizable and
+/// incremental.  SeDA XORs all optBlk MACs of a layer into one layer MAC.
+class Xor_mac_accumulator {
+public:
+    void fold(u64 mac) { acc_ ^= mac; ++count_; }
+
+    /// XOR is its own inverse, so a block can be *removed* from the
+    /// aggregate; this is what makes the scheme incremental under updates.
+    void unfold(u64 mac)
+    {
+        acc_ ^= mac;
+        --count_;
+    }
+
+    [[nodiscard]] u64 value() const { return acc_; }
+    [[nodiscard]] u64 count() const { return count_; }
+    void reset()
+    {
+        acc_ = 0;
+        count_ = 0;
+    }
+
+private:
+    u64 acc_ = 0;
+    u64 count_ = 0;
+};
+
+/// Convenience: XOR-fold a whole sequence of MACs.
+[[nodiscard]] u64 xor_fold(std::span<const u64> macs);
+
+}  // namespace seda::crypto

@@ -1,0 +1,44 @@
+// FIPS 180-4 SHA-256, implemented from scratch.
+//
+// Backs the integrity-verification engine: per-unit MACs are truncated
+// HMAC-SHA256 tags (crypto/mac.h).  Validated against the FIPS vectors in
+// tests/crypto/sha256_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "common/types.h"
+
+namespace seda::crypto {
+
+using Digest256 = std::array<u8, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+public:
+    Sha256() { reset(); }
+
+    void reset();
+    void update(std::span<const u8> data);
+    /// Finalizes and returns the digest; the hasher must be reset() before reuse.
+    [[nodiscard]] Digest256 finish();
+
+private:
+    void process_block(const u8* p);
+
+    std::array<u32, 8> h_{};
+    std::array<u8, 64> buf_{};
+    std::size_t buf_len_ = 0;
+    u64 total_len_ = 0;
+};
+
+/// One-shot convenience wrapper.
+[[nodiscard]] Digest256 sha256(std::span<const u8> data);
+
+/// Hex string of a digest, for diagnostics and tests.
+[[nodiscard]] std::string to_hex(std::span<const u8> bytes);
+
+}  // namespace seda::crypto

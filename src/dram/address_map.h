@@ -1,0 +1,48 @@
+// Physical-address decomposition into channel / bank / row.
+//
+// Block-interleaved channel mapping (consecutive 64 B blocks round-robin
+// across channels) followed by bank/row split, the usual layout for
+// bandwidth-bound streaming accelerators.
+#pragma once
+
+#include "common/bitutil.h"
+#include "dram/dram_config.h"
+
+namespace seda::dram {
+
+struct Decoded_addr {
+    int channel = 0;
+    int bank = 0;
+    u64 row = 0;
+};
+
+class Address_map {
+public:
+    explicit Address_map(const Dram_config& cfg)
+        : channels_(static_cast<u64>(cfg.channels)),
+          banks_(static_cast<u64>(cfg.banks_per_channel)),
+          blocks_per_row_(cfg.row_bytes / cfg.burst_bytes),
+          burst_(cfg.burst_bytes)
+    {
+    }
+
+    [[nodiscard]] Decoded_addr decode(Addr a) const
+    {
+        const u64 block = a / burst_;
+        Decoded_addr d;
+        d.channel = static_cast<int>(block % channels_);
+        const u64 in_channel = block / channels_;
+        const u64 row_block = in_channel / blocks_per_row_;
+        d.bank = static_cast<int>(row_block % banks_);
+        d.row = row_block / banks_;
+        return d;
+    }
+
+private:
+    u64 channels_;
+    u64 banks_;
+    u64 blocks_per_row_;
+    u64 burst_;
+};
+
+}  // namespace seda::dram

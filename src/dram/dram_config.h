@@ -1,0 +1,67 @@
+// Configuration of the DDR off-chip memory model.
+//
+// The paper attaches four 64-bit DDR channels to both NPUs (Sec. IV-A) and
+// caps aggregate bandwidth at 20 GB/s (server) / 10 GB/s (edge).  We expose
+// the same knobs: channel count, per-channel data rate (derived from the
+// aggregate bandwidth), bank count, row size and the core timing parameters
+// of an open-page DDR device.
+#pragma once
+
+#include "common/bitutil.h"
+#include "common/error.h"
+#include "common/types.h"
+
+namespace seda::dram {
+
+struct Dram_config {
+    int channels = 4;          ///< independent 64-bit channels
+    int banks_per_channel = 16;
+    Bytes row_bytes = 2048;    ///< DRAM page (row buffer) per bank
+    Bytes burst_bytes = 64;    ///< one access transfers a 64 B burst
+
+    // Timing in memory-controller clock cycles (command clock).
+    Cycles t_rcd = 14;  ///< ACT -> column command
+    Cycles t_rp = 14;   ///< PRE -> ACT
+    Cycles t_cl = 14;   ///< column command -> first data
+    Cycles t_bl = 4;    ///< data-bus beats per 64 B burst on a 64-bit channel
+    Cycles t_wr = 12;   ///< write recovery before precharge
+
+    /// FR-FCFS lookahead: the controller may serve a row-hitting request up
+    /// to this many entries ahead of the oldest one, batching row hits when
+    /// data and metadata streams collide in a bank.
+    int scheduler_window = 64;
+
+    // All-bank refresh: every t_refi controller cycles the channel stalls
+    // for t_rfc and every row buffer closes.  Defaults approximate DDR4
+    // (7.8 us tREFI / ~350 ns tRFC) at the ~300 MHz controller clock the
+    // server NPU's 20 GB/s maps to.  Set refresh_enabled = false for
+    // idealized studies.
+    bool refresh_enabled = true;
+    Cycles t_refi = 2400;
+    Cycles t_rfc = 110;
+
+    /// Peak bytes per controller cycle per channel.  The controller clock is
+    /// chosen so that channels * peak matches the configured aggregate
+    /// bandwidth at the NPU clock (accel/npu_config.h does that mapping).
+    [[nodiscard]] double peak_bytes_per_cycle_per_channel() const
+    {
+        return static_cast<double>(burst_bytes) / static_cast<double>(t_bl);
+    }
+
+    void validate() const
+    {
+        require(channels > 0, "Dram_config: channels must be positive");
+        require(banks_per_channel > 0 && is_pow2(static_cast<u64>(banks_per_channel)),
+                "Dram_config: banks per channel must be a positive power of two");
+        require(row_bytes >= burst_bytes && is_pow2(row_bytes),
+                "Dram_config: row size must be a power of two >= burst size");
+        require(burst_bytes == k_block_bytes,
+                "Dram_config: model assumes 64 B bursts (trace granularity)");
+        require(t_bl > 0, "Dram_config: burst length must be positive");
+        require(scheduler_window >= 1, "Dram_config: scheduler window must be >= 1");
+        if (refresh_enabled)
+            require(t_refi > t_rfc, "Dram_config: tREFI must exceed tRFC");
+    }
+};
+
+}  // namespace seda::dram

@@ -1,0 +1,122 @@
+#include "dram/dram_sim.h"
+
+#include <algorithm>
+
+namespace seda::dram {
+
+Dram_sim::Dram_sim(const Dram_config& cfg) : cfg_(cfg), map_(cfg)
+{
+    cfg_.validate();
+    channels_.resize(static_cast<std::size_t>(cfg_.channels));
+    for (auto& ch : channels_) {
+        ch.banks.resize(static_cast<std::size_t>(cfg_.banks_per_channel));
+        ch.refresh_due = cfg_.t_refi;
+    }
+}
+
+void Dram_sim::reset()
+{
+    for (auto& ch : channels_) {
+        ch.bus_next = 0;
+        ch.refresh_due = cfg_.t_refi;
+        for (auto& b : ch.banks) b = Bank_state{};
+    }
+    stats_ = Dram_stats{};
+    now_ = 0;
+}
+
+Cycles Dram_sim::process_stream(std::span<const Request> requests)
+{
+    const Cycles start = now_;
+    Cycles end = start;
+
+    // Split the stream per channel (channels have independent buses and
+    // command schedulers), preserving arrival order within each.
+    std::vector<std::vector<std::size_t>> per_channel(channels_.size());
+    std::vector<Decoded_addr> decoded(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        decoded[i] = map_.decode(requests[i].addr);
+        per_channel[static_cast<std::size_t>(decoded[i].channel)].push_back(i);
+    }
+
+    const std::size_t window = static_cast<std::size_t>(cfg_.scheduler_window);
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        auto& ch = channels_[c];
+        auto& queue = per_channel[c];
+        std::vector<bool> done(queue.size(), false);
+        std::size_t head = 0;
+
+        while (head < queue.size()) {
+            // FR-FCFS: serve the oldest row-hitting request inside the
+            // lookahead window, else the oldest request.
+            std::size_t pick = head;
+            for (std::size_t j = head; j < std::min(queue.size(), head + window); ++j) {
+                if (done[j]) continue;
+                const auto& dj = decoded[queue[j]];
+                const auto& bj = ch.banks[static_cast<std::size_t>(dj.bank)];
+                if (bj.row_open && bj.open_row == dj.row) {
+                    pick = j;
+                    break;
+                }
+                if (pick == head && done[head]) pick = j;
+            }
+            while (done[pick]) ++pick;  // fall back to oldest unserved
+
+            const Request& r = requests[queue[pick]];
+            const Decoded_addr& d = decoded[queue[pick]];
+            auto& bank = ch.banks[static_cast<std::size_t>(d.bank)];
+            done[pick] = true;
+            while (head < queue.size() && done[head]) ++head;
+
+            // All-bank refresh: the channel stalls for t_rfc and every open
+            // row closes (rows must re-activate afterwards).
+            if (cfg_.refresh_enabled && ch.bus_next >= ch.refresh_due) {
+                ch.bus_next += cfg_.t_rfc;
+                for (auto& b : ch.banks) {
+                    b.row_open = false;
+                    b.act_done = std::max(b.act_done, ch.bus_next);
+                }
+                ch.refresh_due += cfg_.t_refi;
+            }
+
+        // Row hits ride the open row: successive CAS commands pipeline, so
+        // the burst is gated by the channel bus alone.  A row switch must
+        // wait for the bank's outstanding data (plus write recovery), then
+        // pays precharge + activate; that activation overlaps transfers on
+        // other banks, which is what keeps streaming at line rate across
+        // row boundaries.
+        if (!(bank.row_open && bank.open_row == d.row)) {
+            Cycles pre_start = std::max(start, bank.last_completion);
+            if (bank.last_was_write) pre_start += cfg_.t_wr;
+            const Cycles act_latency =
+                bank.row_open ? cfg_.t_rp + cfg_.t_rcd : cfg_.t_rcd;
+            bank.act_done = pre_start + act_latency;
+            bank.row_open = true;
+            bank.open_row = d.row;
+            ++stats_.row_misses;
+        } else {
+            ++stats_.row_hits;
+        }
+
+            const Cycles earliest_data = std::max(start, bank.act_done) + cfg_.t_cl;
+            const Cycles data_start = std::max(earliest_data, ch.bus_next);
+            const Cycles completion = data_start + cfg_.t_bl;
+            ch.bus_next = completion;
+            bank.last_completion = completion;
+            bank.last_was_write = r.is_write;
+
+            if (r.is_write) {
+                ++stats_.writes;
+            } else {
+                ++stats_.reads;
+            }
+            stats_.bytes_by_tag[static_cast<int>(r.tag)] += cfg_.burst_bytes;
+            end = std::max(end, completion);
+        }
+    }
+
+    now_ = end;
+    return end - start;
+}
+
+}  // namespace seda::dram

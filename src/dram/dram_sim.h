@@ -1,0 +1,99 @@
+// Open-page, per-bank-timing DDR model in the spirit of Ramulator2 [19].
+//
+// The protection schemes are differentiated by *where* their extra traffic
+// lands (scattered metadata lines vs sequential amplification) as much as by
+// how many bytes they move, so the model tracks per-bank open rows, pays
+// activate/precharge latency on row misses, and serializes bursts on each
+// channel's data bus.  Requests are processed in arrival order per channel
+// (FCFS issue; banks overlap naturally through their ready times).
+//
+// Granularity: one request = one 64 B burst, matching the trace format the
+// accelerator simulator emits.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dram/address_map.h"
+#include "dram/dram_config.h"
+
+namespace seda::dram {
+
+/// Traffic classification tags used for stats breakdown (set by the
+/// protection schemes; the timing model itself is tag-agnostic).
+enum class Traffic_tag : u8 {
+    data = 0,
+    mac,
+    vn,
+    tree,
+    layer_mac,
+    amplification,
+    count  // sentinel
+};
+
+struct Request {
+    Addr addr = 0;
+    bool is_write = false;
+    Traffic_tag tag = Traffic_tag::data;
+};
+
+struct Dram_stats {
+    u64 reads = 0;
+    u64 writes = 0;
+    u64 row_hits = 0;
+    u64 row_misses = 0;
+    Bytes bytes_by_tag[static_cast<int>(Traffic_tag::count)] = {};
+
+    [[nodiscard]] Bytes total_bytes() const
+    {
+        Bytes t = 0;
+        for (Bytes b : bytes_by_tag) t += b;
+        return t;
+    }
+    [[nodiscard]] double row_hit_rate() const
+    {
+        const u64 n = row_hits + row_misses;
+        return n == 0 ? 0.0 : static_cast<double>(row_hits) / static_cast<double>(n);
+    }
+};
+
+class Dram_sim {
+public:
+    explicit Dram_sim(const Dram_config& cfg);
+
+    /// Feeds a batch of back-to-back requests (a bandwidth-bound phase) and
+    /// returns its makespan in memory-controller cycles.  Bank/row state
+    /// persists across calls, mirroring a continuously running device.
+    Cycles process_stream(std::span<const Request> requests);
+
+    /// Clears timing state and statistics.
+    void reset();
+
+    [[nodiscard]] const Dram_stats& stats() const { return stats_; }
+    [[nodiscard]] const Dram_config& config() const { return cfg_; }
+
+    /// Current absolute device time (completion of everything seen so far).
+    [[nodiscard]] Cycles now() const { return now_; }
+
+private:
+    struct Bank_state {
+        bool row_open = false;
+        u64 open_row = 0;
+        Cycles act_done = 0;         ///< when the open row finished activating
+        Cycles last_completion = 0;  ///< end of the bank's last data burst
+        bool last_was_write = false; ///< write recovery gates the next precharge
+    };
+    struct Channel_state {
+        Cycles bus_next = 0;  ///< earliest cycle the data bus takes another burst
+        Cycles refresh_due = 0;  ///< next all-bank refresh deadline
+        std::vector<Bank_state> banks;
+    };
+
+    Dram_config cfg_;
+    Address_map map_;
+    std::vector<Channel_state> channels_;
+    Dram_stats stats_;
+    Cycles now_ = 0;
+};
+
+}  // namespace seda::dram

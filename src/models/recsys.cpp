@@ -1,0 +1,103 @@
+// Recommendation / detection workloads: DLRM, NCF and Faster R-CNN.
+#include <string>
+
+#include "models/zoo.h"
+
+namespace seda::models {
+
+using accel::Layer_desc;
+using accel::Model_desc;
+
+namespace {
+
+Layer_desc conv_out(std::string name, int oh, int ow, int cin, int fh, int fw, int cout,
+                    int stride)
+{
+    return Layer_desc::make_conv(std::move(name), (oh - 1) * stride + fh,
+                                 (ow - 1) * stride + fw, cin, fh, fw, cout, stride);
+}
+
+Layer_desc pool2(std::string name, int ih, int iw, int c)
+{
+    return Layer_desc::make_pool(std::move(name), ih, iw, c, 2, 2);
+}
+
+}  // namespace
+
+Model_desc dlrm()
+{
+    Model_desc m;
+    m.name = "dlrm";
+    constexpr int batch = 128;
+    // Bottom MLP over 13 dense features (MLPerf DLRM dimensions).
+    m.layers.push_back(Layer_desc::make_matmul("bot1", batch, 13, 512));
+    m.layers.push_back(Layer_desc::make_matmul("bot2", batch, 512, 256));
+    m.layers.push_back(Layer_desc::make_matmul("bot3", batch, 256, 128));
+    // 26 sparse-feature embedding tables, d=128, one lookup per sample.
+    for (int t = 1; t <= 26; ++t)
+        m.layers.push_back(Layer_desc::make_embedding("emb" + std::to_string(t), 100000,
+                                                      128, batch));
+    // Top MLP over the pairwise-interaction features.
+    m.layers.push_back(Layer_desc::make_matmul("top1", batch, 27 * 128, 1024));
+    m.layers.push_back(Layer_desc::make_matmul("top2", batch, 1024, 1024));
+    m.layers.push_back(Layer_desc::make_matmul("top3", batch, 1024, 512));
+    m.layers.push_back(Layer_desc::make_matmul("top4", batch, 512, 256));
+    m.layers.push_back(Layer_desc::make_matmul("top5", batch, 256, 1));
+    return m;
+}
+
+Model_desc ncf()
+{
+    Model_desc m;
+    m.name = "ncf";
+    constexpr int batch = 256;
+    m.layers.push_back(Layer_desc::make_embedding("user_emb", 138000, 64, batch));
+    m.layers.push_back(Layer_desc::make_embedding("item_emb", 27000, 64, batch));
+    m.layers.push_back(Layer_desc::make_matmul("mlp1", batch, 128, 256));
+    m.layers.push_back(Layer_desc::make_matmul("mlp2", batch, 256, 256));
+    m.layers.push_back(Layer_desc::make_matmul("mlp3", batch, 256, 128));
+    m.layers.push_back(Layer_desc::make_matmul("mlp4", batch, 128, 64));
+    m.layers.push_back(Layer_desc::make_matmul("predict", batch, 64, 1));
+    return m;
+}
+
+Model_desc fasterrcnn()
+{
+    Model_desc m;
+    m.name = "fasterrcnn";
+    // VGG-16 backbone at 224x224.
+    const struct {
+        int hw;
+        int cin;
+        int cout;
+    } vgg[] = {
+        {224, 3, 64},   {224, 64, 64},                    // conv1_x + pool
+        {112, 64, 128}, {112, 128, 128},                  // conv2_x + pool
+        {56, 128, 256}, {56, 256, 256},  {56, 256, 256},  // conv3_x + pool
+        {28, 256, 512}, {28, 512, 512},  {28, 512, 512},  // conv4_x + pool
+        {14, 512, 512}, {14, 512, 512},  {14, 512, 512},  // conv5_x
+    };
+    int idx = 1;
+    int prev_hw = 224;
+    for (const auto& v : vgg) {
+        if (v.hw != prev_hw) {
+            m.layers.push_back(pool2("pool" + std::to_string(idx), prev_hw, prev_hw, v.cin));
+            prev_hw = v.hw;
+        }
+        m.layers.push_back(conv_out("conv" + std::to_string(idx), v.hw, v.hw, v.cin, 3, 3,
+                                    v.cout, 1));
+        ++idx;
+    }
+    // Region-proposal network on the conv5 feature map.
+    m.layers.push_back(conv_out("rpn_conv", 14, 14, 512, 3, 3, 512, 1));
+    m.layers.push_back(conv_out("rpn_cls", 14, 14, 512, 1, 1, 18, 1));
+    m.layers.push_back(conv_out("rpn_bbox", 14, 14, 512, 1, 1, 36, 1));
+    // Detection head over pooled ROIs (7x7x512).
+    m.layers.push_back(Layer_desc::make_fc("fc6", 25088, 4096));
+    m.layers.push_back(Layer_desc::make_fc("fc7", 4096, 4096));
+    m.layers.push_back(Layer_desc::make_fc("cls_score", 4096, 21));
+    m.layers.push_back(Layer_desc::make_fc("bbox_pred", 4096, 84));
+    return m;
+}
+
+}  // namespace seda::models

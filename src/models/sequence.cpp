@@ -1,0 +1,100 @@
+// Sequence workloads: DeepSpeech2, Sentimental_seqCNN, Transformer (forward
+// pass), and the AlphaGoZero policy/value network.
+#include <string>
+
+#include "models/zoo.h"
+
+namespace seda::models {
+
+using accel::Layer_desc;
+using accel::Model_desc;
+
+namespace {
+
+Layer_desc conv_out(std::string name, int oh, int ow, int cin, int fh, int fw, int cout,
+                    int stride)
+{
+    return Layer_desc::make_conv(std::move(name), (oh - 1) * stride + fh,
+                                 (ow - 1) * stride + fw, cin, fh, fw, cout, stride);
+}
+
+}  // namespace
+
+Model_desc deepspeech2()
+{
+    Model_desc m;
+    m.name = "deepspeech2";
+    // 161-bin spectrogram, ~200 frames; two 2-D convolution front-end layers.
+    m.layers.push_back(conv_out("conv1", 81, 100, 1, 41, 11, 32, 2));
+    m.layers.push_back(conv_out("conv2", 41, 50, 32, 21, 11, 32, 2));
+    // Five bidirectional GRU layers, hidden 800: input/recurrent GEMMs per
+    // timestep batch, lowered as (frames x features x 3*hidden*2dirs).
+    m.layers.push_back(Layer_desc::make_matmul("gru1", 50, 41 * 32, 4800));
+    for (int i = 2; i <= 5; ++i)
+        m.layers.push_back(
+            Layer_desc::make_matmul("gru" + std::to_string(i), 50, 1600, 4800));
+    m.layers.push_back(Layer_desc::make_fc("fc", 1600, 29));
+    return m;
+}
+
+Model_desc sentimental_seqcnn()
+{
+    Model_desc m;
+    m.name = "sentimental_seqcnn";
+    // Token embedding (30k vocab, d=128) over a 256-token review, then 1-D
+    // convolutions over the sequence and a 2-way classifier.
+    m.layers.push_back(Layer_desc::make_embedding("embed", 30000, 128, 256));
+    m.layers.push_back(conv_out("conv1d_1", 256, 1, 128, 3, 1, 128, 1));
+    m.layers.push_back(conv_out("conv1d_2", 256, 1, 128, 3, 1, 128, 1));
+    m.layers.push_back(conv_out("conv1d_3", 128, 1, 128, 3, 1, 128, 2));
+    m.layers.push_back(Layer_desc::make_fc("fc1", 128 * 128, 128));
+    m.layers.push_back(Layer_desc::make_fc("fc2", 128, 2));
+    return m;
+}
+
+Model_desc transformer_fwd()
+{
+    Model_desc m;
+    m.name = "transformer_fwd";
+    // Transformer-base encoder forward pass: d_model=512, seq=256, 6 layers.
+    constexpr int seq = 256;
+    constexpr int d = 512;
+    constexpr int ffn = 2048;
+    m.layers.push_back(Layer_desc::make_embedding("embed", 32000, d, seq));
+    for (int l = 1; l <= 6; ++l) {
+        const std::string tag = "enc" + std::to_string(l);
+        m.layers.push_back(Layer_desc::make_matmul(tag + "_qkv", seq, d, 3 * d));
+        // Attention scores and context; the 8 heads are folded into one GEMM
+        // with the same MAC count (M=seq, K=d, N=seq).
+        m.layers.push_back(Layer_desc::make_matmul(tag + "_scores", seq, d, seq));
+        m.layers.push_back(Layer_desc::make_matmul(tag + "_context", seq, seq, d));
+        m.layers.push_back(Layer_desc::make_matmul(tag + "_proj", seq, d, d));
+        m.layers.push_back(Layer_desc::make_matmul(tag + "_ffn1", seq, d, ffn));
+        m.layers.push_back(Layer_desc::make_matmul(tag + "_ffn2", seq, ffn, d));
+    }
+    m.layers.push_back(Layer_desc::make_matmul("lm_head", seq, d, 32000));
+    return m;
+}
+
+Model_desc alphagozero()
+{
+    Model_desc m;
+    m.name = "alphagozero";
+    // 19x19 board, 17 input planes, 256-filter residual tower (9 blocks).
+    m.layers.push_back(conv_out("stem", 19, 19, 17, 3, 3, 256, 1));
+    for (int b = 1; b <= 9; ++b) {
+        const std::string tag = "res" + std::to_string(b);
+        m.layers.push_back(conv_out(tag + "_c1", 19, 19, 256, 3, 3, 256, 1));
+        m.layers.push_back(conv_out(tag + "_c2", 19, 19, 256, 3, 3, 256, 1));
+    }
+    // Policy head.
+    m.layers.push_back(conv_out("policy_conv", 19, 19, 256, 1, 1, 2, 1));
+    m.layers.push_back(Layer_desc::make_fc("policy_fc", 722, 362));
+    // Value head.
+    m.layers.push_back(conv_out("value_conv", 19, 19, 256, 1, 1, 1, 1));
+    m.layers.push_back(Layer_desc::make_fc("value_fc1", 361, 256));
+    m.layers.push_back(Layer_desc::make_fc("value_fc2", 256, 1));
+    return m;
+}
+
+}  // namespace seda::models

@@ -1,0 +1,198 @@
+// Computer-vision workloads: LeNet, AlexNet, MobileNet-v1, ResNet-18,
+// GoogLeNet (Inception-v1) and Tiny-YOLO v2.
+#include <string>
+
+#include "models/zoo.h"
+
+namespace seda::models {
+
+using accel::Layer_desc;
+using accel::Model_desc;
+
+namespace {
+
+/// Convolution specified by its *output* spatial size; the padded ifmap size
+/// is derived as (out-1)*stride + filter, which keeps every conv "valid".
+Layer_desc conv_out(std::string name, int oh, int ow, int cin, int fh, int fw, int cout,
+                    int stride)
+{
+    return Layer_desc::make_conv(std::move(name), (oh - 1) * stride + fh,
+                                 (ow - 1) * stride + fw, cin, fh, fw, cout, stride);
+}
+
+Layer_desc dw_out(std::string name, int oh, int ow, int c, int fh, int stride)
+{
+    return Layer_desc::make_dwconv(std::move(name), (oh - 1) * stride + fh,
+                                   (ow - 1) * stride + fh, c, fh, fh, stride);
+}
+
+Layer_desc pool2(std::string name, int ih, int iw, int c)
+{
+    return Layer_desc::make_pool(std::move(name), ih, iw, c, 2, 2);
+}
+
+/// One GoogLeNet inception module: 1x1, 1x1->3x3, 1x1->5x5, pool-proj 1x1.
+void inception(Model_desc& m, const std::string& tag, int hw, int cin, int b1, int b3r,
+               int b3, int b5r, int b5, int bp)
+{
+    m.layers.push_back(conv_out(tag + "_1x1", hw, hw, cin, 1, 1, b1, 1));
+    m.layers.push_back(conv_out(tag + "_3x3r", hw, hw, cin, 1, 1, b3r, 1));
+    m.layers.push_back(conv_out(tag + "_3x3", hw, hw, b3r, 3, 3, b3, 1));
+    m.layers.push_back(conv_out(tag + "_5x5r", hw, hw, cin, 1, 1, b5r, 1));
+    m.layers.push_back(conv_out(tag + "_5x5", hw, hw, b5r, 5, 5, b5, 1));
+    m.layers.push_back(conv_out(tag + "_poolproj", hw, hw, cin, 1, 1, bp, 1));
+}
+
+}  // namespace
+
+Model_desc lenet()
+{
+    Model_desc m;
+    m.name = "lenet";
+    m.layers = {
+        Layer_desc::make_conv("conv1", 32, 32, 1, 5, 5, 6, 1),
+        pool2("pool1", 28, 28, 6),
+        Layer_desc::make_conv("conv2", 14, 14, 6, 5, 5, 16, 1),
+        pool2("pool2", 10, 10, 16),
+        Layer_desc::make_fc("fc1", 400, 120),
+        Layer_desc::make_fc("fc2", 120, 84),
+        Layer_desc::make_fc("fc3", 84, 10),
+    };
+    return m;
+}
+
+Model_desc alexnet()
+{
+    Model_desc m;
+    m.name = "alexnet";
+    m.layers = {
+        Layer_desc::make_conv("conv1", 227, 227, 3, 11, 11, 96, 4),
+        pool2("pool1", 54, 54, 96),
+        conv_out("conv2", 27, 27, 96, 5, 5, 256, 1),
+        pool2("pool2", 26, 26, 256),
+        conv_out("conv3", 13, 13, 256, 3, 3, 384, 1),
+        conv_out("conv4", 13, 13, 384, 3, 3, 384, 1),
+        conv_out("conv5", 13, 13, 384, 3, 3, 256, 1),
+        pool2("pool5", 12, 12, 256),
+        Layer_desc::make_fc("fc6", 9216, 4096),
+        Layer_desc::make_fc("fc7", 4096, 4096),
+        Layer_desc::make_fc("fc8", 4096, 1000),
+    };
+    return m;
+}
+
+Model_desc mobilenet()
+{
+    Model_desc m;
+    m.name = "mobilenet";
+    m.layers.push_back(conv_out("conv1", 112, 112, 3, 3, 3, 32, 2));
+
+    struct Block {
+        int out_hw;
+        int cin;
+        int cout;
+        int stride;
+    };
+    // MobileNet-v1 body: 13 depthwise-separable blocks.
+    const Block blocks[] = {
+        {112, 32, 64, 1},  {56, 64, 128, 2},  {56, 128, 128, 1}, {28, 128, 256, 2},
+        {28, 256, 256, 1}, {14, 256, 512, 2}, {14, 512, 512, 1}, {14, 512, 512, 1},
+        {14, 512, 512, 1}, {14, 512, 512, 1}, {14, 512, 512, 1}, {7, 512, 1024, 2},
+        {7, 1024, 1024, 1},
+    };
+    int idx = 1;
+    for (const Block& b : blocks) {
+        m.layers.push_back(
+            dw_out("dw" + std::to_string(idx), b.out_hw, b.out_hw, b.cin, 3, b.stride));
+        m.layers.push_back(
+            conv_out("pw" + std::to_string(idx), b.out_hw, b.out_hw, b.cin, 1, 1, b.cout, 1));
+        ++idx;
+    }
+    m.layers.push_back(Layer_desc::make_pool("avgpool", 7, 7, 1024, 7, 7));
+    m.layers.push_back(Layer_desc::make_fc("fc", 1024, 1000));
+    return m;
+}
+
+Model_desc resnet18()
+{
+    Model_desc m;
+    m.name = "resnet18";
+    m.layers.push_back(conv_out("conv1", 112, 112, 3, 7, 7, 64, 2));
+    m.layers.push_back(pool2("maxpool", 112, 112, 64));
+
+    struct Stage {
+        int hw;
+        int cin;
+        int cout;
+    };
+    const Stage stages[] = {{56, 64, 64}, {28, 64, 128}, {14, 128, 256}, {7, 256, 512}};
+    for (int s = 0; s < 4; ++s) {
+        const Stage& st = stages[s];
+        const std::string tag = "layer" + std::to_string(s + 1);
+        const int first_stride = s == 0 ? 1 : 2;
+        // Block 1 (possibly downsampling, with 1x1 projection shortcut).
+        m.layers.push_back(
+            conv_out(tag + "_b1c1", st.hw, st.hw, st.cin, 3, 3, st.cout, first_stride));
+        m.layers.push_back(conv_out(tag + "_b1c2", st.hw, st.hw, st.cout, 3, 3, st.cout, 1));
+        if (first_stride != 1)
+            m.layers.push_back(
+                conv_out(tag + "_proj", st.hw, st.hw, st.cin, 1, 1, st.cout, first_stride));
+        // Block 2.
+        m.layers.push_back(conv_out(tag + "_b2c1", st.hw, st.hw, st.cout, 3, 3, st.cout, 1));
+        m.layers.push_back(conv_out(tag + "_b2c2", st.hw, st.hw, st.cout, 3, 3, st.cout, 1));
+    }
+    m.layers.push_back(Layer_desc::make_pool("avgpool", 7, 7, 512, 7, 7));
+    m.layers.push_back(Layer_desc::make_fc("fc", 512, 1000));
+    return m;
+}
+
+Model_desc googlenet()
+{
+    Model_desc m;
+    m.name = "googlenet";
+    m.layers.push_back(conv_out("conv1", 112, 112, 3, 7, 7, 64, 2));
+    m.layers.push_back(pool2("pool1", 112, 112, 64));
+    m.layers.push_back(conv_out("conv2r", 56, 56, 64, 1, 1, 64, 1));
+    m.layers.push_back(conv_out("conv2", 56, 56, 64, 3, 3, 192, 1));
+    m.layers.push_back(pool2("pool2", 56, 56, 192));
+
+    inception(m, "3a", 28, 192, 64, 96, 128, 16, 32, 32);
+    inception(m, "3b", 28, 256, 128, 128, 192, 32, 96, 64);
+    m.layers.push_back(pool2("pool3", 28, 28, 480));
+    inception(m, "4a", 14, 480, 192, 96, 208, 16, 48, 64);
+    inception(m, "4b", 14, 512, 160, 112, 224, 24, 64, 64);
+    inception(m, "4c", 14, 512, 128, 128, 256, 24, 64, 64);
+    inception(m, "4d", 14, 512, 112, 144, 288, 32, 64, 64);
+    inception(m, "4e", 14, 528, 256, 160, 320, 32, 128, 128);
+    m.layers.push_back(pool2("pool4", 14, 14, 832));
+    inception(m, "5a", 7, 832, 256, 160, 320, 32, 128, 128);
+    inception(m, "5b", 7, 832, 384, 192, 384, 48, 128, 128);
+    m.layers.push_back(Layer_desc::make_pool("avgpool", 7, 7, 1024, 7, 7));
+    m.layers.push_back(Layer_desc::make_fc("fc", 1024, 1000));
+    return m;
+}
+
+Model_desc yolo_tiny()
+{
+    Model_desc m;
+    m.name = "yolo_tiny";
+    m.layers = {
+        conv_out("conv1", 416, 416, 3, 3, 3, 16, 1),
+        pool2("pool1", 416, 416, 16),
+        conv_out("conv2", 208, 208, 16, 3, 3, 32, 1),
+        pool2("pool2", 208, 208, 32),
+        conv_out("conv3", 104, 104, 32, 3, 3, 64, 1),
+        pool2("pool3", 104, 104, 64),
+        conv_out("conv4", 52, 52, 64, 3, 3, 128, 1),
+        pool2("pool4", 52, 52, 128),
+        conv_out("conv5", 26, 26, 128, 3, 3, 256, 1),
+        pool2("pool5", 26, 26, 256),
+        conv_out("conv6", 13, 13, 256, 3, 3, 512, 1),
+        conv_out("conv7", 13, 13, 512, 3, 3, 1024, 1),
+        conv_out("conv8", 13, 13, 1024, 3, 3, 1024, 1),
+        conv_out("conv9", 13, 13, 1024, 1, 1, 125, 1),
+    };
+    return m;
+}
+
+}  // namespace seda::models

@@ -1,0 +1,38 @@
+#include "models/zoo.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace seda::models {
+
+namespace {
+
+constexpr std::array<Zoo_entry, 13> k_zoo = {{
+    {"let", "lenet", &lenet},
+    {"alex", "alexnet", &alexnet},
+    {"mob", "mobilenet", &mobilenet},
+    {"rest", "resnet18", &resnet18},
+    {"goo", "googlenet", &googlenet},
+    {"dlrm", "dlrm", &dlrm},
+    {"algo", "alphagozero", &alphagozero},
+    {"ds2", "deepspeech2", &deepspeech2},
+    {"fast", "fasterrcnn", &fasterrcnn},
+    {"ncf", "ncf", &ncf},
+    {"sent", "sentimental_seqcnn", &sentimental_seqcnn},
+    {"trf", "transformer_fwd", &transformer_fwd},
+    {"yolo", "yolo_tiny", &yolo_tiny},
+}};
+
+}  // namespace
+
+std::span<const Zoo_entry> all_models() { return k_zoo; }
+
+accel::Model_desc model_by_name(std::string_view name)
+{
+    for (const auto& e : k_zoo)
+        if (e.short_name == name || e.full_name == name) return e.factory();
+    throw Seda_error("model_by_name: unknown model '" + std::string(name) + "'");
+}
+
+}  // namespace seda::models

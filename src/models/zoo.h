@@ -1,0 +1,47 @@
+// The 13 DNN workloads of the paper's evaluation (Sec. IV-A), spanning
+// computer vision, speech, NLP, gaming and recommendation:
+//   lenet (let), alexnet (alex), mobilenet (mob), resnet18 (rest),
+//   googlenet (goo), dlrm, alphagozero (algo), deepspeech2 (ds2),
+//   fasterrcnn (fast), ncf, sentimental_seqcnn (sent), transformer_fwd (trf),
+//   yolo_tiny (yolo).
+//
+// Topologies follow the published architectures at batch 1 (SCALE-Sim
+// convention); padded ifmap dims are encoded directly so all convolutions
+// are "valid", exactly as SCALE-Sim topology files do.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "accel/layer.h"
+
+namespace seda::models {
+
+[[nodiscard]] accel::Model_desc lenet();
+[[nodiscard]] accel::Model_desc alexnet();
+[[nodiscard]] accel::Model_desc mobilenet();
+[[nodiscard]] accel::Model_desc resnet18();
+[[nodiscard]] accel::Model_desc googlenet();
+[[nodiscard]] accel::Model_desc dlrm();
+[[nodiscard]] accel::Model_desc alphagozero();
+[[nodiscard]] accel::Model_desc deepspeech2();
+[[nodiscard]] accel::Model_desc fasterrcnn();
+[[nodiscard]] accel::Model_desc ncf();
+[[nodiscard]] accel::Model_desc sentimental_seqcnn();
+[[nodiscard]] accel::Model_desc transformer_fwd();
+[[nodiscard]] accel::Model_desc yolo_tiny();
+
+struct Zoo_entry {
+    std::string_view short_name;  ///< the x-axis label used in Figs. 1/5/6
+    std::string_view full_name;
+    accel::Model_desc (*factory)();
+};
+
+/// All 13 workloads in the paper's plotting order.
+[[nodiscard]] std::span<const Zoo_entry> all_models();
+
+/// Lookup by short or full name; throws Seda_error if unknown.
+[[nodiscard]] accel::Model_desc model_by_name(std::string_view name);
+
+}  // namespace seda::models

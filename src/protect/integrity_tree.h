@@ -1,0 +1,62 @@
+// Address geometry of the Bonsai-style integrity tree [12], [13].
+//
+// Level 0 is the VN line array (one 64 B line packs eight 64-bit slots, each
+// holding a 56-bit version number).  Each higher-level node line covers
+// `arity` lines of the level below; the root lives on-chip (never traffic).
+// The tree spans the whole 16 GB protected region (Sec. IV-A).
+#pragma once
+
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/error.h"
+#include "common/types.h"
+
+namespace seda::protect {
+
+class Integrity_tree {
+public:
+    /// `vn_lines` - number of level-0 VN lines; `arity` - children per node.
+    Integrity_tree(Addr tree_base, u64 vn_lines, int arity = 8)
+        : base_(tree_base), arity_(static_cast<u64>(arity))
+    {
+        require(arity >= 2, "Integrity_tree: arity must be >= 2");
+        require(vn_lines > 0, "Integrity_tree: empty VN space");
+        // Precompute per-level node counts and region offsets until a single
+        // root remains (the root itself is on-chip and generates no traffic).
+        u64 nodes = vn_lines;
+        Addr offset = 0;
+        while (nodes > 1) {
+            nodes = ceil_div(nodes, arity_);
+            level_offset_.push_back(offset);
+            level_nodes_.push_back(nodes);
+            offset += nodes * k_block_bytes;
+        }
+    }
+
+    /// Tree levels that live off-chip (excludes the on-chip root when the
+    /// top level collapses to one node).
+    [[nodiscard]] int levels() const { return static_cast<int>(level_offset_.size()); }
+
+    /// Off-chip address of the level-`level` node line covering VN line
+    /// `vn_line_idx` (level 1 = parents of VN lines).
+    [[nodiscard]] Addr node_addr(int level, u64 vn_line_idx) const
+    {
+        require(level >= 1 && level <= levels(), "Integrity_tree: bad level");
+        u64 idx = vn_line_idx;
+        for (int l = 0; l < level; ++l) idx /= arity_;
+        const auto li = static_cast<std::size_t>(level - 1);
+        return base_ + level_offset_[li] + std::min(idx, level_nodes_[li] - 1) * k_block_bytes;
+    }
+
+    /// True when the node at `level` is the single (on-chip) root.
+    [[nodiscard]] bool is_root_level(int level) const { return level >= levels(); }
+
+private:
+    Addr base_;
+    u64 arity_;
+    std::vector<Addr> level_offset_;
+    std::vector<u64> level_nodes_;
+};
+
+}  // namespace seda::protect

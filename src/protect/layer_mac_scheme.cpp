@@ -1,0 +1,81 @@
+#include "protect/layer_mac_scheme.h"
+
+#include "accel/memory_map.h"
+
+namespace seda::protect {
+
+Layer_mac_scheme::Layer_mac_scheme(Bytes unit_bytes)
+    : name_("securator-" + std::to_string(unit_bytes) + "b"), unit_bytes_(unit_bytes)
+{
+    require(unit_bytes_ >= k_block_bytes && is_pow2(unit_bytes_),
+            "Layer_mac_scheme: unit size must be a power of two >= 64 B");
+}
+
+void Layer_mac_scheme::begin_model(const accel::Model_sim&)
+{
+    fold_count_.clear();
+    redundant_folds_ = 0;
+    unverifiable_units_ = 0;
+}
+
+Layer_protect_result Layer_mac_scheme::transform_layer(const accel::Layer_sim& layer)
+{
+    Layer_protect_result out;
+    out.timed_stream.reserve(
+        static_cast<std::size_t>((layer.read_bytes + layer.write_bytes) / k_block_bytes));
+    fold_count_.clear();
+    u64 layer_redundant = 0;
+
+    for (const auto& r : layer.trace) {
+        const Addr lo = align_down(r.first_block(), unit_bytes_);
+        const Addr hi = align_up(r.end_block(), unit_bytes_);
+        for (Addr u = lo; u < hi; u += unit_bytes_) {
+            const int folds = ++fold_count_[u];
+            ++out.verify_events;
+            if (folds > 1) {
+                // Halo re-read: the unit's MAC enters the XOR fold again
+                // and would cancel; the tiling-oblivious engine re-verifies
+                // and re-folds to compensate -- pure redundant crypto work.
+                ++layer_redundant;
+                ++out.verify_events;
+            }
+            // Embedding-style partial coverage: a unit only touched by a
+            // producer (or only partially by the consumer) cannot be
+            // checked against the layer fold.
+            if (r.tensor == accel::Tensor_kind::weight &&
+                layer.layer->kind == accel::Layer_kind::embedding)
+                ++unverifiable_units_;
+
+            for (Addr block = u; block < u + unit_bytes_; block += k_block_bytes) {
+                const bool inside = block >= r.first_block() && block < r.end_block();
+                dram::Request req;
+                req.addr = block;
+                req.is_write = inside && r.is_write;
+                req.tag = inside ? dram::Traffic_tag::data
+                                 : dram::Traffic_tag::amplification;
+                out.timed_stream.push_back(req);
+            }
+        }
+    }
+
+    // One off-chip layer MAC per layer (Securator keeps them off-chip).
+    dram::Request rd;
+    rd.addr = accel::Memory_map::k_layer_mac_base +
+              align_down(static_cast<Addr>(layer.layer_id) * 8, k_block_bytes);
+    rd.is_write = false;
+    rd.tag = dram::Traffic_tag::layer_mac;
+    out.timed_stream.push_back(rd);
+    dram::Request wr = rd;
+    wr.is_write = true;
+    out.timed_stream.push_back(wr);
+
+    // Deferred layer check drains the hash pipeline; redundant folds extend
+    // it (two extra hash passes per re-read unit at 16 B/cycle).
+    out.fixed_cycles = 32 + (layer_redundant * unit_bytes_) / 16;
+    redundant_folds_ += layer_redundant;
+    return out;
+}
+
+Layer_protect_result Layer_mac_scheme::end_model() { return {}; }
+
+}  // namespace seda::protect

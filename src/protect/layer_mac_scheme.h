@@ -1,0 +1,55 @@
+// Securator-style layer-level integrity [11]: the paper's direct foil.
+//
+// Like SeDA, this scheme folds per-block MACs into one layer MAC on the fly
+// (near-zero metadata traffic).  Unlike SeDA it is *tiling-oblivious*
+// (Sec. III-C, Challenge 1):
+//
+//   * intra-layer: halo re-reads re-enter the fold.  XOR cancels pairs, so
+//     the engine must compensate -- modelled as a redundant decrypt+verify
+//     event per re-read unit plus a compensation fold (extra crypto work,
+//     Table III "DNN tiling pattern: no").
+//   * inter-layer: the fixed block size ignores the producer/consumer
+//     patterns; units straddling either tiling force amplified fetches, and
+//     any region the consumer does not fully revisit leaves the layer fold
+//     unverifiable -- a *false-negative risk* this model counts explicitly
+//     (the paper: "may result in false negatives").
+//
+// Comparing this scheme against SeDA isolates the value of the optBlk
+// search: same multi-level idea, none of the tiling awareness.
+#pragma once
+
+#include <unordered_map>
+
+#include "protect/scheme.h"
+
+namespace seda::protect {
+
+class Layer_mac_scheme final : public Protection_scheme {
+public:
+    /// `unit_bytes`: the fixed authentication-block size (Securator uses a
+    /// fixed fine granularity; 64 B is the bus-friendly equivalent here).
+    explicit Layer_mac_scheme(Bytes unit_bytes = 64);
+
+    [[nodiscard]] std::string name() const override { return name_; }
+    void begin_model(const accel::Model_sim& sim) override;
+    [[nodiscard]] Layer_protect_result transform_layer(const accel::Layer_sim& layer) override;
+    [[nodiscard]] Layer_protect_result end_model() override;
+
+    /// Units folded more than once across the model (redundant crypto work
+    /// a tiling-aware scheme would have avoided).
+    [[nodiscard]] u64 redundant_folds() const { return redundant_folds_; }
+
+    /// Units whose producer-epoch fold could not be matched by the consumer
+    /// pass (partial coverage): integrity verification for them silently
+    /// degrades -- the false-negative exposure the paper warns about.
+    [[nodiscard]] u64 unverifiable_units() const { return unverifiable_units_; }
+
+private:
+    std::string name_;
+    Bytes unit_bytes_;
+    std::unordered_map<u64, int> fold_count_;  ///< per-unit folds, current layer
+    u64 redundant_folds_ = 0;
+    u64 unverifiable_units_ = 0;
+};
+
+}  // namespace seda::protect

@@ -1,0 +1,70 @@
+#include "protect/metadata_cache.h"
+
+#include <algorithm>
+
+namespace seda::protect {
+
+Metadata_cache::Metadata_cache(Bytes capacity, int ways, Bytes line_bytes)
+    : line_(line_bytes)
+{
+    require(ways > 0, "Metadata_cache: ways must be positive");
+    require(line_bytes > 0 && is_pow2(line_bytes), "Metadata_cache: bad line size");
+    const Bytes lines = capacity / line_bytes;
+    require(lines >= static_cast<Bytes>(ways),
+            "Metadata_cache: capacity below one set");
+    num_sets_ = static_cast<std::size_t>(lines / static_cast<Bytes>(ways));
+    require(is_pow2(num_sets_), "Metadata_cache: set count must be a power of two");
+    sets_.resize(num_sets_);
+    for (auto& s : sets_) s.lines.resize(static_cast<std::size_t>(ways));
+}
+
+Cache_access Metadata_cache::access(Addr addr, bool dirty)
+{
+    const Addr line_addr = align_down(addr, line_);
+    const std::size_t set_idx =
+        static_cast<std::size_t>((line_addr / line_) & (num_sets_ - 1));
+    Set& set = sets_[set_idx];
+    ++tick_;
+
+    Cache_access result;
+    for (auto& way : set.lines) {
+        if (way.valid && way.tag_addr == line_addr) {
+            way.lru = tick_;
+            way.dirty = way.dirty || dirty;
+            ++stats_.hits;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    ++stats_.misses;
+    // Victim: invalid way if any, else LRU.
+    Line* victim = &set.lines[0];
+    for (auto& way : set.lines) {
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (way.lru < victim->lru) victim = &way;
+    }
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.writeback_addr = victim->tag_addr;
+        ++stats_.writebacks;
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag_addr = line_addr;
+    victim->lru = tick_;
+    return result;
+}
+
+void Metadata_cache::clear()
+{
+    for (auto& s : sets_)
+        for (auto& l : s.lines) l = Line{};
+    stats_ = Cache_stats{};
+    tick_ = 0;
+}
+
+}  // namespace seda::protect

@@ -1,0 +1,81 @@
+// Set-associative LRU metadata cache (write-back, write-allocate), the
+// on-chip filter in front of VN / MAC / tree traffic (Sec. IV-A: 16 KB VN
+// cache and 8 KB MAC cache with LRU write-back write-allocate policies).
+#pragma once
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/error.h"
+#include "common/types.h"
+
+namespace seda::protect {
+
+struct Cache_stats {
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 writebacks = 0;
+    [[nodiscard]] double hit_rate() const
+    {
+        const u64 n = hits + misses;
+        return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+    }
+};
+
+/// Result of one cache access: whether a fill is needed and whether a dirty
+/// victim must be written back first.
+struct Cache_access {
+    bool hit = false;
+    bool writeback = false;
+    Addr writeback_addr = 0;
+};
+
+class Metadata_cache {
+public:
+    /// capacity/line must be a multiple of ways; line defaults to 64 B.
+    Metadata_cache(Bytes capacity, int ways, Bytes line_bytes = k_block_bytes);
+
+    /// Touches the line holding `addr`; `dirty` marks it modified.
+    Cache_access access(Addr addr, bool dirty);
+
+    /// Writes back every dirty line (end-of-model flush); fn(line_addr) is
+    /// called per writeback.
+    template <typename Fn>
+    void flush_dirty(Fn&& fn)
+    {
+        for (auto& set : sets_) {
+            for (auto& way : set.lines) {
+                if (way.valid && way.dirty) {
+                    fn(way.tag_addr);
+                    ++stats_.writebacks;
+                    way.dirty = false;
+                }
+            }
+        }
+    }
+
+    void clear();
+    [[nodiscard]] const Cache_stats& stats() const { return stats_; }
+    [[nodiscard]] Bytes line_bytes() const { return line_; }
+
+private:
+    struct Line {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag_addr = 0;  ///< full line-aligned address
+        u64 lru = 0;        ///< last-touched tick
+    };
+    struct Set {
+        std::vector<Line> lines;
+    };
+
+    Bytes line_;
+    std::size_t num_sets_;
+    std::vector<Set> sets_;
+    Cache_stats stats_;
+    u64 tick_ = 0;
+};
+
+}  // namespace seda::protect

@@ -1,0 +1,42 @@
+#include "protect/scheme.h"
+
+#include "crypto/engine_model.h"
+
+namespace seda::protect {
+
+int Protection_scheme::crypto_engine_equivalents(const accel::Npu_config& npu) const
+{
+    return crypto::required_engine_equivalents(npu.link_bytes_per_npu_cycle());
+}
+
+void emit_blocks(std::vector<dram::Request>& out, const accel::Access_range& r,
+                 bool is_write, dram::Traffic_tag tag)
+{
+    accel::for_each_block(r, [&](Addr a) {
+        dram::Request req;
+        req.addr = a;
+        req.is_write = is_write;
+        req.tag = tag;
+        out.push_back(req);
+    });
+}
+
+Bytes unit_amplification_bytes(const accel::Access_range& r, Bytes unit_bytes)
+{
+    if (unit_bytes <= k_block_bytes || r.length == 0) return 0;
+    const Addr lo = align_down(r.first_block(), unit_bytes);
+    const Addr hi = align_up(r.end_block(), unit_bytes);
+    return (hi - lo) - (r.end_block() - r.first_block());
+}
+
+Layer_protect_result Baseline_scheme::transform_layer(const accel::Layer_sim& layer)
+{
+    Layer_protect_result out;
+    out.timed_stream.reserve(
+        static_cast<std::size_t>((layer.read_bytes + layer.write_bytes) / k_block_bytes));
+    for (const auto& r : layer.trace)
+        emit_blocks(out.timed_stream, r, r.is_write, dram::Traffic_tag::data);
+    return out;
+}
+
+}  // namespace seda::protect

@@ -1,0 +1,149 @@
+#include "protect/unit_scheme.h"
+
+namespace seda::protect {
+
+using accel::Memory_map;
+
+namespace {
+
+constexpr Bytes k_mac_slot = 8;  ///< one 64-bit MAC / VN per slot
+
+Addr mac_slot_addr(Addr unit_addr, Bytes unit_bytes)
+{
+    return Memory_map::k_mac_base + (unit_addr / unit_bytes) * k_mac_slot;
+}
+
+Addr vn_slot_addr(Addr block_addr)
+{
+    return Memory_map::k_vn_base + (block_addr / k_block_bytes) * k_mac_slot;
+}
+
+}  // namespace
+
+Unit_mac_scheme::Unit_mac_scheme(std::string name, const Unit_scheme_config& cfg)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      mac_cache_(cfg.mac_cache_bytes, cfg.mac_cache_ways),
+      vn_cache_(cfg.vn_cache_bytes, cfg.vn_cache_ways)
+{
+    require(cfg_.unit_bytes >= k_block_bytes && is_pow2(cfg_.unit_bytes),
+            "Unit_mac_scheme: unit size must be a power-of-two >= 64 B");
+}
+
+void Unit_mac_scheme::begin_model(const accel::Model_sim&)
+{
+    mac_cache_.clear();
+    vn_cache_.clear();
+    if (cfg_.has_vn_tree) {
+        // VN lines covering the whole protected region: one 8 B slot per
+        // 64 B block, eight slots per line.
+        const u64 vn_lines = Memory_map::k_protected_bytes / (k_block_bytes * 8);
+        tree_.emplace(Memory_map::k_tree_base, vn_lines, 8);
+    }
+}
+
+void Unit_mac_scheme::touch_mac(Addr unit_addr, bool is_write, Layer_protect_result& out)
+{
+    const Addr slot = mac_slot_addr(unit_addr, cfg_.unit_bytes);
+    const Cache_access acc = mac_cache_.access(slot, is_write);
+    if (acc.hit) return;
+
+    // Write-allocate: the line is fetched on both read and write misses so
+    // neighbouring MACs in the line are merged correctly.
+    dram::Request fill;
+    fill.addr = align_down(slot, k_block_bytes);
+    fill.is_write = false;
+    fill.tag = dram::Traffic_tag::mac;
+    out.timed_stream.push_back(fill);
+    if (!is_write) ++out.mac_demand_misses;  // read path: dependent fetch
+
+    if (acc.writeback) {
+        dram::Request wb;
+        wb.addr = acc.writeback_addr;
+        wb.is_write = true;
+        wb.tag = dram::Traffic_tag::mac;
+        out.timed_stream.push_back(wb);
+    }
+}
+
+void Unit_mac_scheme::touch_vn(Addr block_addr, bool is_write, Layer_protect_result& out)
+{
+    const Addr slot = vn_slot_addr(block_addr);
+    const Addr line = align_down(slot, k_block_bytes);
+    if (line == last_vn_line_ && !is_write) return;  // fast path within a line
+    last_vn_line_ = line;
+
+    const Cache_access acc = vn_cache_.access(slot, is_write);
+    if (acc.writeback) out.prefetch_bytes += k_block_bytes;
+    if (acc.hit) return;
+    out.prefetch_bytes += k_block_bytes;  // VN line fill (prefetchable)
+    if (!tree_) return;  // tree-less (TNPU): the fill authenticates itself
+
+    // Walk the integrity tree until a cached ancestor authenticates the
+    // fill (the root is on-chip and free).
+    const u64 vn_line_idx = (line - Memory_map::k_vn_base) / k_block_bytes;
+    for (int level = 1; level <= tree_->levels(); ++level) {
+        const Addr node = tree_->node_addr(level, vn_line_idx);
+        const Cache_access node_acc = vn_cache_.access(node, is_write);
+        if (node_acc.writeback) out.prefetch_bytes += k_block_bytes;
+        if (node_acc.hit) break;
+        out.prefetch_bytes += k_block_bytes;
+    }
+}
+
+void Unit_mac_scheme::protect_range(const accel::Access_range& r, Layer_protect_result& out)
+{
+    const Bytes g = cfg_.unit_bytes;
+    const Addr lo = align_down(r.first_block(), g);
+    const Addr hi = align_up(r.end_block(), g);
+    last_vn_line_ = ~0ULL;
+
+    for (Addr unit = lo; unit < hi; unit += g) {
+        for (Addr block = unit; block < unit + g; block += k_block_bytes) {
+            const bool inside = block >= r.first_block() && block < r.end_block();
+            dram::Request req;
+            req.addr = block;
+            if (r.is_write) {
+                // Inside blocks are written; outside blocks are fetched to
+                // recompute the unit MAC (read-modify-write).
+                req.is_write = inside;
+                req.tag = inside ? dram::Traffic_tag::data
+                                 : dram::Traffic_tag::amplification;
+            } else {
+                req.is_write = false;
+                req.tag = inside ? dram::Traffic_tag::data
+                                 : dram::Traffic_tag::amplification;
+            }
+            out.timed_stream.push_back(req);
+            if (cfg_.has_vn_tree || cfg_.has_vn_no_tree)
+                touch_vn(block, r.is_write, out);
+        }
+        ++out.verify_events;
+        touch_mac(unit, r.is_write, out);
+    }
+}
+
+Layer_protect_result Unit_mac_scheme::transform_layer(const accel::Layer_sim& layer)
+{
+    Layer_protect_result out;
+    out.timed_stream.reserve(
+        static_cast<std::size_t>((layer.read_bytes + layer.write_bytes) / k_block_bytes));
+    for (const auto& r : layer.trace) protect_range(r, out);
+    return out;
+}
+
+Layer_protect_result Unit_mac_scheme::end_model()
+{
+    Layer_protect_result out;
+    mac_cache_.flush_dirty([&](Addr line) {
+        dram::Request wb;
+        wb.addr = line;
+        wb.is_write = true;
+        wb.tag = dram::Traffic_tag::mac;
+        out.timed_stream.push_back(wb);
+    });
+    vn_cache_.flush_dirty([&](Addr) { out.prefetch_bytes += k_block_bytes; });
+    return out;
+}
+
+}  // namespace seda::protect

@@ -1,0 +1,98 @@
+// Shared machinery of unit-granularity MAC schemes (SGX- and MGX-style).
+//
+// Data is encrypted at 16 B AES granularity with one counter per 64 B block,
+// and integrity-verified at `unit_bytes` granularity (64 B or 512 B in the
+// paper's comparison).  Any touch of a cold unit fetches the *whole* unit
+// (verification hashes all of it), so coarse units amplify partially-used
+// fetches at tile edges and on gather workloads; partial-unit writes
+// read-modify-write the untouched blocks for the same reason.
+//
+// Metadata flows:
+//   MAC:  8 B per unit, packed eight to a 64 B line, filtered by the 8 KB
+//         MAC cache; read-path misses are dependent fetches (stall-counted).
+//   VN:   (SGX only) 8 B slot per 64 B data block, packed eight to a line,
+//         filtered by the 16 KB VN cache; misses walk the 8-ary integrity
+//         tree until a cached ancestor (root on-chip).  VN/tree bytes are
+//         prefetchable (see protect/calibration.h).
+#pragma once
+
+#include <optional>
+
+#include "accel/memory_map.h"
+#include "protect/integrity_tree.h"
+#include "protect/metadata_cache.h"
+#include "protect/scheme.h"
+
+namespace seda::protect {
+
+struct Unit_scheme_config {
+    Bytes unit_bytes = 64;        ///< integrity-verification granularity
+    bool has_vn_tree = false;     ///< SGX: off-chip VNs + integrity tree
+    /// TNPU [9]: VNs stored off-chip but authenticated tree-lessly (their
+    /// trusted counters make the tree unnecessary) -- VN traffic without
+    /// tree-walk traffic.  Ignored when has_vn_tree is set.
+    bool has_vn_no_tree = false;
+    Bytes mac_cache_bytes = 8 * 1024;
+    int mac_cache_ways = 8;
+    Bytes vn_cache_bytes = 16 * 1024;
+    int vn_cache_ways = 8;
+};
+
+class Unit_mac_scheme : public Protection_scheme {
+public:
+    Unit_mac_scheme(std::string name, const Unit_scheme_config& cfg);
+
+    [[nodiscard]] std::string name() const override { return name_; }
+    void begin_model(const accel::Model_sim& sim) override;
+    [[nodiscard]] Layer_protect_result transform_layer(const accel::Layer_sim& layer) override;
+    [[nodiscard]] Layer_protect_result end_model() override;
+
+    [[nodiscard]] const Cache_stats& mac_cache_stats() const { return mac_cache_.stats(); }
+    [[nodiscard]] const Cache_stats& vn_cache_stats() const { return vn_cache_.stats(); }
+    [[nodiscard]] Bytes unit_bytes() const { return cfg_.unit_bytes; }
+
+private:
+    void protect_range(const accel::Access_range& r, Layer_protect_result& out);
+    void touch_mac(Addr unit_addr, bool is_write, Layer_protect_result& out);
+    void touch_vn(Addr block_addr, bool is_write, Layer_protect_result& out);
+
+    std::string name_;
+    Unit_scheme_config cfg_;
+    Metadata_cache mac_cache_;
+    Metadata_cache vn_cache_;
+    std::optional<Integrity_tree> tree_;
+    Addr last_vn_line_ = ~0ULL;  ///< per-range VN-line dedup cursor
+};
+
+/// SGX-style protection [5]: MAC + VN + integrity tree (Table III rows 1-2).
+[[nodiscard]] inline Unit_mac_scheme make_sgx_scheme(Bytes unit_bytes)
+{
+    Unit_scheme_config cfg;
+    cfg.unit_bytes = unit_bytes;
+    cfg.has_vn_tree = true;
+    return {"sgx-" + std::to_string(unit_bytes) + "b", cfg};
+}
+
+/// MGX-style protection [8]: on-chip application-specific VNs, off-chip MAC
+/// traffic only (Table III rows 3-4).
+[[nodiscard]] inline Unit_mac_scheme make_mgx_scheme(Bytes unit_bytes)
+{
+    Unit_scheme_config cfg;
+    cfg.unit_bytes = unit_bytes;
+    cfg.has_vn_tree = false;
+    return {"mgx-" + std::to_string(unit_bytes) + "b", cfg};
+}
+
+/// TNPU-style protection [9]: tree-less integrity -- off-chip VNs and MACs,
+/// but no integrity-tree walk.  Sits between SGX (tree) and MGX (no VN
+/// traffic at all) in both traffic and time.
+[[nodiscard]] inline Unit_mac_scheme make_tnpu_scheme(Bytes unit_bytes)
+{
+    Unit_scheme_config cfg;
+    cfg.unit_bytes = unit_bytes;
+    cfg.has_vn_tree = false;
+    cfg.has_vn_no_tree = true;
+    return {"tnpu-" + std::to_string(unit_bytes) + "b", cfg};
+}
+
+}  // namespace seda::protect

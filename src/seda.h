@@ -1,0 +1,43 @@
+// SeDA: Secure and Efficient DNN Accelerators with Hardware/Software Synergy
+// (DAC 2025) -- umbrella header for the whole library.
+//
+// Layered public API (include just the layer you need):
+//
+//   crypto    - AES/CTR/B-AES, SHA-256, HMAC, positional & XOR MACs,
+//               SECA / RePA attack models, 28 nm engine cost model
+//   dram      - open-page DDR timing model with FR-FCFS scheduling
+//   accel     - layers, NPU configs, systolic cycle model, tiler, traces,
+//               SCALE-Sim-style reports
+//   models    - the 13 evaluation workloads
+//   protect   - protection-scheme interface, metadata caches, integrity
+//               tree, SGX-/MGX-style baselines
+//   core      - the SeDA scheme (optBlk search + multi-level MACs), the
+//               secure-NPU pricing pipeline, functional secure memory,
+//               model provisioning, and the experiment harness
+//
+// Typical entry points: accel::simulate_model, core::make_scheme,
+// core::run_protected, core::run_suite, core::Secure_memory,
+// core::provision_model.
+#pragma once
+
+#include "accel/accel_sim.h"
+#include "accel/report.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/experiment.h"
+#include "core/optblk_search.h"
+#include "core/provision.h"
+#include "core/secure_memory.h"
+#include "core/secure_npu.h"
+#include "core/seda_scheme.h"
+#include "core/tiling_analysis.h"
+#include "crypto/attacks.h"
+#include "crypto/baes.h"
+#include "crypto/engine_model.h"
+#include "crypto/mac.h"
+#include "dram/dram_sim.h"
+#include "models/zoo.h"
+#include "protect/scheme.h"
+#include "protect/unit_scheme.h"

@@ -1,0 +1,121 @@
+// Model-level simulator invariants across the whole workload zoo.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "accel/accel_sim.h"
+#include "models/zoo.h"
+
+namespace seda::accel {
+namespace {
+
+class ZooSimTest
+    : public ::testing::TestWithParam<std::tuple<std::string_view, std::string_view>> {
+protected:
+    Model_sim run() const
+    {
+        const auto [model_name, npu_name] = GetParam();
+        const auto npu = npu_name == std::string_view("server") ? Npu_config::server()
+                                                                : Npu_config::edge();
+        return simulate_model(models::model_by_name(model_name), npu);
+    }
+};
+
+TEST_P(ZooSimTest, EveryLayerSimulated)
+{
+    const auto sim = run();
+    EXPECT_EQ(sim.layers.size(), sim.model->layers.size());
+    for (std::size_t i = 0; i < sim.layers.size(); ++i) {
+        EXPECT_EQ(sim.layers[i].layer_id, i);
+        EXPECT_EQ(sim.layers[i].layer, &sim.model->layers[i]);
+    }
+}
+
+TEST_P(ZooSimTest, ComputeLayersHaveCycles)
+{
+    const auto sim = run();
+    for (const auto& l : sim.layers) {
+        EXPECT_GT(l.compute.cycles, 0u) << l.layer->name;
+        if (l.layer->is_compute()) {
+            EXPECT_GT(l.compute.folds, 0u) << l.layer->name;
+            EXPECT_GT(l.compute.utilization, 0.0) << l.layer->name;
+            EXPECT_LE(l.compute.utilization, 1.0) << l.layer->name;
+        }
+    }
+}
+
+TEST_P(ZooSimTest, TrafficAtLeastCompulsory)
+{
+    const auto sim = run();
+    for (const auto& l : sim.layers) {
+        // DRAM volume can never be below the tensor footprint (compulsory
+        // misses); block rounding only adds.
+        const Bytes compulsory_reads = l.layer->kind == Layer_kind::embedding
+                                           ? l.layer->ofmap_bytes()
+                                           : l.layer->ifmap_bytes();
+        EXPECT_GE(l.read_bytes + k_block_bytes, compulsory_reads) << l.layer->name;
+        EXPECT_GE(l.write_bytes + k_block_bytes, l.layer->ofmap_bytes()) << l.layer->name;
+    }
+}
+
+TEST_P(ZooSimTest, WeightRegionsDoNotOverlap)
+{
+    const auto sim = run();
+    for (std::size_t i = 1; i < sim.layers.size(); ++i) {
+        const auto& prev = sim.model->layers[i - 1];
+        EXPECT_GE(sim.map.weight_addr[i],
+                  sim.map.weight_addr[i - 1] + prev.weight_bytes())
+            << prev.name;
+    }
+}
+
+TEST_P(ZooSimTest, ActivationsPingPong)
+{
+    const auto sim = run();
+    for (std::size_t i = 0; i < sim.layers.size(); ++i) {
+        EXPECT_EQ(sim.layers[i].ifmap_base, Memory_map::ifmap_addr(i));
+        EXPECT_EQ(sim.layers[i].ofmap_base, Memory_map::ofmap_addr(i));
+        EXPECT_NE(sim.layers[i].ifmap_base, sim.layers[i].ofmap_base);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ZooSimTest,
+    ::testing::Combine(::testing::Values("let", "alex", "mob", "rest", "goo", "dlrm",
+                                         "algo", "ds2", "fast", "ncf", "sent", "trf",
+                                         "yolo"),
+                       ::testing::Values("server", "edge")),
+    [](const auto& pinfo) {
+        return std::string(std::get<0>(pinfo.param)) + "_" +
+               std::string(std::get<1>(pinfo.param));
+    });
+
+TEST(AccelSim, EdgeRefetchesMoreThanServer)
+{
+    // Smaller buffers force halo + weight refetch: edge traffic >= server.
+    const auto server = simulate_model(models::resnet18(), Npu_config::server());
+    const auto edge = simulate_model(models::resnet18(), Npu_config::edge());
+    EXPECT_GE(edge.total_traffic_bytes(), server.total_traffic_bytes());
+}
+
+TEST(AccelSim, RejectsEmptyModel)
+{
+    Model_desc empty;
+    empty.name = "empty";
+    EXPECT_THROW((void)simulate_model(empty, Npu_config::server()), Seda_error);
+}
+
+TEST(AccelSim, OwnsItsModel)
+{
+    // The Model_sim must stay valid after the caller's Model_desc is gone
+    // (regression test for the dangling-pointer bug found in development).
+    Model_sim sim = [] {
+        return simulate_model(models::lenet(), Npu_config::edge());
+    }();
+    const Model_sim moved = std::move(sim);
+    EXPECT_EQ(moved.layers[0].layer->name, "conv1");
+    EXPECT_GT(moved.total_traffic_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace seda::accel

@@ -1,0 +1,102 @@
+// The SCALE-Sim-style analytic cycle model, hand-checked on small layers.
+#include <gtest/gtest.h>
+
+#include "accel/systolic.h"
+
+namespace seda::accel {
+namespace {
+
+Npu_config tiny_npu(int rows, int cols, Dataflow df)
+{
+    Npu_config c = Npu_config::edge();
+    c.array_rows = rows;
+    c.array_cols = cols;
+    c.dataflow = df;
+    return c;
+}
+
+TEST(Systolic, SingleFoldWeightStationary)
+{
+    // GEMM 10x8x4 on an 8x4 array: one fold; cycles = M + 2R + C - 2.
+    const auto l = Layer_desc::make_matmul("mm", 10, 8, 4);
+    const auto r = systolic_compute(l, tiny_npu(8, 4, Dataflow::weight_stationary));
+    EXPECT_EQ(r.folds, 1u);
+    EXPECT_EQ(r.cycles, 10u + 16 + 4 - 2);
+}
+
+TEST(Systolic, FoldCountWeightStationary)
+{
+    // K=20 on 8 rows -> 3 folds; N=10 on 4 cols -> 3 folds; 9 total.
+    const auto l = Layer_desc::make_matmul("mm", 6, 20, 10);
+    const auto r = systolic_compute(l, tiny_npu(8, 4, Dataflow::weight_stationary));
+    EXPECT_EQ(r.folds, 9u);
+    EXPECT_EQ(r.cycles, 9u * (6 + 16 + 4 - 2));
+}
+
+TEST(Systolic, SingleFoldOutputStationary)
+{
+    // OS: folds over M and N; per-fold K + 2R + C - 2.
+    const auto l = Layer_desc::make_matmul("mm", 8, 12, 4);
+    const auto r = systolic_compute(l, tiny_npu(8, 4, Dataflow::output_stationary));
+    EXPECT_EQ(r.folds, 1u);
+    EXPECT_EQ(r.cycles, 12u + 16 + 4 - 2);
+}
+
+TEST(Systolic, ConvLowersToGemm)
+{
+    // 4x4x2 ifmap, 3x3 filter, 2 out channels -> M=4, K=18, N=2.
+    const auto l = Layer_desc::make_conv("c", 4, 4, 2, 3, 3, 2, 1);
+    const auto r = systolic_compute(l, tiny_npu(32, 32, Dataflow::weight_stationary));
+    EXPECT_EQ(r.folds, 1u);
+    EXPECT_EQ(r.cycles, 4u + 64 + 32 - 2);
+}
+
+TEST(Systolic, UtilizationIsBounded)
+{
+    for (const auto df : {Dataflow::weight_stationary, Dataflow::output_stationary}) {
+        const auto l = Layer_desc::make_conv("c", 58, 58, 64, 3, 3, 128, 1);
+        const auto r = systolic_compute(l, tiny_npu(32, 32, df));
+        EXPECT_GT(r.utilization, 0.0);
+        EXPECT_LE(r.utilization, 1.0);
+    }
+}
+
+TEST(Systolic, BigArrayWastesSmallLayers)
+{
+    // A 19x19 board layer on a 256x256 array must have poor utilization --
+    // the TPU-v1 effect the paper's server numbers reflect.
+    const auto l = Layer_desc::make_conv("agz", 21, 21, 17, 3, 3, 256, 1);
+    const auto big = systolic_compute(l, tiny_npu(256, 256, Dataflow::weight_stationary));
+    const auto small = systolic_compute(l, tiny_npu(32, 32, Dataflow::weight_stationary));
+    EXPECT_LT(big.utilization, small.utilization);
+}
+
+TEST(Systolic, PoolBypassesArray)
+{
+    const auto l = Layer_desc::make_pool("p", 28, 28, 64, 2, 2);
+    const auto r = systolic_compute(l, tiny_npu(32, 32, Dataflow::weight_stationary));
+    EXPECT_EQ(r.folds, 0u);
+    // One output element per column lane per cycle.
+    EXPECT_EQ(r.cycles, ceil_div<u64>(14 * 14 * 64, 32));
+}
+
+TEST(Systolic, EmbeddingBypassesArray)
+{
+    const auto l = Layer_desc::make_embedding("e", 1000, 64, 32);
+    const auto r = systolic_compute(l, tiny_npu(32, 32, Dataflow::weight_stationary));
+    EXPECT_EQ(r.folds, 0u);
+    EXPECT_EQ(r.cycles, ceil_div<u64>(32 * 64, 32));
+}
+
+TEST(Systolic, MoreComputePerFoldForLargerM)
+{
+    const auto small = Layer_desc::make_matmul("s", 16, 64, 64);
+    const auto large = Layer_desc::make_matmul("l", 1024, 64, 64);
+    const auto npu = tiny_npu(32, 32, Dataflow::weight_stationary);
+    EXPECT_GT(systolic_compute(large, npu).cycles, systolic_compute(small, npu).cycles);
+    EXPECT_GT(systolic_compute(large, npu).utilization,
+              systolic_compute(small, npu).utilization);
+}
+
+}  // namespace
+}  // namespace seda::accel

@@ -1,0 +1,147 @@
+// Tiling-plan invariants: SRAM budgets, halo geometry, loop-order choice.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "accel/tiler.h"
+#include "common/error.h"
+#include "models/zoo.h"
+
+namespace seda::accel {
+namespace {
+
+TEST(Tiler, HaloRowsIsFilterMinusStride)
+{
+    const auto npu = Npu_config::edge();
+    const auto c3s1 = plan_tiling(Layer_desc::make_conv("a", 58, 58, 64, 3, 3, 64, 1), npu);
+    EXPECT_EQ(c3s1.halo_rows, 2);
+    const auto c3s2 = plan_tiling(Layer_desc::make_conv("b", 57, 57, 64, 3, 3, 64, 2), npu);
+    EXPECT_EQ(c3s2.halo_rows, 1);
+    const auto c5s1 = plan_tiling(Layer_desc::make_conv("c", 28, 28, 64, 5, 5, 64, 1), npu);
+    EXPECT_EQ(c5s1.halo_rows, 4);
+    // Stride == filter (pooling-style): no overlap.
+    const auto p2s2 = plan_tiling(Layer_desc::make_pool("p", 28, 28, 64, 2, 2), npu);
+    EXPECT_EQ(p2s2.halo_rows, 0);
+}
+
+TEST(Tiler, MatmulHasNoHalo)
+{
+    const auto p =
+        plan_tiling(Layer_desc::make_matmul("mm", 256, 512, 512), Npu_config::edge());
+    EXPECT_EQ(p.halo_rows, 0);
+}
+
+TEST(Tiler, RowTilesCoverOutput)
+{
+    const auto layer = Layer_desc::make_conv("c", 114, 114, 64, 3, 3, 128, 1);
+    const auto p = plan_tiling(layer, Npu_config::edge());
+    EXPECT_GE(p.t_oh * p.m_tiles, layer.ofmap_h());
+    EXPECT_LT(p.t_oh * (p.m_tiles - 1), layer.ofmap_h());
+}
+
+TEST(Tiler, ChannelTilesCoverWeights)
+{
+    const auto layer = Layer_desc::make_conv("c", 16, 16, 512, 3, 3, 512, 1);
+    const auto p = plan_tiling(layer, Npu_config::edge());
+    EXPECT_GE(static_cast<u64>(p.t_n) * static_cast<u64>(p.n_tiles),
+              layer.gemm_n_dim());
+}
+
+TEST(Tiler, ServerBuffersHoldWholeSmallLayers)
+{
+    const auto layer = Layer_desc::make_conv("c", 30, 30, 64, 3, 3, 64, 1);
+    const auto p = plan_tiling(layer, Npu_config::server());
+    EXPECT_EQ(p.m_tiles, 1);
+    EXPECT_TRUE(p.weights_resident);
+    EXPECT_EQ(p.halo_refetch_bytes(), 0u);
+}
+
+TEST(Tiler, HaloRefetchFormula)
+{
+    const auto layer = Layer_desc::make_conv("c", 226, 226, 64, 3, 3, 64, 1);
+    const auto p = plan_tiling(layer, Npu_config::edge());
+    ASSERT_GT(p.m_tiles, 1);
+    EXPECT_EQ(p.halo_refetch_bytes(), static_cast<Bytes>(p.m_tiles - 1) *
+                                          static_cast<Bytes>(p.halo_rows) *
+                                          p.ifmap_row_bytes);
+}
+
+TEST(Tiler, NOuterOnlyForNonResidentMatmul)
+{
+    // Vocabulary projection: 16 MB of weights on the edge NPU.
+    const auto lm = Layer_desc::make_matmul("lm", 256, 512, 32000);
+    const auto p = plan_tiling(lm, Npu_config::edge());
+    EXPECT_FALSE(p.weights_resident);
+    EXPECT_TRUE(p.n_outer);
+
+    // Small matmul: weights resident, m-outer.
+    const auto small = Layer_desc::make_matmul("s", 256, 64, 64);
+    EXPECT_FALSE(plan_tiling(small, Npu_config::edge()).n_outer);
+
+    // Convolutions never flip to n-outer.
+    const auto conv = Layer_desc::make_conv("c", 226, 226, 64, 3, 3, 512, 1);
+    EXPECT_FALSE(plan_tiling(conv, Npu_config::edge()).n_outer);
+}
+
+TEST(Tiler, KSplitOnlyWhenSingleChannelOverflows)
+{
+    // One output channel's weights = 200 KB > the edge 80 KB weight buffer.
+    const auto fc = Layer_desc::make_fc("fc", 200 * 1024, 16);
+    const auto p = plan_tiling(fc, Npu_config::edge());
+    EXPECT_GT(p.k_tiles, 1);
+    EXPECT_EQ(p.t_n, 1);
+    // Normal FC stays unsplit.
+    const auto ok = Layer_desc::make_fc("ok", 4096, 1000);
+    EXPECT_EQ(plan_tiling(ok, Npu_config::edge()).k_tiles, 1);
+}
+
+TEST(Tiler, RejectsEmbedding)
+{
+    const auto e = Layer_desc::make_embedding("e", 1000, 64, 16);
+    EXPECT_THROW((void)plan_tiling(e, Npu_config::edge()), Seda_error);
+}
+
+// Property sweep: every compute/pool layer of every zoo model, on both NPUs,
+// satisfies the SRAM-budget invariants (or degenerates to t_oh == 1).
+class TilerZooTest
+    : public ::testing::TestWithParam<std::tuple<std::string_view, std::string_view>> {};
+
+TEST_P(TilerZooTest, BudgetsRespected)
+{
+    const auto [model_name, npu_name] = GetParam();
+    const auto npu =
+        npu_name == std::string_view("server") ? Npu_config::server() : Npu_config::edge();
+    const auto model = models::model_by_name(model_name);
+    for (const auto& layer : model.layers) {
+        if (layer.kind == Layer_kind::embedding) continue;
+        const auto p = plan_tiling(layer, npu);
+        EXPECT_GE(p.t_oh, 1) << layer.name;
+        EXPECT_GE(p.t_n, 1) << layer.name;
+        const Bytes ifmap_need =
+            static_cast<Bytes>(p.ifmap_tile_rows) * p.ifmap_row_bytes;
+        const Bytes ofmap_need = static_cast<Bytes>(p.t_oh) * p.ofmap_row_bytes;
+        if (p.t_oh > 1) {
+            EXPECT_LE(ifmap_need, npu.ifmap_buf_bytes()) << layer.name;
+            EXPECT_LE(ofmap_need, npu.ofmap_buf_bytes()) << layer.name;
+        }
+        if (p.k_tiles == 1 && layer.weight_bytes() > 0) {
+            const Bytes wgt_tile = static_cast<Bytes>(p.t_n) *
+                                   (layer.weight_bytes() / layer.gemm_n_dim());
+            EXPECT_LE(wgt_tile, npu.weight_buf_bytes()) << layer.name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ZooSweep, TilerZooTest,
+    ::testing::Combine(::testing::Values("let", "alex", "mob", "rest", "goo", "dlrm",
+                                         "algo", "ds2", "fast", "ncf", "sent", "trf",
+                                         "yolo"),
+                       ::testing::Values("server", "edge")),
+    [](const auto& pinfo) {
+        return std::string(std::get<0>(pinfo.param)) + "_" +
+               std::string(std::get<1>(pinfo.param));
+    });
+
+}  // namespace
+}  // namespace seda::accel

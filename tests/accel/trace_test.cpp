@@ -1,0 +1,183 @@
+// Trace generation: coverage, halo re-reads, byte accounting, block math.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "accel/accel_sim.h"
+
+namespace seda::accel {
+namespace {
+
+TEST(AccessRange, BlockMath)
+{
+    Access_range r;
+    r.begin = 100;
+    r.length = 200;
+    EXPECT_EQ(r.first_block(), 64u);
+    EXPECT_EQ(r.end_block(), 320u);
+    EXPECT_EQ(r.block_count(), 4u);
+
+    std::vector<Addr> blocks;
+    for_each_block(r, [&](Addr a) { blocks.push_back(a); });
+    EXPECT_EQ(blocks, (std::vector<Addr>{64, 128, 192, 256}));
+}
+
+TEST(AccessRange, AlignedRangeHasExactBlocks)
+{
+    Access_range r;
+    r.begin = 0;
+    r.length = 256;
+    EXPECT_EQ(r.block_count(), 4u);
+}
+
+Model_sim simulate_one(const Layer_desc& layer, const Npu_config& npu)
+{
+    Model_desc m;
+    m.name = "single";
+    m.layers = {layer};
+    return simulate_model(std::move(m), npu);
+}
+
+TEST(Trace, CoversWholeIfmapAndOfmap)
+{
+    const auto sim = simulate_one(Layer_desc::make_conv("c", 58, 58, 32, 3, 3, 64, 1),
+                                  Npu_config::edge());
+    const auto& l = sim.layers[0];
+
+    std::set<Addr> ifmap_blocks;
+    std::set<Addr> ofmap_blocks;
+    for (const auto& r : l.trace) {
+        if (r.tensor == Tensor_kind::ifmap)
+            for_each_block(r, [&](Addr a) { ifmap_blocks.insert(a); });
+        if (r.tensor == Tensor_kind::ofmap)
+            for_each_block(r, [&](Addr a) { ofmap_blocks.insert(a); });
+    }
+    // Every byte of both tensors must be covered by the trace.
+    const u64 ifmap_expected = ceil_div(l.layer->ifmap_bytes(), k_block_bytes);
+    const u64 ofmap_expected = ceil_div(l.layer->ofmap_bytes(), k_block_bytes);
+    EXPECT_EQ(ifmap_blocks.size(), ifmap_expected);
+    EXPECT_EQ(ofmap_blocks.size(), ofmap_expected);
+    // Regions start where the memory map says.
+    EXPECT_EQ(*ifmap_blocks.begin(), Memory_map::ifmap_addr(0));
+    EXPECT_EQ(*ofmap_blocks.begin(), Memory_map::ofmap_addr(0));
+}
+
+TEST(Trace, WeightsCoveredOncePerRowTileWhenNotResident)
+{
+    // Edge NPU, weights too large to stay resident.
+    const auto layer = Layer_desc::make_conv("c", 30, 30, 256, 3, 3, 512, 1);
+    const auto sim = simulate_one(layer, Npu_config::edge());
+    const auto& l = sim.layers[0];
+    ASSERT_FALSE(l.plan.weights_resident);
+
+    Bytes weight_read = 0;
+    for (const auto& r : l.trace)
+        if (r.tensor == Tensor_kind::weight) weight_read += r.length;
+    EXPECT_EQ(weight_read,
+              layer.weight_bytes() * static_cast<Bytes>(l.plan.m_tiles));
+}
+
+TEST(Trace, HaloBlocksAreRereadAcrossTiles)
+{
+    const auto layer = Layer_desc::make_conv("c", 226, 226, 16, 3, 3, 16, 1);
+    const auto sim = simulate_one(layer, Npu_config::edge());
+    const auto& l = sim.layers[0];
+    ASSERT_GT(l.plan.m_tiles, 1);
+    ASSERT_GT(l.plan.halo_rows, 0);
+
+    std::map<Addr, int> touches;
+    for (const auto& r : l.trace)
+        if (r.tensor == Tensor_kind::ifmap)
+            for_each_block(r, [&](Addr a) { ++touches[a]; });
+
+    const u64 reread = static_cast<u64>(
+        std::count_if(touches.begin(), touches.end(),
+                      [](const auto& kv) { return kv.second > 1; }));
+    EXPECT_GT(reread, 0u);
+    // Roughly halo_rows * row_bytes per tile boundary, in blocks.
+    const u64 expected = static_cast<u64>(l.plan.m_tiles - 1) *
+                         ceil_div(static_cast<Bytes>(l.plan.halo_rows) *
+                                      l.plan.ifmap_row_bytes,
+                                  k_block_bytes);
+    EXPECT_NEAR(static_cast<double>(reread), static_cast<double>(expected),
+                static_cast<double>(l.plan.m_tiles) * 2.0);
+}
+
+TEST(Trace, ReadWriteByteAccountingConsistent)
+{
+    const auto sim = simulate_one(Layer_desc::make_conv("c", 58, 58, 32, 3, 3, 64, 1),
+                                  Npu_config::server());
+    const auto& l = sim.layers[0];
+    Bytes reads = 0;
+    Bytes writes = 0;
+    for (const auto& r : l.trace) {
+        const Bytes b = r.block_count() * k_block_bytes;
+        (r.is_write ? writes : reads) += b;
+    }
+    EXPECT_EQ(reads, l.read_bytes);
+    EXPECT_EQ(writes, l.write_bytes);
+    EXPECT_EQ(trace_block_bytes(l.trace), reads + writes);
+}
+
+TEST(Trace, OfmapWrittenExactlyOnce)
+{
+    const auto sim = simulate_one(Layer_desc::make_conv("c", 58, 58, 32, 3, 3, 64, 1),
+                                  Npu_config::edge());
+    const auto& l = sim.layers[0];
+    std::map<Addr, int> writes;
+    for (const auto& r : l.trace)
+        if (r.is_write)
+            for_each_block(r, [&](Addr a) { ++writes[a]; });
+    for (const auto& [addr, n] : writes) EXPECT_EQ(n, 1) << std::hex << addr;
+}
+
+TEST(Trace, EmbeddingGathersStayInTable)
+{
+    const auto layer = Layer_desc::make_embedding("e", 5000, 64, 256);
+    const auto sim = simulate_one(layer, Npu_config::server());
+    const auto& l = sim.layers[0];
+
+    const Addr table_begin = l.weight_base;
+    const Addr table_end = table_begin + layer.weight_bytes();
+    int gathers = 0;
+    for (const auto& r : l.trace) {
+        if (r.tensor != Tensor_kind::weight) continue;
+        ++gathers;
+        EXPECT_GE(r.begin, table_begin);
+        EXPECT_LE(r.begin + r.length, table_end);
+        EXPECT_EQ(r.length, 64u);
+    }
+    EXPECT_EQ(gathers, 256);
+}
+
+TEST(Trace, EmbeddingGathersAreDeterministic)
+{
+    const auto layer = Layer_desc::make_embedding("e", 5000, 64, 64);
+    const auto a = simulate_one(layer, Npu_config::server());
+    const auto b = simulate_one(layer, Npu_config::server());
+    ASSERT_EQ(a.layers[0].trace.size(), b.layers[0].trace.size());
+    for (std::size_t i = 0; i < a.layers[0].trace.size(); ++i)
+        EXPECT_EQ(a.layers[0].trace[i].begin, b.layers[0].trace[i].begin);
+}
+
+TEST(Trace, NOuterMatmulStreamsWeightsOnce)
+{
+    const auto layer = Layer_desc::make_matmul("lm", 256, 512, 32000);
+    const auto sim = simulate_one(layer, Npu_config::edge());
+    const auto& l = sim.layers[0];
+    ASSERT_TRUE(l.plan.n_outer);
+
+    Bytes weight_read = 0;
+    Bytes ifmap_read = 0;
+    for (const auto& r : l.trace) {
+        if (r.tensor == Tensor_kind::weight) weight_read += r.length;
+        if (r.tensor == Tensor_kind::ifmap) ifmap_read += r.length;
+    }
+    EXPECT_EQ(weight_read, layer.weight_bytes());
+    EXPECT_EQ(ifmap_read,
+              layer.ifmap_bytes() * static_cast<Bytes>(l.plan.n_tiles));
+}
+
+}  // namespace
+}  // namespace seda::accel

@@ -1,0 +1,19 @@
+// The umbrella header must compile standalone and expose the entry points.
+#include "seda.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, ExposesEntryPoints)
+{
+    const auto npu = seda::accel::Npu_config::edge();
+    const auto sim = seda::accel::simulate_model(seda::models::lenet(), npu);
+    auto scheme = seda::core::make_scheme("seda");
+    const auto stats = seda::core::run_protected(sim, *scheme);
+    EXPECT_GT(stats.total_cycles, 0u);
+    EXPECT_EQ(seda::models::all_models().size(), 13u);
+    EXPECT_GT(seda::crypto::t_aes_cost(4.0).area_um2, 0.0);
+}
+
+}  // namespace

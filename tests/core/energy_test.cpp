@@ -1,0 +1,82 @@
+// Energy-model sanity: breakdowns, scheme ordering, parameter scaling.
+#include <gtest/gtest.h>
+
+#include "core/energy.h"
+#include "core/experiment.h"
+#include "models/zoo.h"
+
+namespace seda::core {
+namespace {
+
+TEST(Energy, BaselinePaysNoCrypto)
+{
+    const auto sim = accel::simulate_model(models::lenet(), accel::Npu_config::server());
+    protect::Baseline_scheme base;
+    const auto stats = run_protected(sim, base);
+    const auto e = estimate_energy(stats, sim);
+    EXPECT_GT(e.dram_uj, 0.0);
+    EXPECT_GT(e.compute_uj, 0.0);
+    EXPECT_DOUBLE_EQ(e.crypto_uj, 0.0);
+    EXPECT_DOUBLE_EQ(e.hash_uj, 0.0);
+    EXPECT_DOUBLE_EQ(e.total_uj(), e.dram_uj + e.compute_uj);
+}
+
+TEST(Energy, ProtectedRunsPayCryptoAndHash)
+{
+    const auto sim = accel::simulate_model(models::lenet(), accel::Npu_config::server());
+    auto seda = make_scheme("seda");
+    const auto stats = run_protected(sim, *seda);
+    const auto e = estimate_energy(stats, sim);
+    EXPECT_GT(e.crypto_uj, 0.0);
+    EXPECT_GT(e.hash_uj, 0.0);
+}
+
+TEST(Energy, OrderingFollowsTraffic)
+{
+    // More metadata bytes -> more DRAM energy: SGX > MGX > SeDA.
+    const auto sim = accel::simulate_model(models::resnet18(), accel::Npu_config::server());
+    double sgx = 0.0;
+    double mgx = 0.0;
+    double seda_e = 0.0;
+    for (const auto& [id, out] : {std::pair<const char*, double*>{"sgx-64", &sgx},
+                                  {"mgx-64", &mgx},
+                                  {"seda", &seda_e}}) {
+        auto scheme = make_scheme(id);
+        const auto stats = run_protected(sim, *scheme);
+        *out = estimate_energy(stats, sim).total_uj();
+    }
+    EXPECT_GT(sgx, mgx);
+    EXPECT_GT(mgx, seda_e);
+}
+
+TEST(Energy, ScalesWithParams)
+{
+    const auto sim = accel::simulate_model(models::lenet(), accel::Npu_config::server());
+    auto seda = make_scheme("seda");
+    const auto stats = run_protected(sim, *seda);
+    Energy_params cheap;
+    Energy_params pricey;
+    pricey.dram_pj_per_byte = 2.0 * cheap.dram_pj_per_byte;
+    const auto a = estimate_energy(stats, sim, cheap);
+    const auto b = estimate_energy(stats, sim, pricey);
+    EXPECT_NEAR(b.dram_uj, 2.0 * a.dram_uj, 1e-9);
+    EXPECT_DOUBLE_EQ(b.compute_uj, a.compute_uj);
+}
+
+TEST(Energy, TnpuSitsBetweenSgxAndMgx)
+{
+    // Tree-less: VN traffic but no tree walk -- energy (traffic) must land
+    // strictly between the two families it interpolates.
+    const auto sim = accel::simulate_model(models::resnet18(), accel::Npu_config::server());
+    auto sgx = make_scheme("sgx-64");
+    auto tnpu = make_scheme("tnpu-64");
+    auto mgx = make_scheme("mgx-64");
+    const auto e_sgx = run_protected(sim, *sgx).traffic_bytes;
+    const auto e_tnpu = run_protected(sim, *tnpu).traffic_bytes;
+    const auto e_mgx = run_protected(sim, *mgx).traffic_bytes;
+    EXPECT_GT(e_sgx, e_tnpu);
+    EXPECT_GT(e_tnpu, e_mgx);
+}
+
+}  // namespace
+}  // namespace seda::core

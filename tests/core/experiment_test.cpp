@@ -1,0 +1,131 @@
+// Integration tests: the experiment harness must reproduce the paper's
+// qualitative results (the Fig. 5 / Fig. 6 orderings) on both NPUs.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.h"
+#include "core/experiment.h"
+
+namespace seda::core {
+namespace {
+
+TEST(Factory, MakesAllSchemes)
+{
+    for (const char* id : {"baseline", "sgx-64", "sgx-512", "mgx-64", "mgx-512", "seda"}) {
+        const auto s = make_scheme(id);
+        ASSERT_NE(s, nullptr) << id;
+        EXPECT_FALSE(s->name().empty());
+    }
+    EXPECT_THROW((void)make_scheme("tnpu"), Seda_error);
+}
+
+TEST(Factory, PaperSchemesMatchLegendOrder)
+{
+    const auto ids = paper_schemes();
+    ASSERT_EQ(ids.size(), 5u);
+    EXPECT_EQ(ids[0], "sgx-64");
+    EXPECT_EQ(ids[1], "mgx-64");
+    EXPECT_EQ(ids[2], "sgx-512");
+    EXPECT_EQ(ids[3], "mgx-512");
+    EXPECT_EQ(ids[4], "seda");
+}
+
+class SuiteOrderingTest : public ::testing::TestWithParam<std::string_view> {
+protected:
+    static Suite_result run_for(std::string_view npu_name)
+    {
+        const auto npu = npu_name == std::string_view("server")
+                             ? accel::Npu_config::server()
+                             : accel::Npu_config::edge();
+        // A representative cross-section: conv-heavy, depthwise, attention,
+        // gather-heavy.
+        constexpr std::string_view models[] = {"rest", "mob", "trf", "dlrm", "yolo"};
+        return run_suite(npu, paper_schemes(), models);
+    }
+
+    static std::map<std::string, double> avg_traffic(const Suite_result& s)
+    {
+        std::map<std::string, double> m;
+        for (const auto& series : s.series) m[series.scheme] = series.avg_norm_traffic();
+        return m;
+    }
+    static std::map<std::string, double> avg_perf(const Suite_result& s)
+    {
+        std::map<std::string, double> m;
+        for (const auto& series : s.series) m[series.scheme] = series.avg_norm_perf();
+        return m;
+    }
+};
+
+TEST_P(SuiteOrderingTest, TrafficOrderingMatchesFig5)
+{
+    const auto t = avg_traffic(run_for(GetParam()));
+    // Fig. 5: SGX-64B > SGX-512B > MGX-64B > MGX-512B > SeDA ~= 1.
+    EXPECT_GT(t.at("sgx-64"), t.at("sgx-512"));
+    EXPECT_GT(t.at("sgx-512"), t.at("mgx-64"));
+    EXPECT_GT(t.at("mgx-64"), t.at("mgx-512"));
+    EXPECT_GT(t.at("mgx-512"), t.at("seda"));
+    EXPECT_LT(t.at("seda"), 1.01);
+    EXPECT_GE(t.at("seda"), 1.0);
+}
+
+TEST_P(SuiteOrderingTest, PerformanceOrderingMatchesFig6)
+{
+    const auto p = avg_perf(run_for(GetParam()));
+    // Fig. 6: SGX-64B < MGX-64B < SGX-512B < MGX-512B < SeDA; note the
+    // crossover -- SGX-512B beats MGX-64B despite more traffic.
+    EXPECT_LT(p.at("sgx-64"), p.at("mgx-64"));
+    EXPECT_LT(p.at("mgx-64"), p.at("sgx-512"));
+    EXPECT_LT(p.at("sgx-512"), p.at("mgx-512"));
+    EXPECT_LT(p.at("mgx-512"), p.at("seda"));
+}
+
+TEST_P(SuiteOrderingTest, SedaIsNearBaseline)
+{
+    const auto s = run_for(GetParam());
+    for (const auto& series : s.series) {
+        if (series.scheme != "seda") continue;
+        EXPECT_GT(series.avg_norm_perf(), 0.98);       // < 2% slowdown
+        EXPECT_LT(series.avg_norm_traffic(), 1.005);   // < 0.5% traffic
+    }
+}
+
+TEST_P(SuiteOrderingTest, HeadlineMagnitudesAreInBand)
+{
+    // The paper's averages: SGX-64B ~ +28-30% traffic / ~21-22% slowdown.
+    // Allow generous bands; the *shape* is the reproduction target.
+    const auto t = avg_traffic(run_for(GetParam()));
+    const auto p = avg_perf(run_for(GetParam()));
+    EXPECT_GT(t.at("sgx-64"), 1.20);
+    EXPECT_LT(t.at("sgx-64"), 1.45);
+    EXPECT_LT(p.at("sgx-64"), 0.90);
+    EXPECT_GT(p.at("sgx-64"), 0.70);
+    EXPECT_GT(t.at("mgx-64"), 1.10);
+    EXPECT_LT(t.at("mgx-64"), 1.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothNpus, SuiteOrderingTest,
+                         ::testing::Values("server", "edge"),
+                         [](const auto& pinfo) { return std::string(pinfo.param); });
+
+TEST(Suite, EmptyModelListMeansAllThirteen)
+{
+    constexpr std::string_view one_scheme[] = {"seda"};
+    const auto s = run_suite(accel::Npu_config::edge(), one_scheme);
+    ASSERT_EQ(s.series.size(), 1u);
+    EXPECT_EQ(s.series[0].points.size(), 13u);
+}
+
+TEST(Suite, NormalizationIsSelfConsistent)
+{
+    constexpr std::string_view schemes[] = {"baseline"};
+    constexpr std::string_view models[] = {"let"};
+    const auto s = run_suite(accel::Npu_config::server(), schemes, models);
+    // Baseline normalized against itself is exactly 1.
+    EXPECT_DOUBLE_EQ(s.series[0].points[0].norm_traffic, 1.0);
+    EXPECT_DOUBLE_EQ(s.series[0].points[0].norm_perf, 1.0);
+}
+
+}  // namespace
+}  // namespace seda::core

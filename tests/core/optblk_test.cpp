@@ -1,0 +1,137 @@
+// optBlk search: amplification projection and the alignment property the
+// SeDA scheme relies on (chosen unit => zero amplification).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "core/optblk_search.h"
+
+namespace seda::core {
+namespace {
+
+using accel::Access_range;
+
+std::vector<Access_range> tiled_ranges(Addr base, Bytes tile_bytes, int tiles)
+{
+    std::vector<Access_range> v;
+    for (int t = 0; t < tiles; ++t) {
+        Access_range r;
+        r.begin = base + static_cast<Addr>(t) * tile_bytes;
+        r.length = tile_bytes;
+        v.push_back(r);
+    }
+    return v;
+}
+
+TEST(Amplification, ZeroWhenUnitDividesTiles)
+{
+    const auto ranges = tiled_ranges(0x1000, 4096, 8);
+    EXPECT_EQ(projected_amplification(ranges, 64), 0u);
+    EXPECT_EQ(projected_amplification(ranges, 512), 0u);
+    EXPECT_EQ(projected_amplification(ranges, 4096), 0u);
+}
+
+TEST(Amplification, NonzeroWhenUnitStraddlesTiles)
+{
+    // 1.5 KiB tiles: a 1 KiB unit straddles every other boundary.
+    const auto ranges = tiled_ranges(0x0, 1536, 8);
+    EXPECT_EQ(projected_amplification(ranges, 64), 0u);  // 1536 = 24 blocks
+    EXPECT_GT(projected_amplification(ranges, 1024), 0u);
+}
+
+TEST(Amplification, GathersAmplifyAtCoarseUnits)
+{
+    // Isolated 64 B gathers at 512 B-spread addresses.
+    std::vector<Access_range> v;
+    for (int i = 0; i < 16; ++i) {
+        Access_range r;
+        r.begin = static_cast<Addr>(i) * 4096;
+        r.length = 64;
+        v.push_back(r);
+    }
+    EXPECT_EQ(projected_amplification(v, 64), 0u);
+    EXPECT_EQ(projected_amplification(v, 512), 16u * (512 - 64));
+}
+
+TEST(Search, PicksAlignedUnit)
+{
+    // Tile stride 1536 B: 512 does not divide it, 64/128/256... do up to 512?
+    // 1536 = 3 * 512: 512 divides 1536 -> aligned; 1024 does not.
+    const auto ranges = tiled_ranges(0x0, 1536, 16);
+    const auto best = search_optblk(ranges, 1536 * 16);
+    EXPECT_EQ(best.amplification_bytes, 0u);
+    EXPECT_EQ(1536 % best.unit_bytes, 0u);
+}
+
+TEST(Search, PrefersCoarserAmongAligned)
+{
+    // All power-of-two units divide 4 KiB tiles; the ledger term must push
+    // the search to the coarsest candidate.
+    const auto ranges = tiled_ranges(0x0, 4096, 16);
+    Optblk_params params;
+    const auto best = search_optblk(ranges, 4096 * 16, params);
+    EXPECT_EQ(best.unit_bytes, params.max_unit);
+    EXPECT_EQ(best.amplification_bytes, 0u);
+}
+
+TEST(Search, AmplificationOutweighsLedgerByDefault)
+{
+    // Misaligned coarse candidates must lose to aligned finer ones.
+    const auto ranges = tiled_ranges(0x0, 1536, 64);
+    const auto best = search_optblk(ranges, 1536 * 64);
+    EXPECT_EQ(best.amplification_bytes, 0u);
+}
+
+TEST(Search, GeometryCandidatesAreConsidered)
+{
+    // Tile stride 1152 B (18 blocks): only 64 and 128 among the power-of-two
+    // candidates divide it, but the row-derived candidate 1152 is both
+    // aligned and the coarsest -- the search must land on an
+    // amplification-free unit either way.
+    const auto ranges = tiled_ranges(0x0, 1152, 32);
+    Optblk_params params;
+    params.extra_candidates.push_back(1152);
+    const auto best = search_optblk(ranges, 1152 * 32, params);
+    EXPECT_EQ(best.amplification_bytes, 0u);
+    EXPECT_GE(best.unit_bytes, 64u);
+}
+
+TEST(Search, UnitCountReflectsRegionSpan)
+{
+    const auto ranges = tiled_ranges(0x0, 4096, 4);
+    const auto best = search_optblk(ranges, 4096 * 4);
+    EXPECT_EQ(best.unit_count, (4096u * 4) / best.unit_bytes);
+}
+
+TEST(Search, RespectsBounds)
+{
+    const auto ranges = tiled_ranges(0x0, 4096, 4);
+    Optblk_params params;
+    params.min_unit = 128;
+    params.max_unit = 512;
+    const auto best = search_optblk(ranges, 4096 * 4, params);
+    EXPECT_GE(best.unit_bytes, 128u);
+    EXPECT_LE(best.unit_bytes, 512u);
+}
+
+TEST(Search, RejectsBadParams)
+{
+    const auto ranges = tiled_ranges(0x0, 4096, 1);
+    Optblk_params params;
+    params.min_unit = 48;
+    EXPECT_THROW((void)search_optblk(ranges, 4096, params), Seda_error);
+    params = {};
+    params.max_unit = 32;
+    EXPECT_THROW((void)search_optblk(ranges, 4096, params), Seda_error);
+}
+
+TEST(Search, EmptyRangesStillChoose)
+{
+    const auto best = search_optblk({}, 4096);
+    EXPECT_EQ(best.amplification_bytes, 0u);
+    EXPECT_GE(best.unit_bytes, 64u);
+}
+
+}  // namespace
+}  // namespace seda::core

@@ -1,0 +1,150 @@
+// Secure model provisioning: image build, model-MAC verification, tamper
+// detection, layer decryption.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/provision.h"
+#include "models/zoo.h"
+
+namespace seda::core {
+namespace {
+
+struct Fixture {
+    accel::Model_desc model = models::lenet();
+    std::vector<u8> weights;
+    std::vector<u8> enc_key = std::vector<u8>(16);
+    std::vector<u8> mac_key = std::vector<u8>(16);
+
+    Fixture()
+    {
+        Rng rng(0x9107);
+        weights.resize(image_bytes(model));
+        for (auto& b : weights) b = rng.next_byte();
+        for (auto& b : enc_key) b = rng.next_byte();
+        for (auto& b : mac_key) b = rng.next_byte();
+    }
+};
+
+TEST(Provision, ImageBytesIsPaddedSum)
+{
+    const auto model = models::lenet();
+    Bytes expected = 0;
+    for (const auto& l : model.layers) expected += align_up(l.weight_bytes(), k_block_bytes);
+    EXPECT_EQ(image_bytes(model), expected);
+}
+
+TEST(Provision, FreshImageVerifies)
+{
+    Fixture f;
+    const auto image = provision_model(f.model, f.weights, f.enc_key, f.mac_key);
+    EXPECT_TRUE(verify_image(image, f.mac_key));
+    EXPECT_EQ(image.layers.size(), f.model.layers.size());
+    EXPECT_EQ(image.layer_macs.size(), f.model.layers.size());
+    EXPECT_EQ(image.ciphertext.size(), f.weights.size());
+}
+
+TEST(Provision, CiphertextDiffersFromPlaintext)
+{
+    Fixture f;
+    const auto image = provision_model(f.model, f.weights, f.enc_key, f.mac_key);
+    EXPECT_NE(image.ciphertext, f.weights);
+}
+
+TEST(Provision, ModelMacIsFoldOfLayerMacs)
+{
+    // XOR-folding is hierarchical: the model MAC equals the fold of the
+    // per-layer folds (Fig. 3(b): optBlk MAC -> layer MAC -> model MAC).
+    Fixture f;
+    const auto image = provision_model(f.model, f.weights, f.enc_key, f.mac_key);
+    u64 fold = 0;
+    for (const u64 m : image.layer_macs) fold ^= m;
+    EXPECT_EQ(fold, image.model_mac);
+}
+
+TEST(Provision, AnyTamperedByteFailsVerification)
+{
+    Fixture f;
+    auto image = provision_model(f.model, f.weights, f.enc_key, f.mac_key);
+    // Flip one bit in the middle of layer 2's span.
+    image.ciphertext[image.ciphertext.size() / 2] ^= 0x04;
+    EXPECT_FALSE(verify_image(image, f.mac_key));
+}
+
+TEST(Provision, TamperedLayerMacTableFails)
+{
+    Fixture f;
+    auto image = provision_model(f.model, f.weights, f.enc_key, f.mac_key);
+    image.layer_macs[1] ^= 1;
+    EXPECT_FALSE(verify_image(image, f.mac_key));
+}
+
+TEST(Provision, WrongMacKeyFails)
+{
+    Fixture f;
+    const auto image = provision_model(f.model, f.weights, f.enc_key, f.mac_key);
+    auto wrong = f.mac_key;
+    wrong[0] ^= 1;
+    EXPECT_FALSE(verify_image(image, wrong));
+}
+
+TEST(Provision, DecryptLayerRecoversWeights)
+{
+    Fixture f;
+    const auto image = provision_model(f.model, f.weights, f.enc_key, f.mac_key);
+
+    Bytes cursor = 0;
+    for (u32 i = 0; i < f.model.layers.size(); ++i) {
+        const Bytes padded = align_up(f.model.layers[i].weight_bytes(), k_block_bytes);
+        const auto plain = decrypt_layer(image, i, f.enc_key);
+        ASSERT_EQ(plain.size(), padded);
+        EXPECT_TRUE(std::equal(plain.begin(), plain.end(),
+                               f.weights.begin() + static_cast<std::ptrdiff_t>(cursor)))
+            << "layer " << i;
+        cursor += padded;
+    }
+}
+
+TEST(Provision, DecryptUnknownLayerThrows)
+{
+    Fixture f;
+    const auto image = provision_model(f.model, f.weights, f.enc_key, f.mac_key);
+    EXPECT_THROW((void)decrypt_layer(image, 999, f.enc_key), Seda_error);
+}
+
+TEST(Provision, WrongWeightSizeThrows)
+{
+    Fixture f;
+    f.weights.pop_back();
+    EXPECT_THROW((void)provision_model(f.model, f.weights, f.enc_key, f.mac_key),
+                 Seda_error);
+}
+
+TEST(Provision, LayerSpansMatchMemoryMap)
+{
+    Fixture f;
+    const auto image = provision_model(f.model, f.weights, f.enc_key, f.mac_key);
+    const accel::Memory_map map(f.model);
+    for (std::size_t i = 0; i < image.layers.size(); ++i) {
+        EXPECT_EQ(image.layers[i].base, map.weight_addr[i]);
+        EXPECT_EQ(image.layers[i].layer_id, i);
+    }
+}
+
+TEST(Provision, WorksAcrossModels)
+{
+    Rng rng(0x7777);
+    for (const char* name : {"alex", "yolo", "ncf"}) {
+        const auto model = models::model_by_name(name);
+        std::vector<u8> weights(image_bytes(model));
+        for (auto& b : weights) b = rng.next_byte();
+        std::vector<u8> key(16, 0x21);
+        const auto image = provision_model(model, weights, key, key);
+        EXPECT_TRUE(verify_image(image, key)) << name;
+    }
+}
+
+}  // namespace
+}  // namespace seda::core

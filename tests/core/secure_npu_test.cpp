@@ -1,0 +1,136 @@
+// End-to-end pricing pipeline invariants.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/secure_npu.h"
+#include "models/zoo.h"
+
+namespace seda::core {
+namespace {
+
+using accel::Npu_config;
+
+TEST(SecureNpu, LayerTimeIsMaxOfEngines)
+{
+    const auto sim = accel::simulate_model(models::lenet(), Npu_config::server());
+    protect::Baseline_scheme base;
+    const auto stats = run_protected(sim, base);
+    for (const auto& l : stats.layers) {
+        EXPECT_GE(l.layer_cycles, l.compute_cycles) << l.layer_name;
+        EXPECT_GE(l.layer_cycles, l.mem_cycles) << l.layer_name;
+        EXPECT_GE(l.layer_cycles, l.crypto_cycles) << l.layer_name;
+        EXPECT_EQ(l.layer_cycles,
+                  std::max({l.compute_cycles, l.mem_cycles, l.crypto_cycles}))
+            << l.layer_name;
+    }
+}
+
+TEST(SecureNpu, TotalsAreLayerSums)
+{
+    const auto sim = accel::simulate_model(models::lenet(), Npu_config::server());
+    protect::Baseline_scheme base;
+    const auto stats = run_protected(sim, base);
+    Cycles cycles = 0;
+    Bytes traffic = 0;
+    for (const auto& l : stats.layers) {
+        cycles += l.layer_cycles;
+        traffic += l.traffic_bytes;
+    }
+    EXPECT_EQ(stats.total_cycles, cycles);
+    EXPECT_EQ(stats.traffic_bytes, traffic);
+}
+
+TEST(SecureNpu, BaselineHasNoCryptoTime)
+{
+    const auto sim = accel::simulate_model(models::lenet(), Npu_config::server());
+    protect::Baseline_scheme base;
+    const auto stats = run_protected(sim, base);
+    for (const auto& l : stats.layers) EXPECT_EQ(l.crypto_cycles, 0u);
+}
+
+TEST(SecureNpu, ProtectionNeverSpeedsThingsUp)
+{
+    const auto sim = accel::simulate_model(models::alexnet(), Npu_config::edge());
+    protect::Baseline_scheme base;
+    const auto base_stats = run_protected(sim, base);
+    for (const char* id : {"sgx-64", "sgx-512", "mgx-64", "mgx-512", "seda"}) {
+        auto scheme = make_scheme(id);
+        const auto stats = run_protected(sim, *scheme);
+        EXPECT_GE(stats.total_cycles, base_stats.total_cycles) << id;
+        EXPECT_GE(stats.traffic_bytes, base_stats.traffic_bytes) << id;
+    }
+}
+
+TEST(SecureNpu, TrafficMatchesTagBreakdown)
+{
+    const auto sim = accel::simulate_model(models::resnet18(), Npu_config::server());
+    auto scheme = make_scheme("sgx-64");
+    const auto stats = run_protected(sim, *scheme);
+    Bytes tag_sum = 0;
+    for (const Bytes b : stats.bytes_by_tag) tag_sum += b;
+    EXPECT_EQ(tag_sum, stats.traffic_bytes);
+    EXPECT_GT(stats.bytes_by_tag[static_cast<int>(dram::Traffic_tag::mac)], 0u);
+    EXPECT_GT(stats.prefetch_bytes, 0u);  // SGX VN + tree
+}
+
+TEST(SecureNpu, StallsRaiseMemoryTime)
+{
+    const auto sim = accel::simulate_model(models::resnet18(), Npu_config::server());
+    auto scheme = make_scheme("mgx-64");
+    protect::Perf_params no_stall;
+    no_stall.stall_cycles_per_mac_miss = 0.0;
+    protect::Perf_params stall;
+    stall.stall_cycles_per_mac_miss = 50.0;
+    const auto fast = run_protected(sim, *scheme, no_stall);
+    const auto slow = run_protected(sim, *scheme, stall);
+    EXPECT_GT(slow.total_cycles, fast.total_cycles);
+    EXPECT_EQ(slow.traffic_bytes, fast.traffic_bytes);  // time-only knob
+}
+
+TEST(SecureNpu, PrefetchDiscountScalesVnTime)
+{
+    const auto sim = accel::simulate_model(models::resnet18(), Npu_config::server());
+    auto scheme = make_scheme("sgx-64");
+    protect::Perf_params cheap;
+    cheap.vn_prefetch_discount = 0.0;
+    protect::Perf_params expensive;
+    expensive.vn_prefetch_discount = 1.0;
+    const auto fast = run_protected(sim, *scheme, cheap);
+    const auto slow = run_protected(sim, *scheme, expensive);
+    EXPECT_GT(slow.total_cycles, fast.total_cycles);
+}
+
+TEST(SecureNpu, RowHitRateIsSane)
+{
+    const auto sim = accel::simulate_model(models::resnet18(), Npu_config::server());
+    protect::Baseline_scheme base;
+    const auto stats = run_protected(sim, base);
+    EXPECT_GT(stats.dram_row_hit_rate, 0.5);  // streaming workload
+    EXPECT_LE(stats.dram_row_hit_rate, 1.0);
+}
+
+TEST(SecureNpu, EdgeIsSlowerInWallclock)
+{
+    const auto server = accel::simulate_model(models::resnet18(), Npu_config::server());
+    const auto edge = accel::simulate_model(models::resnet18(), Npu_config::edge());
+    protect::Baseline_scheme b1;
+    protect::Baseline_scheme b2;
+    const auto s = run_protected(server, b1);
+    const auto e = run_protected(edge, b2);
+    EXPECT_GT(e.seconds(Npu_config::edge().freq_ghz),
+              s.seconds(Npu_config::server().freq_ghz));
+}
+
+TEST(SecureNpu, RunLabelsCarryContext)
+{
+    const auto sim = accel::simulate_model(models::lenet(), Npu_config::edge());
+    auto scheme = make_scheme("seda");
+    const auto stats = run_protected(sim, *scheme);
+    EXPECT_EQ(stats.scheme_name, "seda");
+    EXPECT_EQ(stats.model_name, "lenet");
+    EXPECT_EQ(stats.npu_name, "edge-exynos-990");
+    EXPECT_EQ(stats.layers.size(), sim.layers.size() + 1);  // + end-of-model
+}
+
+}  // namespace
+}  // namespace seda::core

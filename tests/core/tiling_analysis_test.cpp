@@ -1,0 +1,113 @@
+// Intra-layer overlap and inter-layer alignment analysis (Fig. 3(b)).
+#include <gtest/gtest.h>
+
+#include "accel/accel_sim.h"
+#include "core/tiling_analysis.h"
+#include "models/zoo.h"
+
+namespace seda::core {
+namespace {
+
+using accel::Layer_desc;
+using accel::Model_desc;
+using accel::Npu_config;
+
+accel::Model_sim simulate(std::vector<Layer_desc> layers,
+                          const Npu_config& npu = Npu_config::edge())
+{
+    Model_desc m;
+    m.name = "t";
+    m.layers = std::move(layers);
+    return accel::simulate_model(std::move(m), npu);
+}
+
+TEST(Overlap, ConvWithStrideOneHasHalo)
+{
+    const auto sim =
+        simulate({Layer_desc::make_conv("c", 226, 226, 16, 3, 3, 16, 1)});
+    ASSERT_GT(sim.layers[0].plan.m_tiles, 1);
+    const auto s = analyze_overlap(sim.layers[0]);
+    EXPECT_GT(s.halo_refetch_bytes, 0u);
+    EXPECT_GT(s.halo_fraction, 0.0);
+    EXPECT_LT(s.halo_fraction, 0.5);
+}
+
+TEST(Overlap, MatmulHasNoHalo)
+{
+    const auto sim = simulate({Layer_desc::make_matmul("m", 512, 256, 256)});
+    const auto s = analyze_overlap(sim.layers[0]);
+    EXPECT_EQ(s.halo_refetch_bytes, 0u);
+    EXPECT_DOUBLE_EQ(s.halo_fraction, 0.0);
+}
+
+TEST(Overlap, PoolingWithMatchedStrideHasNoHalo)
+{
+    const auto sim = simulate({Layer_desc::make_pool("p", 224, 224, 32, 2, 2)});
+    const auto s = analyze_overlap(sim.layers[0]);
+    EXPECT_EQ(s.halo_refetch_bytes, 0u);
+}
+
+TEST(Overlap, MatchesPlanPrediction)
+{
+    const auto sim =
+        simulate({Layer_desc::make_conv("c", 226, 226, 16, 3, 3, 16, 1)});
+    const auto& plan = sim.layers[0].plan;
+    const auto s = analyze_overlap(sim.layers[0]);
+    // Block rounding makes the measured value >= the exact byte formula.
+    EXPECT_GE(s.halo_refetch_bytes + 2 * k_block_bytes * static_cast<Bytes>(plan.m_tiles),
+              plan.halo_refetch_bytes());
+}
+
+TEST(Overlap, BigBuffersRemoveHalo)
+{
+    // The server NPU holds whole layers: single tile, no refetch.
+    const auto sim = simulate({Layer_desc::make_conv("c", 226, 226, 16, 3, 3, 16, 1)},
+                              Npu_config::server());
+    EXPECT_EQ(sim.layers[0].plan.m_tiles, 1);
+    EXPECT_EQ(analyze_overlap(sim.layers[0]).halo_refetch_bytes, 0u);
+}
+
+TEST(Overlap, WeightRefetchCounted)
+{
+    // Edge NPU with non-resident weights streams them per row tile.
+    const auto sim =
+        simulate({Layer_desc::make_conv("c", 30, 30, 256, 3, 3, 512, 1)});
+    ASSERT_FALSE(sim.layers[0].plan.weights_resident);
+    ASSERT_GT(sim.layers[0].plan.m_tiles, 1);
+    const auto s = analyze_overlap(sim.layers[0]);
+    EXPECT_GT(s.weight_refetch_bytes, 0u);
+}
+
+TEST(Alignment, StridesComeFromPlans)
+{
+    const auto sim = simulate({Layer_desc::make_conv("a", 114, 114, 32, 3, 3, 32, 1),
+                               Layer_desc::make_conv("b", 114, 114, 32, 3, 3, 32, 1)});
+    const auto info = analyze_alignment(sim.layers[0], sim.layers[1]);
+    EXPECT_EQ(info.producer_stride_bytes,
+              static_cast<Bytes>(sim.layers[0].plan.t_oh) *
+                  sim.layers[0].plan.ofmap_row_bytes);
+    EXPECT_GT(info.consumer_stride_bytes, 0u);
+}
+
+TEST(Alignment, UnitAlignedIffDividesBothStrides)
+{
+    Alignment_info info;
+    info.producer_stride_bytes = 4096;
+    info.consumer_stride_bytes = 6144;  // 1.5x producer
+    EXPECT_TRUE(unit_aligned(info, 64));
+    EXPECT_TRUE(unit_aligned(info, 2048));  // divides both
+    EXPECT_FALSE(unit_aligned(info, 4096)); // divides producer only
+    EXPECT_FALSE(unit_aligned(info, 0));
+}
+
+TEST(Alignment, ZeroStrideIsWildcard)
+{
+    Alignment_info info;
+    info.producer_stride_bytes = 0;  // e.g. model input with no producer
+    info.consumer_stride_bytes = 512;
+    EXPECT_TRUE(unit_aligned(info, 512));
+    EXPECT_FALSE(unit_aligned(info, 1024));
+}
+
+}  // namespace
+}  // namespace seda::core

@@ -1,0 +1,161 @@
+// SECA and RePA: the attacks succeed against the vulnerable designs and
+// fail against the SeDA defenses (Algorithms 1 and 2, both halves).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "crypto/attacks.h"
+#include "crypto/baes.h"
+
+namespace seda::crypto {
+namespace {
+
+std::vector<u8> test_key(u64 seed = 0xA77)
+{
+    std::vector<u8> key(16);
+    Rng rng(seed);
+    for (auto& b : key) b = rng.next_byte();
+    return key;
+}
+
+TEST(SparsePlaintext, HasRequestedZeroFraction)
+{
+    Rng rng(1);
+    const auto data = make_sparse_plaintext(16 * 1000, 0.7, rng);
+    std::size_t zero_segments = 0;
+    for (std::size_t s = 0; s < 1000; ++s) {
+        bool all_zero = true;
+        for (std::size_t i = 0; i < 16; ++i)
+            if (data[16 * s + i] != 0) all_zero = false;
+        if (all_zero) ++zero_segments;
+    }
+    EXPECT_GT(zero_segments, 650u);
+    EXPECT_LT(zero_segments, 750u);
+}
+
+class SecaSparsityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SecaSparsityTest, SucceedsAgainstSharedOtp)
+{
+    Rng rng(33);
+    const auto plain = make_sparse_plaintext(4096, GetParam(), rng);
+    const Aes_ctr ctr(test_key());
+    auto cipher = plain;
+    ctr.crypt_shared_otp(cipher, 0x9000, 11);
+
+    const auto r = seca_attack(cipher, Block16{}, plain);
+    // With zeros the plurality value, the OTP recovers and with it every
+    // segment of the unit.
+    EXPECT_TRUE(r.success()) << "sparsity " << GetParam();
+    EXPECT_EQ(r.recovered, r.segments);
+    // The recovered OTP must equal the true pad.
+    EXPECT_EQ(r.recovered_otp, ctr.otp(0x9000, 11));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, SecaSparsityTest, ::testing::Values(0.4, 0.6, 0.8));
+
+TEST(Seca, FailsAgainstBaes)
+{
+    Rng rng(34);
+    const auto plain = make_sparse_plaintext(4096, 0.7, rng);
+    const Baes_engine baes(test_key());
+    auto cipher = plain;
+    baes.crypt(cipher, 0x9000, 11);
+
+    const auto r = seca_attack(cipher, Block16{}, plain);
+    EXPECT_FALSE(r.success());
+    // At most a handful of lucky segments (the one whose pad was inferred).
+    EXPECT_LT(r.recovery_rate(), 0.05);
+}
+
+TEST(Seca, FailsAgainstStandardCtr)
+{
+    Rng rng(35);
+    const auto plain = make_sparse_plaintext(4096, 0.7, rng);
+    const Aes_ctr ctr(test_key());
+    auto cipher = plain;
+    ctr.crypt_standard(cipher, 0x9000, 11);
+
+    const auto r = seca_attack(cipher, Block16{}, plain);
+    EXPECT_FALSE(r.success());
+}
+
+TEST(Seca, WrongPriorDefeatsTheAttackEvenOnSharedOtp)
+{
+    Rng rng(36);
+    const auto plain = make_sparse_plaintext(2048, 0.7, rng);
+    const Aes_ctr ctr(test_key());
+    auto cipher = plain;
+    ctr.crypt_shared_otp(cipher, 0x9000, 11);
+
+    Block16 wrong_guess{};
+    wrong_guess[0] = 0xFF;  // attacker guesses the wrong frequent value
+    const auto r = seca_attack(cipher, wrong_guess, plain);
+    EXPECT_FALSE(r.success());
+}
+
+TEST(Seca, RejectsMismatchedLengths)
+{
+    const std::vector<u8> cipher(32);
+    const std::vector<u8> plain(16);
+    EXPECT_THROW((void)seca_attack(cipher, Block16{}, plain), Seda_error);
+}
+
+// ---------------------------------------------------------------- RePA ----
+
+struct Repa_fixture {
+    std::vector<std::vector<u8>> blocks;
+    std::vector<Addr> addrs;
+    std::vector<u64> vns;
+
+    explicit Repa_fixture(std::size_t n, u64 seed = 0xEE)
+    {
+        Rng rng(seed);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::vector<u8> blk(64);
+            for (auto& b : blk) b = rng.next_byte();
+            blocks.push_back(std::move(blk));
+            addrs.push_back(0x8000'0000 + i * 64);
+            vns.push_back(2);
+        }
+    }
+};
+
+class RepaSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RepaSizeTest, SucceedsAgainstNaiveXorMac)
+{
+    Repa_fixture fx(GetParam());
+    Rng rng(501);
+    const auto r = repa_attack(fx.blocks, fx.addrs, fx.vns, 3, test_key(),
+                               Layer_mac_kind::naive_xor, rng);
+    EXPECT_TRUE(r.verification_passed);
+    EXPECT_FALSE(r.data_intact);
+    EXPECT_TRUE(r.attack_succeeded());
+}
+
+TEST_P(RepaSizeTest, FailsAgainstPositionalMac)
+{
+    Repa_fixture fx(GetParam());
+    Rng rng(502);
+    const auto r = repa_attack(fx.blocks, fx.addrs, fx.vns, 3, test_key(),
+                               Layer_mac_kind::positional_xor, rng);
+    EXPECT_FALSE(r.verification_passed);
+    EXPECT_FALSE(r.attack_succeeded());
+}
+
+INSTANTIATE_TEST_SUITE_P(LayerSizes, RepaSizeTest, ::testing::Values(2u, 8u, 64u, 256u));
+
+TEST(Repa, RequiresAtLeastTwoBlocks)
+{
+    Repa_fixture fx(1);
+    Rng rng(503);
+    EXPECT_THROW((void)repa_attack(fx.blocks, fx.addrs, fx.vns, 3, test_key(),
+                                   Layer_mac_kind::naive_xor, rng),
+                 Seda_error);
+}
+
+}  // namespace
+}  // namespace seda::crypto

@@ -1,0 +1,109 @@
+// B-AES: SeDA's bandwidth-aware OTP fan-out (Fig. 3(a), Algorithm 1 defense).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/baes.h"
+
+namespace seda::crypto {
+namespace {
+
+std::vector<u8> test_key()
+{
+    std::vector<u8> key(16);
+    Rng rng(0xBAE5);
+    for (auto& b : key) b = rng.next_byte();
+    return key;
+}
+
+TEST(Baes, NativeLaneCountIsRoundKeyCount)
+{
+    const Baes_engine baes(test_key());
+    EXPECT_EQ(baes.native_lanes(), 11u);  // AES-128: 10 rounds + initial key
+}
+
+class BaesLaneTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BaesLaneTest, AllPadsDistinct)
+{
+    const Baes_engine baes(test_key());
+    const auto pads = baes.otps(0x4000, 9, GetParam());
+    ASSERT_EQ(pads.size(), GetParam());
+    std::set<Block16> unique(pads.begin(), pads.end());
+    EXPECT_EQ(unique.size(), pads.size());
+}
+
+TEST_P(BaesLaneTest, PadsAreDeterministic)
+{
+    const Baes_engine baes(test_key());
+    EXPECT_EQ(baes.otps(0x4000, 9, GetParam()), baes.otps(0x4000, 9, GetParam()));
+}
+
+TEST_P(BaesLaneTest, PadsChangeWithVn)
+{
+    const Baes_engine baes(test_key());
+    const auto a = baes.otps(0x4000, 9, GetParam());
+    const auto b = baes.otps(0x4000, 10, GetParam());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NE(a[i], b[i]) << "lane " << i;
+}
+
+// 4 lanes = one 64 B unit; 32 lanes = 512 B unit; 40 exceeds the native
+// round-key bank and exercises the extended keyExpansion path.
+INSTANTIATE_TEST_SUITE_P(LaneCounts, BaesLaneTest, ::testing::Values(1u, 4u, 11u, 32u, 40u));
+
+TEST(Baes, PadIsBaseOtpXorRoundKey)
+{
+    const auto key = test_key();
+    const Baes_engine baes(key);
+    const Aes_ctr ctr(key);
+    const Block16 base = ctr.otp(0x8000, 3);
+    const auto pads = baes.otps(0x8000, 3, 4);
+    const auto rks = ctr.engine().round_keys();
+    for (std::size_t i = 0; i < pads.size(); ++i)
+        EXPECT_EQ(pads[i], xor_blocks(base, rks[i])) << "lane " << i;
+}
+
+TEST(Baes, CryptRoundtrip)
+{
+    const Baes_engine baes(test_key());
+    Rng rng(5);
+    for (const std::size_t n : {16u, 64u, 100u, 512u, 1024u}) {
+        std::vector<u8> data(n);
+        for (auto& b : data) b = rng.next_byte();
+        const auto original = data;
+        baes.crypt(data, 0xC000, 2);
+        EXPECT_NE(data, original) << n;
+        baes.crypt(data, 0xC000, 2);
+        EXPECT_EQ(data, original) << n;
+    }
+}
+
+TEST(Baes, SegmentsOfEqualPlaintextEncryptDifferently)
+{
+    // The whole point of the defense: equal plaintext segments within one
+    // protected unit must not collide in ciphertext.
+    const Baes_engine baes(test_key());
+    std::vector<u8> zeros(512, 0);
+    baes.crypt(zeros, 0xD000, 1);
+    std::set<Block16> segments;
+    for (std::size_t s = 0; s < zeros.size() / 16; ++s) {
+        Block16 seg{};
+        std::copy_n(zeros.begin() + static_cast<std::ptrdiff_t>(16 * s), 16, seg.begin());
+        segments.insert(seg);
+    }
+    EXPECT_EQ(segments.size(), zeros.size() / 16);
+}
+
+TEST(Baes, ExtendedBankDiffersFromPrimary)
+{
+    const Baes_engine baes(test_key());
+    // Lane 11+ comes from the re-keyed expansion (key xor (PA||VN) xor bank).
+    const auto pads = baes.otps(0x1000, 1, 22);
+    std::set<Block16> unique(pads.begin(), pads.end());
+    EXPECT_EQ(unique.size(), 22u);
+}
+
+}  // namespace
+}  // namespace seda::crypto

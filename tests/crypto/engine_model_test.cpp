@@ -1,0 +1,87 @@
+// The 28 nm crypto hardware model behind Fig. 4.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "crypto/engine_model.h"
+
+namespace seda::crypto {
+namespace {
+
+TEST(EngineModel, SingleEngineCostsAreEqual)
+{
+    const auto t = t_aes_cost(1.0);
+    const auto b = b_aes_cost(1.0);
+    EXPECT_DOUBLE_EQ(t.area_um2, b.area_um2);
+    EXPECT_DOUBLE_EQ(t.power_uw, b.power_uw);
+    EXPECT_EQ(b.xor_lanes, 0);
+}
+
+TEST(EngineModel, TAesGrowsLinearly)
+{
+    const auto c1 = t_aes_cost(1.0);
+    for (int n = 2; n <= 8; ++n) {
+        const auto cn = t_aes_cost(n);
+        EXPECT_DOUBLE_EQ(cn.area_um2, n * c1.area_um2);
+        EXPECT_DOUBLE_EQ(cn.power_uw, n * c1.power_uw);
+        EXPECT_EQ(cn.aes_engines, n);
+    }
+}
+
+TEST(EngineModel, BAesStaysNearlyFlat)
+{
+    const auto b1 = b_aes_cost(1.0);
+    const auto b8 = b_aes_cost(8.0);
+    // Paper claim: minimal increase with bandwidth.  Assert < 35% growth at
+    // 8x where T-AES grows 700%.
+    EXPECT_LT(b8.area_um2, 1.35 * b1.area_um2);
+    EXPECT_LT(b8.power_uw, 1.10 * b1.power_uw);
+    EXPECT_EQ(b8.aes_engines, 1);
+    EXPECT_EQ(b8.xor_lanes, 7);
+}
+
+TEST(EngineModel, BAesBeatsTAesBeyondOneEngine)
+{
+    for (double m = 1.5; m <= 8.0; m += 0.5) {
+        EXPECT_LT(b_aes_cost(m).area_um2, t_aes_cost(m).area_um2) << m;
+        EXPECT_LT(b_aes_cost(m).power_uw, t_aes_cost(m).power_uw) << m;
+    }
+}
+
+TEST(EngineModel, FractionalDemandRoundsUp)
+{
+    EXPECT_EQ(t_aes_cost(2.2).aes_engines, 3);
+    EXPECT_EQ(b_aes_cost(2.2).xor_lanes, 2);
+}
+
+TEST(EngineModel, Fig4AxisAnchors)
+{
+    // The paper's Fig. 4 axes peak near 45k um^2 / 24k uW at the 8x point.
+    const auto t8 = t_aes_cost(8.0);
+    EXPECT_NEAR(t8.area_um2, 45000.0, 2000.0);
+    EXPECT_NEAR(t8.power_uw, 24000.0, 2000.0);
+}
+
+TEST(EngineModel, ThroughputScalesWithLanes)
+{
+    EXPECT_DOUBLE_EQ(crypto_bytes_per_cycle(1), 16.0);
+    EXPECT_DOUBLE_EQ(crypto_bytes_per_cycle(4), 64.0);
+}
+
+TEST(EngineModel, RequiredEquivalents)
+{
+    EXPECT_EQ(required_engine_equivalents(16.0), 1);
+    EXPECT_EQ(required_engine_equivalents(16.1), 2);
+    EXPECT_EQ(required_engine_equivalents(20.0), 2);
+    EXPECT_EQ(required_engine_equivalents(128.0), 8);
+}
+
+TEST(EngineModel, RejectsBadInputs)
+{
+    EXPECT_THROW((void)t_aes_cost(0.0), Seda_error);
+    EXPECT_THROW((void)b_aes_cost(-1.0), Seda_error);
+    EXPECT_THROW((void)crypto_bytes_per_cycle(0), Seda_error);
+    EXPECT_THROW((void)required_engine_equivalents(0.0), Seda_error);
+}
+
+}  // namespace
+}  // namespace seda::crypto

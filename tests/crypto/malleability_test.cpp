@@ -1,0 +1,81 @@
+// CTR-mode malleability: why confidentiality alone is not enough.
+//
+// AES-CTR ciphertext is XOR-malleable: flipping a ciphertext bit flips the
+// same plaintext bit, deterministically, without knowing the key.  An
+// attacker who knows a weight tensor's layout can therefore make *targeted*
+// model edits through the encryption -- the "malicious tampering" arrow in
+// Fig. 1(b).  Only the MAC layer catches it, which is why every scheme in
+// Table III pairs AES-CTR with integrity verification.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/secure_memory.h"
+#include "crypto/baes.h"
+
+namespace seda::crypto {
+namespace {
+
+TEST(Malleability, BitFlipInCiphertextFlipsSamePlaintextBit)
+{
+    Rng rng(0xFA11);
+    std::vector<u8> key(16);
+    for (auto& b : key) b = rng.next_byte();
+    const Baes_engine baes(key);
+
+    std::vector<u8> plain(64);
+    for (auto& b : plain) b = rng.next_byte();
+    auto cipher = plain;
+    baes.crypt(cipher, 0x1000, 1);
+
+    // Attacker flips bit 3 of byte 10 in the ciphertext, key-free.
+    cipher[10] ^= 0x08;
+    baes.crypt(cipher, 0x1000, 1);  // victim decrypts
+
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        if (i == 10)
+            EXPECT_EQ(cipher[i], plain[i] ^ 0x08);  // targeted edit landed
+        else
+            EXPECT_EQ(cipher[i], plain[i]);  // everything else untouched
+    }
+}
+
+TEST(Malleability, KnownPlaintextRewrite)
+{
+    // Stronger: with known plaintext the attacker rewrites a weight to an
+    // arbitrary chosen value: c' = c ^ old ^ new.
+    Rng rng(0xFA12);
+    std::vector<u8> key(16);
+    for (auto& b : key) b = rng.next_byte();
+    const Baes_engine baes(key);
+
+    std::vector<u8> plain(64, 0x11);  // attacker knows these weights
+    auto cipher = plain;
+    baes.crypt(cipher, 0x2000, 5);
+
+    const u8 chosen = 0x99;
+    cipher[0] = static_cast<u8>(cipher[0] ^ 0x11 ^ chosen);
+    baes.crypt(cipher, 0x2000, 5);
+    EXPECT_EQ(cipher[0], chosen);  // model weight replaced at will
+}
+
+TEST(Malleability, MacLayerCatchesTheEdit)
+{
+    // The same targeted edit against the full Secure_memory stack fails
+    // verification before the datapath ever sees the flipped weight.
+    Rng rng(0xFA13);
+    std::vector<u8> key(16);
+    for (auto& b : key) b = rng.next_byte();
+
+    core::Secure_memory mem(key, key);
+    std::vector<u8> tile(64, 0x11);
+    mem.write(0x2000, tile, 0, 0, 0);
+    mem.tamper(0x2000, 0, 0x11 ^ 0x99);  // the known-plaintext rewrite
+
+    std::vector<u8> out(64);
+    EXPECT_EQ(mem.read(0x2000, out, 0, 0, 0), core::Verify_status::mac_mismatch);
+}
+
+}  // namespace
+}  // namespace seda::crypto

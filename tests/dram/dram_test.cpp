@@ -1,0 +1,229 @@
+// Timing invariants and statistics of the DDR model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "dram/dram_sim.h"
+
+namespace seda::dram {
+namespace {
+
+std::vector<Request> sequential_reads(Addr base, int n)
+{
+    std::vector<Request> v;
+    for (int i = 0; i < n; ++i)
+        v.push_back({base + static_cast<Addr>(i) * k_block_bytes, false,
+                     Traffic_tag::data});
+    return v;
+}
+
+std::vector<Request> random_reads(Addr base, Bytes span, int n, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<Request> v;
+    for (int i = 0; i < n; ++i) {
+        const Addr a = base + align_down(rng.next_below(span), k_block_bytes);
+        v.push_back({a, false, Traffic_tag::data});
+    }
+    return v;
+}
+
+TEST(AddressMap, DecodesChannelInterleave)
+{
+    Dram_config cfg;
+    const Address_map map(cfg);
+    // Consecutive 64 B blocks round-robin across the 4 channels.
+    for (int i = 0; i < 16; ++i) {
+        const auto d = map.decode(static_cast<Addr>(i) * k_block_bytes);
+        EXPECT_EQ(d.channel, i % cfg.channels);
+    }
+}
+
+TEST(AddressMap, RowChangesAfterRowBytesPerChannel)
+{
+    Dram_config cfg;
+    const Address_map map(cfg);
+    const auto a = map.decode(0);
+    // Same channel, same bank until the row is exhausted.
+    const u64 blocks_per_row = cfg.row_bytes / cfg.burst_bytes;
+    const Addr same_row_addr = (blocks_per_row - 1) * static_cast<Addr>(cfg.channels) *
+                               k_block_bytes;
+    const auto b = map.decode(same_row_addr);
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+}
+
+TEST(DramSim, SequentialStreamIsMostlyRowHits)
+{
+    Dram_sim sim{Dram_config{}};
+    sim.process_stream(sequential_reads(0, 4096));
+    EXPECT_GT(sim.stats().row_hit_rate(), 0.95);
+}
+
+TEST(DramSim, RandomStreamIsMostlyRowMisses)
+{
+    Dram_sim sim{Dram_config{}};
+    sim.process_stream(random_reads(0, 1ULL << 30, 4096, 5));
+    EXPECT_LT(sim.stats().row_hit_rate(), 0.2);
+}
+
+TEST(DramSim, RandomStreamIsSlowerThanSequential)
+{
+    Dram_sim seq{Dram_config{}};
+    Dram_sim rnd{Dram_config{}};
+    const Cycles t_seq = seq.process_stream(sequential_reads(0, 8192));
+    const Cycles t_rnd = rnd.process_stream(random_reads(0, 1ULL << 30, 8192, 6));
+    EXPECT_GT(t_rnd, t_seq);
+}
+
+TEST(DramSim, SequentialStreamApproachesPeakBandwidth)
+{
+    Dram_config cfg;
+    Dram_sim sim{cfg};
+    const int n = 65536;
+    const Cycles t = sim.process_stream(sequential_reads(0, n));
+    const double peak_bytes_per_cycle =
+        cfg.channels * cfg.peak_bytes_per_cycle_per_channel();
+    const double achieved =
+        static_cast<double>(n) * static_cast<double>(k_block_bytes) / static_cast<double>(t);
+    EXPECT_GT(achieved, 0.9 * peak_bytes_per_cycle);
+    EXPECT_LE(achieved, peak_bytes_per_cycle * 1.001);
+}
+
+TEST(DramSim, MakespanMonotonicInRequestCount)
+{
+    Dram_sim a{Dram_config{}};
+    Dram_sim b{Dram_config{}};
+    const Cycles t1 = a.process_stream(sequential_reads(0, 1000));
+    const Cycles t2 = b.process_stream(sequential_reads(0, 2000));
+    EXPECT_GT(t2, t1);
+}
+
+TEST(DramSim, StatsAccounting)
+{
+    Dram_sim sim{Dram_config{}};
+    std::vector<Request> reqs = sequential_reads(0, 100);
+    reqs.push_back({0x100000, true, Traffic_tag::mac});
+    reqs.push_back({0x100040, true, Traffic_tag::mac});
+    sim.process_stream(reqs);
+    EXPECT_EQ(sim.stats().reads, 100u);
+    EXPECT_EQ(sim.stats().writes, 2u);
+    EXPECT_EQ(sim.stats().bytes_by_tag[static_cast<int>(Traffic_tag::data)], 6400u);
+    EXPECT_EQ(sim.stats().bytes_by_tag[static_cast<int>(Traffic_tag::mac)], 128u);
+    EXPECT_EQ(sim.stats().total_bytes(), 6528u);
+}
+
+TEST(DramSim, StatePersistsAcrossStreams)
+{
+    Dram_sim sim{Dram_config{}};
+    sim.process_stream(sequential_reads(0, 64));
+    const Cycles before = sim.now();
+    sim.process_stream(sequential_reads(64 * k_block_bytes, 64));
+    EXPECT_GT(sim.now(), before);
+}
+
+TEST(DramSim, ResetClearsEverything)
+{
+    Dram_sim sim{Dram_config{}};
+    sim.process_stream(sequential_reads(0, 64));
+    sim.reset();
+    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_EQ(sim.stats().reads, 0u);
+    EXPECT_EQ(sim.stats().total_bytes(), 0u);
+}
+
+TEST(DramSim, EmptyStreamIsFree)
+{
+    Dram_sim sim{Dram_config{}};
+    EXPECT_EQ(sim.process_stream({}), 0u);
+}
+
+TEST(DramSim, MoreChannelsGoFaster)
+{
+    Dram_config one;
+    one.channels = 1;
+    Dram_config four;
+    four.channels = 4;
+    Dram_sim s1{one};
+    Dram_sim s4{four};
+    const auto reqs = sequential_reads(0, 8192);
+    EXPECT_GT(s1.process_stream(reqs), s4.process_stream(reqs));
+}
+
+TEST(DramSim, WriteRecoveryDelaysBankTurnaround)
+{
+    // Alternating write/read to the same bank pays t_wr; to different rows
+    // it also pays activation.  Just assert writes cost at least as much.
+    Dram_config cfg;
+    std::vector<Request> rw;
+    std::vector<Request> ro;
+    for (int i = 0; i < 512; ++i) {
+        const Addr a = static_cast<Addr>(i) * k_block_bytes;
+        rw.push_back({a, i % 2 == 0, Traffic_tag::data});
+        ro.push_back({a, false, Traffic_tag::data});
+    }
+    Dram_sim sim_rw{cfg};
+    Dram_sim sim_ro{cfg};
+    EXPECT_GE(sim_rw.process_stream(rw), sim_ro.process_stream(ro));
+}
+
+TEST(DramSim, RefreshCostsTimeButBoundedFraction)
+{
+    Dram_config with;
+    Dram_config without;
+    without.refresh_enabled = false;
+    Dram_sim sim_with{with};
+    Dram_sim sim_without{without};
+    const auto reqs = sequential_reads(0, 65536);
+    const Cycles t_with = sim_with.process_stream(reqs);
+    const Cycles t_without = sim_without.process_stream(reqs);
+    EXPECT_GT(t_with, t_without);
+    // Refresh duty cycle ~ t_rfc / t_refi (~4.6%): the slowdown must stay
+    // in that neighbourhood.
+    const double ratio = static_cast<double>(t_with) / static_cast<double>(t_without);
+    EXPECT_LT(ratio, 1.10);
+}
+
+TEST(DramSim, RefreshClosesRows)
+{
+    // A refresh forces the next access to the previously open row to pay an
+    // activation: the hit rate must drop (slightly) vs refresh-off.
+    Dram_config with;
+    Dram_config without;
+    without.refresh_enabled = false;
+    Dram_sim sim_with{with};
+    Dram_sim sim_without{without};
+    const auto reqs = sequential_reads(0, 65536);
+    sim_with.process_stream(reqs);
+    sim_without.process_stream(reqs);
+    EXPECT_LE(sim_with.stats().row_hit_rate(), sim_without.stats().row_hit_rate());
+}
+
+TEST(DramConfig, RefreshTimingValidated)
+{
+    Dram_config bad;
+    bad.t_refi = 50;
+    bad.t_rfc = 100;  // refresh longer than its period
+    EXPECT_THROW(Dram_sim{bad}, Seda_error);
+    bad.refresh_enabled = false;  // ... unless refresh is off entirely
+    EXPECT_NO_THROW(Dram_sim{bad});
+}
+
+TEST(DramConfig, ValidatesParameters)
+{
+    Dram_config bad;
+    bad.channels = 0;
+    EXPECT_THROW(Dram_sim{bad}, Seda_error);
+    bad = Dram_config{};
+    bad.banks_per_channel = 3;  // not a power of two
+    EXPECT_THROW(Dram_sim{bad}, Seda_error);
+    bad = Dram_config{};
+    bad.row_bytes = 100;  // not a power of two
+    EXPECT_THROW(Dram_sim{bad}, Seda_error);
+}
+
+}  // namespace
+}  // namespace seda::dram

@@ -1,0 +1,119 @@
+// The 13-workload zoo: construction, registry, architecture sanity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "models/zoo.h"
+
+namespace seda::models {
+namespace {
+
+using accel::Layer_kind;
+
+TEST(Zoo, HasThirteenWorkloadsInPaperOrder)
+{
+    const auto zoo = all_models();
+    ASSERT_EQ(zoo.size(), 13u);
+    const char* expected[] = {"let",  "alex", "mob", "rest", "goo",  "dlrm", "algo",
+                              "ds2",  "fast", "ncf", "sent", "trf",  "yolo"};
+    for (std::size_t i = 0; i < zoo.size(); ++i) EXPECT_EQ(zoo[i].short_name, expected[i]);
+}
+
+class ZooModelTest : public ::testing::TestWithParam<std::string_view> {};
+
+TEST_P(ZooModelTest, BuildsAndValidates)
+{
+    const auto m = model_by_name(GetParam());
+    EXPECT_FALSE(m.layers.empty());
+    for (const auto& l : m.layers) EXPECT_NO_THROW(l.validate()) << l.name;
+}
+
+TEST_P(ZooModelTest, LayerNamesUnique)
+{
+    const auto m = model_by_name(GetParam());
+    std::set<std::string> names;
+    for (const auto& l : m.layers) EXPECT_TRUE(names.insert(l.name).second) << l.name;
+}
+
+TEST_P(ZooModelTest, HasParametersAndWork)
+{
+    const auto m = model_by_name(GetParam());
+    EXPECT_GT(m.total_weight_bytes(), 0u);
+    EXPECT_GT(m.total_macs(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooModelTest,
+                         ::testing::Values("let", "alex", "mob", "rest", "goo", "dlrm",
+                                           "algo", "ds2", "fast", "ncf", "sent", "trf",
+                                           "yolo"));
+
+TEST(Zoo, LookupByFullName)
+{
+    EXPECT_EQ(model_by_name("resnet18").name, "resnet18");
+    EXPECT_EQ(model_by_name("rest").name, "resnet18");
+    EXPECT_THROW((void)model_by_name("vgg99"), Seda_error);
+}
+
+TEST(Zoo, ArchitectureAnchors)
+{
+    // Spot checks against the published architectures.
+    const auto alex = alexnet();
+    EXPECT_EQ(alex.layers[0].c_out, 96);   // conv1: 96 11x11 filters
+    EXPECT_EQ(alex.layers[0].stride, 4);
+
+    const auto mob = mobilenet();
+    int dw = 0;
+    for (const auto& l : mob.layers)
+        if (l.kind == Layer_kind::dwconv) ++dw;
+    EXPECT_EQ(dw, 13);  // 13 depthwise-separable blocks
+
+    const auto goo = googlenet();
+    int convs = 0;
+    for (const auto& l : goo.layers)
+        if (l.kind == Layer_kind::conv) ++convs;
+    EXPECT_EQ(convs, 3 + 9 * 6);  // stem + 9 inception modules x 6 convs
+
+    const auto d = dlrm();
+    int embeddings = 0;
+    for (const auto& l : d.layers)
+        if (l.kind == Layer_kind::embedding) ++embeddings;
+    EXPECT_EQ(embeddings, 26);
+
+    const auto yolo = yolo_tiny();
+    EXPECT_EQ(yolo.layers.front().ifmap_h, 418);  // 416 + same-padding
+    EXPECT_EQ(yolo.layers.back().c_out, 125);     // 5 anchors x 25
+
+    const auto trf = transformer_fwd();
+    int matmuls = 0;
+    for (const auto& l : trf.layers)
+        if (l.kind == Layer_kind::matmul) ++matmuls;
+    EXPECT_EQ(matmuls, 6 * 6 + 1);  // 6 GEMMs per encoder layer + LM head
+}
+
+TEST(Zoo, ResNetChainsSpatially)
+{
+    // Output spatial dims of each stage follow the 56/28/14/7 ladder.
+    const auto m = resnet18();
+    EXPECT_EQ(m.layers[0].ofmap_h(), 112);
+    bool saw28 = false;
+    bool saw7 = false;
+    for (const auto& l : m.layers) {
+        if (l.kind != Layer_kind::conv) continue;
+        if (l.ofmap_h() == 28) saw28 = true;
+        if (l.ofmap_h() == 7) saw7 = true;
+    }
+    EXPECT_TRUE(saw28);
+    EXPECT_TRUE(saw7);
+}
+
+TEST(Zoo, WeightFootprintsAreRealistic)
+{
+    // 1-byte elements: AlexNet ~60M params, ResNet-18 ~11M, LeNet well under 1M.
+    EXPECT_NEAR(static_cast<double>(alexnet().total_weight_bytes()), 60e6, 10e6);
+    EXPECT_NEAR(static_cast<double>(resnet18().total_weight_bytes()), 11e6, 3e6);
+    EXPECT_LT(lenet().total_weight_bytes(), 1u << 20);
+}
+
+}  // namespace
+}  // namespace seda::models

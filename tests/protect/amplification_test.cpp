@@ -1,0 +1,69 @@
+// Cross-module accounting identity: the amplification bytes a unit-MAC
+// scheme actually emits must equal the analytic projection the optBlk
+// search scores candidates with.  This ties the two independent
+// implementations of "what does a coarse unit cost" together.
+#include <gtest/gtest.h>
+
+#include "accel/accel_sim.h"
+#include "core/optblk_search.h"
+#include "models/zoo.h"
+#include "protect/unit_scheme.h"
+
+namespace seda::protect {
+namespace {
+
+using accel::Layer_desc;
+using accel::Model_desc;
+using accel::Npu_config;
+
+Bytes emitted_amplification(const Layer_protect_result& r)
+{
+    Bytes b = 0;
+    for (const auto& req : r.timed_stream)
+        if (req.tag == dram::Traffic_tag::amplification) b += k_block_bytes;
+    return b;
+}
+
+class AmplificationIdentityTest : public ::testing::TestWithParam<Bytes> {};
+
+TEST_P(AmplificationIdentityTest, SchemeMatchesProjection)
+{
+    Model_desc m;
+    m.name = "t";
+    // Row size 58*24 = 1392 B: misaligned with every unit above 64 B, so
+    // coarse units genuinely amplify.
+    m.layers = {Layer_desc::make_conv("c", 58, 58, 24, 3, 3, 24, 1)};
+    const auto sim = accel::simulate_model(std::move(m), Npu_config::edge());
+
+    const Bytes unit = GetParam();
+    auto scheme = make_mgx_scheme(unit);
+    scheme.begin_model(sim);
+    const auto res = scheme.transform_layer(sim.layers[0]);
+
+    const Bytes projected =
+        core::projected_amplification(sim.layers[0].trace, unit);
+    EXPECT_EQ(emitted_amplification(res), projected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Units, AmplificationIdentityTest,
+                         ::testing::Values(64u, 128u, 512u, 4096u),
+                         [](const auto& pinfo) {
+                             return "unit" + std::to_string(pinfo.param);
+                         });
+
+TEST(AmplificationIdentity, GatherWorkload)
+{
+    Model_desc m;
+    m.name = "g";
+    m.layers = {Layer_desc::make_embedding("e", 5000, 64, 200)};
+    const auto sim = accel::simulate_model(std::move(m), Npu_config::server());
+
+    auto scheme = make_mgx_scheme(512);
+    scheme.begin_model(sim);
+    const auto res = scheme.transform_layer(sim.layers[0]);
+    EXPECT_EQ(emitted_amplification(res),
+              core::projected_amplification(sim.layers[0].trace, 512));
+}
+
+}  // namespace
+}  // namespace seda::protect

@@ -1,0 +1,150 @@
+// Metadata cache: LRU, write-back, write-allocate semantics (Sec. IV-A).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "protect/metadata_cache.h"
+
+namespace seda::protect {
+namespace {
+
+TEST(Cache, MissThenHit)
+{
+    Metadata_cache c(1024, 2);
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x13F, false).hit);  // same 64 B line
+    EXPECT_FALSE(c.access(0x140, false).hit);  // next line
+    EXPECT_EQ(c.stats().hits, 2u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2-way, 2 sets of 64 B lines: set = (addr/64) % 2.
+    Metadata_cache c(256, 2);
+    // Fill set 0 with lines A (0x000) and B (0x080).
+    c.access(0x000, false);
+    c.access(0x080, false);
+    // Touch A so B becomes LRU.
+    c.access(0x000, false);
+    // New line C (0x100, set 0) must evict B, keeping A.
+    c.access(0x100, false);
+    EXPECT_TRUE(c.access(0x000, false).hit);   // A survived
+    EXPECT_FALSE(c.access(0x080, false).hit);  // B evicted
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    Metadata_cache c(256, 2);
+    c.access(0x000, true);  // dirty A in set 0
+    c.access(0x080, false);
+    c.access(0x100, false);  // evicts A (LRU) -> writeback
+    bool seen_wb = false;
+    // A was LRU and dirty; one of the two fills must have reported it.
+    // Re-fill A and force another eviction to observe the WB directly.
+    const auto acc = c.access(0x180, false);  // set 0 again
+    seen_wb = acc.writeback || c.stats().writebacks > 0;
+    EXPECT_TRUE(seen_wb);
+}
+
+TEST(Cache, WritebackCarriesVictimAddress)
+{
+    Metadata_cache c(128, 1);  // direct-mapped, 2 sets
+    c.access(0x000, true);     // set 0, dirty
+    const auto acc = c.access(0x080, false);  // set 0, evicts 0x000
+    EXPECT_TRUE(acc.writeback);
+    EXPECT_EQ(acc.writeback_addr, 0x000u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    Metadata_cache c(128, 1);
+    c.access(0x000, false);
+    const auto acc = c.access(0x080, false);
+    EXPECT_FALSE(acc.writeback);
+}
+
+TEST(Cache, DirtyBitSticksUntilEviction)
+{
+    Metadata_cache c(128, 1);
+    c.access(0x000, true);
+    c.access(0x000, false);  // read hit must not clean the line
+    const auto acc = c.access(0x080, false);
+    EXPECT_TRUE(acc.writeback);
+}
+
+TEST(Cache, FlushDirtyWritesAllDirtyLines)
+{
+    Metadata_cache c(1024, 4);
+    c.access(0x000, true);
+    c.access(0x040, true);
+    c.access(0x080, false);
+    std::vector<Addr> flushed;
+    c.flush_dirty([&](Addr a) { flushed.push_back(a); });
+    EXPECT_EQ(flushed.size(), 2u);
+    // Second flush is a no-op (lines now clean).
+    flushed.clear();
+    c.flush_dirty([&](Addr a) { flushed.push_back(a); });
+    EXPECT_TRUE(flushed.empty());
+}
+
+TEST(Cache, ClearResets)
+{
+    Metadata_cache c(1024, 4);
+    c.access(0x000, true);
+    c.clear();
+    EXPECT_EQ(c.stats().misses, 0u);
+    EXPECT_FALSE(c.access(0x000, false).hit);
+}
+
+TEST(Cache, StreamingThrashesSmallCache)
+{
+    // A 8 KiB cache touched by a long stream of distinct lines: hit rate ~0.
+    Metadata_cache c(8 * 1024, 8);
+    for (Addr a = 0; a < 1024 * 1024; a += 64) c.access(a, false);
+    EXPECT_LT(c.stats().hit_rate(), 0.01);
+}
+
+TEST(Cache, HotSetAlwaysHits)
+{
+    Metadata_cache c(8 * 1024, 8);
+    for (int round = 0; round < 10; ++round)
+        for (Addr a = 0; a < 4 * 1024; a += 64) c.access(a, false);
+    // After the first cold round, everything fits.
+    EXPECT_GT(c.stats().hit_rate(), 0.85);
+}
+
+class CacheConfigTest : public ::testing::TestWithParam<std::pair<Bytes, int>> {};
+
+TEST_P(CacheConfigTest, CapacityIsRespected)
+{
+    const auto [capacity, ways] = GetParam();
+    Metadata_cache c(capacity, ways);
+    const u64 lines = capacity / 64;
+    // Fill exactly `lines` distinct lines, then revisit: all hits.
+    for (u64 i = 0; i < lines; ++i) c.access(i * 64, false);
+    u64 hits_before = c.stats().hits;
+    for (u64 i = 0; i < lines; ++i) c.access(i * 64, false);
+    EXPECT_EQ(c.stats().hits - hits_before, lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CacheConfigTest,
+                         ::testing::Values(std::pair<Bytes, int>{1024, 1},
+                                           std::pair<Bytes, int>{8 * 1024, 8},
+                                           std::pair<Bytes, int>{16 * 1024, 8},
+                                           std::pair<Bytes, int>{4096, 4}));
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(Metadata_cache(64, 2), Seda_error);   // below one set
+    EXPECT_THROW(Metadata_cache(0, 1), Seda_error);
+    EXPECT_THROW(Metadata_cache(1024, 0), Seda_error);
+    EXPECT_THROW(Metadata_cache(1024, 2, 48), Seda_error);  // non-pow2 line
+    // 3 ways x 64 B = 192; 1024/192 -> 5 sets (not a power of two).
+    EXPECT_THROW(Metadata_cache(1024, 3), Seda_error);
+}
+
+}  // namespace
+}  // namespace seda::protect

@@ -1,0 +1,106 @@
+// Securator-style tiling-oblivious layer MACs: near-zero traffic like SeDA,
+// but redundant crypto work on halo re-reads and unverifiable gather units.
+#include <gtest/gtest.h>
+
+#include "accel/accel_sim.h"
+#include "core/seda_scheme.h"
+#include "models/zoo.h"
+#include "protect/layer_mac_scheme.h"
+
+namespace seda::protect {
+namespace {
+
+using accel::Layer_desc;
+using accel::Model_desc;
+using accel::Npu_config;
+
+accel::Model_sim simulate(std::vector<Layer_desc> layers,
+                          const Npu_config& npu = Npu_config::edge())
+{
+    Model_desc m;
+    m.name = "t";
+    m.layers = std::move(layers);
+    return accel::simulate_model(std::move(m), npu);
+}
+
+TEST(Securator, NearZeroTrafficLikeSeda)
+{
+    const auto sim = simulate({Layer_desc::make_conv("c", 58, 58, 32, 3, 3, 64, 1)});
+    Layer_mac_scheme sec(64);
+    sec.begin_model(sim);
+    const auto res = sec.transform_layer(sim.layers[0]);
+    // Data + two layer-MAC lines; no per-block MAC fetches, no VN/tree.
+    EXPECT_EQ(res.timed_bytes(),
+              sim.layers[0].read_bytes + sim.layers[0].write_bytes + 2 * k_block_bytes);
+    EXPECT_EQ(res.prefetch_bytes, 0u);
+    EXPECT_EQ(res.mac_demand_misses, 0u);
+}
+
+TEST(Securator, HaloRereadsCauseRedundantFolds)
+{
+    // Conv with halo on the edge NPU re-reads overlap rows; the
+    // tiling-oblivious fold re-verifies each of them.
+    const auto sim = simulate({Layer_desc::make_conv("c", 226, 226, 16, 3, 3, 16, 1)});
+    ASSERT_GT(sim.layers[0].plan.m_tiles, 1);
+    Layer_mac_scheme sec(64);
+    sec.begin_model(sim);
+    (void)sec.transform_layer(sim.layers[0]);
+    EXPECT_GT(sec.redundant_folds(), 0u);
+}
+
+TEST(Securator, RedundantWorkExtendsLayerDrain)
+{
+    const auto halo_sim =
+        simulate({Layer_desc::make_conv("c", 226, 226, 16, 3, 3, 16, 1)});
+    const auto flat_sim = simulate({Layer_desc::make_matmul("m", 512, 256, 256)});
+    Layer_mac_scheme a(64);
+    Layer_mac_scheme b(64);
+    a.begin_model(halo_sim);
+    b.begin_model(flat_sim);
+    const auto halo_res = a.transform_layer(halo_sim.layers[0]);
+    const auto flat_res = b.transform_layer(flat_sim.layers[0]);
+    EXPECT_GT(halo_res.fixed_cycles, flat_res.fixed_cycles);
+}
+
+TEST(Securator, SedaAvoidsTheRedundantWork)
+{
+    // Same halo layer: SeDA's ledger folds each unit once; Securator's
+    // oblivious fold does the work again for every re-read unit.
+    const auto sim = simulate({Layer_desc::make_conv("c", 226, 226, 16, 3, 3, 16, 1)});
+    Layer_mac_scheme sec(64);
+    core::Seda_config dedup_cfg;
+    dedup_cfg.reread = core::Reread_policy::dedup_only;
+    core::Seda_scheme seda(dedup_cfg);
+    sec.begin_model(sim);
+    seda.begin_model(sim);
+    const auto sec_events = sec.transform_layer(sim.layers[0]).verify_events;
+    const auto seda_events = seda.transform_layer(sim.layers[0]).verify_events;
+    EXPECT_GT(sec_events, seda_events);
+}
+
+TEST(Securator, GatherUnitsAreUnverifiable)
+{
+    // Embedding tables are only partially read: a layer-level fold can never
+    // be checked for them (the false-negative exposure).
+    const auto sim = simulate({Layer_desc::make_embedding("e", 10000, 64, 128)},
+                              Npu_config::server());
+    Layer_mac_scheme sec(64);
+    sec.begin_model(sim);
+    (void)sec.transform_layer(sim.layers[0]);
+    EXPECT_GT(sec.unverifiable_units(), 0u);
+}
+
+TEST(Securator, RejectsBadUnit)
+{
+    EXPECT_THROW(Layer_mac_scheme(48), Seda_error);
+    EXPECT_THROW(Layer_mac_scheme(32), Seda_error);
+}
+
+TEST(Securator, NameCarriesGranularity)
+{
+    EXPECT_EQ(Layer_mac_scheme(64).name(), "securator-64b");
+    EXPECT_EQ(Layer_mac_scheme(512).name(), "securator-512b");
+}
+
+}  // namespace
+}  // namespace seda::protect

@@ -1,0 +1,194 @@
+// Protection-scheme trace rewriting: baseline passthrough, unit-MAC
+// amplification, metadata traffic ratios, SGX vs MGX, end-of-model flush.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "accel/accel_sim.h"
+#include "models/zoo.h"
+#include "protect/unit_scheme.h"
+
+namespace seda::protect {
+namespace {
+
+using accel::Layer_desc;
+using accel::Model_desc;
+using accel::Npu_config;
+
+accel::Model_sim conv_sim(const Npu_config& npu = Npu_config::server())
+{
+    Model_desc m;
+    m.name = "one-conv";
+    m.layers = {Layer_desc::make_conv("c", 58, 58, 32, 3, 3, 64, 1)};
+    return accel::simulate_model(std::move(m), npu);
+}
+
+Bytes bytes_with_tag(const Layer_protect_result& r, dram::Traffic_tag tag)
+{
+    Bytes b = 0;
+    for (const auto& req : r.timed_stream)
+        if (req.tag == tag) b += k_block_bytes;
+    return b;
+}
+
+TEST(Baseline, PassesTraceThroughUnchanged)
+{
+    const auto sim = conv_sim();
+    Baseline_scheme base;
+    base.begin_model(sim);
+    const auto res = base.transform_layer(sim.layers[0]);
+    EXPECT_EQ(res.timed_bytes(), sim.layers[0].read_bytes + sim.layers[0].write_bytes);
+    EXPECT_EQ(res.prefetch_bytes, 0u);
+    EXPECT_EQ(res.verify_events, 0u);
+    EXPECT_EQ(res.mac_demand_misses, 0u);
+    EXPECT_EQ(bytes_with_tag(res, dram::Traffic_tag::mac), 0u);
+}
+
+TEST(Baseline, HasNoCryptoEngines)
+{
+    Baseline_scheme base;
+    EXPECT_EQ(base.crypto_engine_equivalents(Npu_config::server()), 0);
+}
+
+TEST(UnitScheme, Mgx64AddsOneEighthMacTraffic)
+{
+    // 8 B MAC per 64 B unit, 8 MACs per line: one MAC line fill per 8 data
+    // blocks on a cold streaming pass, plus dirty-line writebacks from the
+    // ofmap writes -> mac bytes land between 1/8 and ~1/6 of data bytes.
+    const auto sim = conv_sim();
+    auto mgx = make_mgx_scheme(64);
+    mgx.begin_model(sim);
+    const auto res = mgx.transform_layer(sim.layers[0]);
+    const double data = static_cast<double>(bytes_with_tag(res, dram::Traffic_tag::data));
+    const double mac = static_cast<double>(bytes_with_tag(res, dram::Traffic_tag::mac));
+    EXPECT_GE(mac, data * 0.120);
+    EXPECT_LE(mac, data * 0.190);
+    EXPECT_EQ(res.prefetch_bytes, 0u);  // MGX: no VN / tree traffic
+}
+
+TEST(UnitScheme, Sgx64AddsVnTrafficOnTop)
+{
+    const auto sim = conv_sim();
+    auto sgx = make_sgx_scheme(64);
+    auto mgx = make_mgx_scheme(64);
+    sgx.begin_model(sim);
+    mgx.begin_model(sim);
+    const auto rs = sgx.transform_layer(sim.layers[0]);
+    const auto rm = mgx.transform_layer(sim.layers[0]);
+    EXPECT_GT(rs.prefetch_bytes, 0u);
+    EXPECT_EQ(rm.prefetch_bytes, 0u);
+    // Identical demand-path MAC behaviour.
+    EXPECT_EQ(bytes_with_tag(rs, dram::Traffic_tag::mac),
+              bytes_with_tag(rm, dram::Traffic_tag::mac));
+    // VN line per 8 blocks plus tree fills: prefetch within sane bounds.
+    const Bytes data = bytes_with_tag(rs, dram::Traffic_tag::data);
+    EXPECT_GT(rs.prefetch_bytes, data / 16);
+    EXPECT_LT(rs.prefetch_bytes, data / 2);
+}
+
+TEST(UnitScheme, NoAmplificationAt64B)
+{
+    const auto sim = conv_sim();
+    auto mgx = make_mgx_scheme(64);
+    mgx.begin_model(sim);
+    const auto res = mgx.transform_layer(sim.layers[0]);
+    EXPECT_EQ(bytes_with_tag(res, dram::Traffic_tag::amplification), 0u);
+}
+
+TEST(UnitScheme, CoarseUnitsAmplifyGathers)
+{
+    // Embedding gathers read 64 B rows; at 512 B units each gather drags in
+    // 7 extra blocks.
+    Model_desc m;
+    m.name = "gather";
+    m.layers = {Layer_desc::make_embedding("e", 10000, 64, 128)};
+    const auto sim = accel::simulate_model(std::move(m), Npu_config::server());
+
+    auto mgx512 = make_mgx_scheme(512);
+    mgx512.begin_model(sim);
+    const auto res = mgx512.transform_layer(sim.layers[0]);
+    const Bytes ampl = bytes_with_tag(res, dram::Traffic_tag::amplification);
+    EXPECT_GT(ampl, 128u * 6 * k_block_bytes);  // most gathers pay ~7 blocks
+}
+
+TEST(UnitScheme, VerifyEventsCountUnits)
+{
+    const auto sim = conv_sim();
+    auto mgx64 = make_mgx_scheme(64);
+    auto mgx512 = make_mgx_scheme(512);
+    mgx64.begin_model(sim);
+    mgx512.begin_model(sim);
+    const u64 e64 = mgx64.transform_layer(sim.layers[0]).verify_events;
+    const u64 e512 = mgx512.transform_layer(sim.layers[0]).verify_events;
+    EXPECT_GT(e64, e512);
+    // Units shrink 8x; events should shrink by roughly that factor.
+    EXPECT_NEAR(static_cast<double>(e64) / static_cast<double>(e512), 8.0, 1.5);
+}
+
+TEST(UnitScheme, WritesDirtyMacLinesFlushAtEnd)
+{
+    const auto sim = conv_sim();
+    auto mgx = make_mgx_scheme(64);
+    mgx.begin_model(sim);
+    (void)mgx.transform_layer(sim.layers[0]);
+    const auto flush = mgx.end_model();
+    // The ofmap writes dirtied MAC lines that must drain as write traffic.
+    Bytes mac_writes = 0;
+    for (const auto& req : flush.timed_stream) {
+        EXPECT_TRUE(req.is_write);
+        EXPECT_EQ(req.tag, dram::Traffic_tag::mac);
+        mac_writes += k_block_bytes;
+    }
+    EXPECT_GT(mac_writes, 0u);
+}
+
+TEST(UnitScheme, ReadPathMissesAreCountedAsStalls)
+{
+    const auto sim = conv_sim();
+    auto mgx = make_mgx_scheme(64);
+    mgx.begin_model(sim);
+    const auto res = mgx.transform_layer(sim.layers[0]);
+    EXPECT_GT(res.mac_demand_misses, 0u);
+    // Misses can never exceed the MAC line fills.
+    EXPECT_LE(res.mac_demand_misses * k_block_bytes,
+              bytes_with_tag(res, dram::Traffic_tag::mac));
+}
+
+TEST(UnitScheme, BeginModelResetsCaches)
+{
+    const auto sim = conv_sim();
+    auto mgx = make_mgx_scheme(64);
+    mgx.begin_model(sim);
+    const auto first = mgx.transform_layer(sim.layers[0]);
+    mgx.begin_model(sim);
+    const auto second = mgx.transform_layer(sim.layers[0]);
+    EXPECT_EQ(first.timed_bytes(), second.timed_bytes());
+    EXPECT_EQ(first.mac_demand_misses, second.mac_demand_misses);
+}
+
+TEST(UnitScheme, ProtectedSchemesProvisionCryptoBandwidth)
+{
+    auto sgx = make_sgx_scheme(64);
+    // Server link = 20 B/NPU-cycle -> 2 engine-equivalents of 16 B/cycle.
+    EXPECT_EQ(sgx.crypto_engine_equivalents(Npu_config::server()), 2);
+    EXPECT_EQ(sgx.crypto_engine_equivalents(Npu_config::edge()), 1);
+}
+
+TEST(UnitScheme, RejectsBadUnitSize)
+{
+    Unit_scheme_config cfg;
+    cfg.unit_bytes = 96;  // not a power of two
+    EXPECT_THROW((Unit_mac_scheme{"bad", cfg}), Seda_error);
+    cfg.unit_bytes = 32;  // below a burst
+    EXPECT_THROW((Unit_mac_scheme{"bad", cfg}), Seda_error);
+}
+
+TEST(UnitScheme, SchemeNamesAreDescriptive)
+{
+    EXPECT_EQ(make_sgx_scheme(64).name(), "sgx-64b");
+    EXPECT_EQ(make_sgx_scheme(512).name(), "sgx-512b");
+    EXPECT_EQ(make_mgx_scheme(512).name(), "mgx-512b");
+}
+
+}  // namespace
+}  // namespace seda::protect

@@ -1,0 +1,92 @@
+// Integrity-tree geometry: level counts, parent sharing, address ranges.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "protect/integrity_tree.h"
+
+namespace seda::protect {
+namespace {
+
+TEST(Tree, LevelCountForSmallSpaces)
+{
+    // 8 VN lines, arity 8 -> one parent level (the root, off-chip levels = 1
+    // because 8 -> 1 collapses in one step).
+    EXPECT_EQ(Integrity_tree(0x1000, 8, 8).levels(), 1);
+    // 64 lines -> 8 -> 1: two levels.
+    EXPECT_EQ(Integrity_tree(0x1000, 64, 8).levels(), 2);
+    // 65 lines -> 9 -> 2 -> 1: the straggler adds a level (8^2 < 65).
+    EXPECT_EQ(Integrity_tree(0x1000, 65, 8).levels(), 3);
+    EXPECT_EQ(Integrity_tree(0x1000, 512, 8).levels(), 3);
+}
+
+TEST(Tree, PaperScaleSpace)
+{
+    // 16 GB protected region: 32M VN lines, arity 8 -> 9 off-chip levels
+    // (8^9 > 32M >= 8^8).
+    const u64 vn_lines = (16ULL << 30) / (64 * 8);
+    const Integrity_tree t(0x2'0000'0000ULL, vn_lines, 8);
+    EXPECT_EQ(t.levels(), 9);
+}
+
+TEST(Tree, SiblingsShareParents)
+{
+    const Integrity_tree t(0x1000, 512, 8);
+    // VN lines 0..7 share one level-1 parent; line 8 gets the next.
+    const Addr p0 = t.node_addr(1, 0);
+    for (u64 i = 1; i < 8; ++i) EXPECT_EQ(t.node_addr(1, i), p0);
+    EXPECT_EQ(t.node_addr(1, 8), p0 + 64);
+    // All of 0..63 share one level-2 node.
+    const Addr g0 = t.node_addr(2, 0);
+    for (u64 i = 1; i < 64; ++i) EXPECT_EQ(t.node_addr(2, i), g0);
+    EXPECT_EQ(t.node_addr(2, 64), g0 + 64);
+}
+
+TEST(Tree, LevelsOccupyDisjointRegions)
+{
+    const Integrity_tree t(0x1000, 4096, 8);
+    std::set<Addr> addrs;
+    for (int level = 1; level <= t.levels(); ++level)
+        for (u64 line : {u64{0}, u64{100}, u64{4095}})
+            addrs.insert(t.node_addr(level, line));
+    // Distinct levels must never alias: every (level, distinct-parent) pair
+    // above produced a unique address.
+    EXPECT_EQ(addrs.size(), static_cast<std::size_t>(t.levels()) * 2 + 1);
+}
+
+TEST(Tree, NodesLiveAboveBase)
+{
+    const Integrity_tree t(0x5000, 4096, 8);
+    for (int level = 1; level <= t.levels(); ++level)
+        EXPECT_GE(t.node_addr(level, 4095), 0x5000u);
+}
+
+TEST(Tree, WalkTerminatesAtRoot)
+{
+    const Integrity_tree t(0x1000, 32 * 1024 * 1024, 8);
+    EXPECT_TRUE(t.is_root_level(t.levels()));
+    EXPECT_FALSE(t.is_root_level(t.levels() - 1));
+}
+
+TEST(Tree, BadLevelThrows)
+{
+    const Integrity_tree t(0x1000, 64, 8);
+    EXPECT_THROW((void)t.node_addr(0, 0), Seda_error);
+    EXPECT_THROW((void)t.node_addr(3, 0), Seda_error);
+}
+
+TEST(Tree, RejectsBadConfig)
+{
+    EXPECT_THROW(Integrity_tree(0, 0, 8), Seda_error);
+    EXPECT_THROW(Integrity_tree(0, 64, 1), Seda_error);
+}
+
+TEST(Tree, WiderArityIsShallower)
+{
+    const u64 lines = 1 << 20;
+    EXPECT_LT(Integrity_tree(0, lines, 16).levels(), Integrity_tree(0, lines, 4).levels());
+}
+
+}  // namespace
+}  // namespace seda::protect

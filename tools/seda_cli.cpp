@@ -1,0 +1,159 @@
+// seda_cli: command-line front end for the simulation pipeline.
+//
+//   seda_cli list
+//       List workloads, NPUs and protection schemes.
+//   seda_cli run [--model M] [--npu server|edge] [--scheme S] [--csv]
+//       Run one combination; print run stats (or layer CSV with --csv).
+//   seda_cli report [--model M] [--npu server|edge]
+//       Emit the SCALE-Sim-style compute + memory reports.
+//   seda_cli suite [--npu server|edge] [--csv]
+//       The full Fig. 5/6 sweep: all workloads x all five schemes.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "seda.h"
+
+using namespace seda;
+
+namespace {
+
+struct Options {
+    std::string command = "list";
+    std::string model = "resnet18";
+    std::string npu = "server";
+    std::string scheme = "seda";
+    bool csv = false;
+};
+
+Options parse(int argc, char** argv)
+{
+    Options o;
+    if (argc > 1) o.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            require(i + 1 < argc, "seda_cli: missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--model")
+            o.model = next();
+        else if (arg == "--npu")
+            o.npu = next();
+        else if (arg == "--scheme")
+            o.scheme = next();
+        else if (arg == "--csv")
+            o.csv = true;
+        else
+            throw Seda_error("seda_cli: unknown argument '" + arg + "'");
+    }
+    return o;
+}
+
+accel::Npu_config npu_by_name(const std::string& name)
+{
+    if (name == "server") return accel::Npu_config::server();
+    if (name == "edge") return accel::Npu_config::edge();
+    throw Seda_error("seda_cli: unknown NPU '" + name + "' (server|edge)");
+}
+
+int cmd_list()
+{
+    std::cout << "workloads:";
+    for (const auto& e : models::all_models())
+        std::cout << " " << e.short_name << "(" << e.full_name << ")";
+    std::cout << "\nnpus: server (TPU-v1-class)  edge (Exynos-990-class)\n"
+              << "schemes: baseline sgx-64 sgx-512 mgx-64 mgx-512 securator seda\n";
+    return 0;
+}
+
+int cmd_run(const Options& o)
+{
+    const auto npu = npu_by_name(o.npu);
+    const auto sim = accel::simulate_model(models::model_by_name(o.model), npu);
+    auto scheme = core::make_scheme(o.scheme);
+    const auto stats = core::run_protected(sim, *scheme);
+
+    if (o.csv) {
+        Ascii_table t({"layer", "compute_cycles", "mem_cycles", "layer_cycles",
+                       "traffic_bytes", "verify_events"});
+        for (const auto& l : stats.layers)
+            t.add_row({l.layer_name, std::to_string(l.compute_cycles),
+                       std::to_string(l.mem_cycles), std::to_string(l.layer_cycles),
+                       std::to_string(l.traffic_bytes), std::to_string(l.verify_events)});
+        t.print_csv(std::cout);
+        return 0;
+    }
+
+    protect::Baseline_scheme base;
+    const auto base_stats = core::run_protected(sim, base);
+    std::cout << o.model << " on " << npu.name << " under " << stats.scheme_name << ":\n"
+              << "  cycles:  " << stats.total_cycles << " ("
+              << fmt_f(stats.seconds(npu.freq_ghz) * 1e3, 3) << " ms)\n"
+              << "  traffic: " << fmt_bytes(stats.traffic_bytes) << "\n"
+              << "  events:  " << stats.verify_events << " verifications, "
+              << stats.mac_misses << " MAC-line stalls\n"
+              << "  vs baseline: slowdown "
+              << fmt_pct(static_cast<double>(stats.total_cycles) /
+                             static_cast<double>(base_stats.total_cycles) -
+                         1.0)
+              << ", traffic overhead "
+              << fmt_pct(static_cast<double>(stats.traffic_bytes) /
+                             static_cast<double>(base_stats.traffic_bytes) -
+                         1.0)
+              << "\n";
+    return 0;
+}
+
+int cmd_report(const Options& o)
+{
+    const auto sim =
+        accel::simulate_model(models::model_by_name(o.model), npu_by_name(o.npu));
+    std::cout << accel::reports_to_string(sim);
+    return 0;
+}
+
+int cmd_suite(const Options& o)
+{
+    const auto suite = core::run_suite(npu_by_name(o.npu), core::paper_schemes());
+    std::vector<std::string> header = {"scheme", "metric"};
+    for (const auto& p : suite.series.front().points) header.push_back(std::string(p.model));
+    header.push_back("avg");
+    Ascii_table t(header);
+    for (const auto& s : suite.series) {
+        std::vector<std::string> traffic = {s.scheme, "norm_traffic"};
+        std::vector<std::string> perf = {s.scheme, "norm_perf"};
+        for (const auto& p : s.points) {
+            traffic.push_back(fmt_f(p.norm_traffic, 4));
+            perf.push_back(fmt_f(p.norm_perf, 4));
+        }
+        traffic.push_back(fmt_f(s.avg_norm_traffic(), 4));
+        perf.push_back(fmt_f(s.avg_norm_perf(), 4));
+        t.add_row(std::move(traffic));
+        t.add_row(std::move(perf));
+    }
+    if (o.csv)
+        t.print_csv(std::cout);
+    else
+        t.print(std::cout);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    try {
+        const Options o = parse(argc, argv);
+        if (o.command == "list") return cmd_list();
+        if (o.command == "run") return cmd_run(o);
+        if (o.command == "report") return cmd_report(o);
+        if (o.command == "suite") return cmd_suite(o);
+        std::cerr << "usage: seda_cli {list|run|report|suite} [--model M] "
+                     "[--npu server|edge] [--scheme S] [--csv]\n";
+        return 2;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
