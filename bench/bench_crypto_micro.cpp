@@ -2,13 +2,24 @@
 // crypto substrate and a head-to-head of the three encryption disciplines
 // the paper contrasts (standard CTR, shared-OTP, B-AES), plus the SECA
 // attack itself.
+//
+// Backend/bulk coverage: every CTR bench runs once per AES backend (scalar
+// reference vs t-table) and once per gear (blockwise crypt_standard vs
+// crypt_bulk), so the speedup of the batched table-driven pipeline is
+// measured, not asserted.  Compare e.g.
+//     bm_ctr_bulk<Aes_backend_kind::ttable>/4096
+//     bm_ctr_standard<Aes_backend_kind::scalar>/4096
+// for the full refactor win, and the same bench across backends for the
+// table-lookup share alone.
 #include <benchmark/benchmark.h>
 
 #include <array>
 #include <vector>
 
 #include "common/rng.h"
+#include "core/secure_memory.h"
 #include "crypto/aes.h"
+#include "crypto/aes_backend.h"
 #include "crypto/attacks.h"
 #include "crypto/baes.h"
 #include "crypto/ctr.h"
@@ -36,9 +47,12 @@ std::vector<u8> make_data(std::size_t n)
     return data;
 }
 
+// --- AES backends head-to-head ----------------------------------------------
+
+template <Aes_backend_kind K>
 void bm_aes128_block(benchmark::State& state)
 {
-    const Aes aes(make_key());
+    const Aes aes(make_key(), K);
     Block16 blk{};
     for (auto _ : state) {
         blk = aes.encrypt_block(blk);
@@ -46,7 +60,22 @@ void bm_aes128_block(benchmark::State& state)
     }
     state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 16);
 }
-BENCHMARK(bm_aes128_block);
+BENCHMARK(bm_aes128_block<Aes_backend_kind::scalar>);
+BENCHMARK(bm_aes128_block<Aes_backend_kind::ttable>);
+
+template <Aes_backend_kind K>
+void bm_aes128_encrypt_blocks(benchmark::State& state)
+{
+    const Aes aes(make_key(), K);
+    std::vector<Block16> blocks(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        aes.encrypt_blocks(blocks);
+        benchmark::DoNotOptimize(blocks.data());
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0) * 16);
+}
+BENCHMARK(bm_aes128_encrypt_blocks<Aes_backend_kind::scalar>)->Arg(32);
+BENCHMARK(bm_aes128_encrypt_blocks<Aes_backend_kind::ttable>)->Arg(32);
 
 void bm_sha256_64b(benchmark::State& state)
 {
@@ -72,13 +101,32 @@ void bm_hmac_mac64(benchmark::State& state)
 }
 BENCHMARK(bm_hmac_mac64)->Arg(64)->Arg(512)->Arg(4096);
 
+void bm_hmac_engine_mac64(benchmark::State& state)
+{
+    // Precomputed-key engine: the amortized per-unit MAC of the batch path.
+    const auto key = make_key();
+    const Hmac_engine engine(key);
+    const auto data = make_data(static_cast<std::size_t>(state.range(0)));
+    Mac_context ctx{0x1000, 1, 3, 0, 7};
+    for (auto _ : state) {
+        auto m = engine.positional_mac(data, ctx);
+        benchmark::DoNotOptimize(m);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(bm_hmac_engine_mac64)->Arg(64)->Arg(512)->Arg(4096);
+
+// --- CTR disciplines: blockwise vs bulk, per backend -------------------------
+//
 // One protected unit, three encryption disciplines.  The work per unit is
 // what differs: standard CTR runs one AES invocation per 16 B segment,
 // B-AES runs one AES invocation total plus XORs -- the software analogue of
 // the paper's N-engines-vs-XOR-lanes hardware trade (Fig. 4).
+
+template <Aes_backend_kind K>
 void bm_ctr_standard(benchmark::State& state)
 {
-    const Aes_ctr ctr(make_key());
+    const Aes_ctr ctr(make_key(), K);
     auto data = make_data(static_cast<std::size_t>(state.range(0)));
     u64 vn = 0;
     for (auto _ : state) {
@@ -87,11 +135,28 @@ void bm_ctr_standard(benchmark::State& state)
     }
     state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
 }
-BENCHMARK(bm_ctr_standard)->Arg(64)->Arg(512);
+BENCHMARK(bm_ctr_standard<Aes_backend_kind::scalar>)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(bm_ctr_standard<Aes_backend_kind::ttable>)->Arg(64)->Arg(512)->Arg(4096);
 
+template <Aes_backend_kind K>
+void bm_ctr_bulk(benchmark::State& state)
+{
+    const Aes_ctr ctr(make_key(), K);
+    auto data = make_data(static_cast<std::size_t>(state.range(0)));
+    u64 vn = 0;
+    for (auto _ : state) {
+        ctr.crypt_bulk(data, 0x4000, ++vn);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(bm_ctr_bulk<Aes_backend_kind::scalar>)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(bm_ctr_bulk<Aes_backend_kind::ttable>)->Arg(64)->Arg(512)->Arg(4096);
+
+template <Aes_backend_kind K>
 void bm_baes_crypt(benchmark::State& state)
 {
-    const Baes_engine baes(make_key());
+    const Baes_engine baes(make_key(), K);
     auto data = make_data(static_cast<std::size_t>(state.range(0)));
     u64 vn = 0;
     for (auto _ : state) {
@@ -100,18 +165,58 @@ void bm_baes_crypt(benchmark::State& state)
     }
     state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
 }
-BENCHMARK(bm_baes_crypt)->Arg(64)->Arg(512);
+BENCHMARK(bm_baes_crypt<Aes_backend_kind::scalar>)->Arg(64)->Arg(512);
+BENCHMARK(bm_baes_crypt<Aes_backend_kind::ttable>)->Arg(64)->Arg(512);
 
 void bm_baes_otp_fanout(benchmark::State& state)
 {
     const Baes_engine baes(make_key());
+    std::vector<Block16> pads;  // reused scratch, as in the batch path
     u64 vn = 0;
     for (auto _ : state) {
-        auto pads = baes.otps(0x8000, ++vn, static_cast<std::size_t>(state.range(0)));
+        baes.otps_into(0x8000, ++vn, static_cast<std::size_t>(state.range(0)), pads);
         benchmark::DoNotOptimize(pads.data());
     }
 }
 BENCHMARK(bm_baes_otp_fanout)->Arg(4)->Arg(8)->Arg(32);
+
+// --- secure memory: single-unit calls vs one batch per tile ------------------
+
+void bm_secure_memory_tile(benchmark::State& state)
+{
+    const bool batched = state.range(0) != 0;
+    constexpr std::size_t k_units = 64;  // one 4 KB tile of 64 B units
+    const auto key = make_key();
+    seda::core::Secure_memory mem(key, key);
+
+    const auto data = make_data(64);
+    std::vector<std::vector<u8>> out(k_units, std::vector<u8>(64));
+    std::vector<seda::core::Secure_memory::Unit_write> writes;
+    std::vector<seda::core::Secure_memory::Unit_read> reads;
+    for (std::size_t i = 0; i < k_units; ++i) {
+        writes.push_back({i * 64, data, 0, 0, static_cast<u32>(i)});
+        reads.push_back({i * 64, out[i], 0, 0, static_cast<u32>(i)});
+    }
+
+    for (auto _ : state) {
+        if (batched) {
+            mem.write_units(writes);
+            auto statuses = mem.read_units(reads);
+            benchmark::DoNotOptimize(statuses.data());
+        } else {
+            for (const auto& w : writes)
+                mem.write(w.addr, w.plaintext, w.layer_id, w.fmap_idx, w.blk_idx);
+            for (const auto& r : reads) {
+                auto s = mem.read(r.addr, r.out, r.layer_id, r.fmap_idx, r.blk_idx);
+                benchmark::DoNotOptimize(s);
+            }
+        }
+    }
+    // Bytes moved per iteration: one tile written + one tile read back.
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(2 * k_units * 64));
+}
+BENCHMARK(bm_secure_memory_tile)->Arg(0)->Arg(1)->ArgNames({"batched"});
 
 void bm_seca_attack(benchmark::State& state)
 {

@@ -1,13 +1,61 @@
-// Small integer helpers: ceiling division, alignment, power-of-two tests.
+// Small integer helpers: ceiling division, alignment, power-of-two tests,
+// and the big-endian load/store primitives shared by the crypto substrate
+// (AES counter blocks, SHA-256 message schedule, MAC field serialization).
 #pragma once
 
 #include <bit>
 #include <cassert>
+#include <cstring>
 #include <type_traits>
 
 #include "common/types.h"
 
 namespace seda {
+
+/// Big-endian 32-bit load: p[0] is the most significant byte.
+[[nodiscard]] constexpr u32 load_be32(const u8* p)
+{
+    return (static_cast<u32>(p[0]) << 24) | (static_cast<u32>(p[1]) << 16) |
+           (static_cast<u32>(p[2]) << 8) | static_cast<u32>(p[3]);
+}
+
+/// Big-endian 64-bit load: p[0] is the most significant byte.
+[[nodiscard]] constexpr u64 load_be64(const u8* p)
+{
+    return (static_cast<u64>(load_be32(p)) << 32) | load_be32(p + 4);
+}
+
+/// Big-endian 32-bit store into p[0..3].
+constexpr void store_be32(u8* p, u32 v)
+{
+    p[0] = static_cast<u8>(v >> 24);
+    p[1] = static_cast<u8>(v >> 16);
+    p[2] = static_cast<u8>(v >> 8);
+    p[3] = static_cast<u8>(v);
+}
+
+/// Big-endian 64-bit store into p[0..7].
+constexpr void store_be64(u8* p, u64 v)
+{
+    store_be32(p, static_cast<u32>(v >> 32));
+    store_be32(p + 4, static_cast<u32>(v));
+}
+
+/// XORs 16 bytes of `src` into `dst` in two u64 lanes -- the pad-application
+/// primitive of the CTR/B-AES hot paths.  memcpy keeps the loads and stores
+/// alignment- and aliasing-safe; compilers fold it to two moves.
+inline void xor_16_bytes(u8* dst, const u8* src)
+{
+    u64 a = 0, b = 0, xa = 0, xb = 0;
+    std::memcpy(&a, dst, 8);
+    std::memcpy(&b, dst + 8, 8);
+    std::memcpy(&xa, src, 8);
+    std::memcpy(&xb, src + 8, 8);
+    a ^= xa;
+    b ^= xb;
+    std::memcpy(dst, &a, 8);
+    std::memcpy(dst + 8, &b, 8);
+}
 
 /// Ceiling division for non-negative integers: ceil(a / b), b > 0.
 template <typename T>

@@ -38,6 +38,8 @@ Model_image provision_model(const accel::Model_desc& model, std::span<const u8> 
 
     const accel::Memory_map map(model);
     const crypto::Baes_engine baes(enc_key);
+    const crypto::Hmac_engine hmac(mac_key);
+    std::vector<crypto::Block16> pad_scratch;
 
     Model_image image;
     image.ciphertext.assign(weights.begin(), weights.end());
@@ -57,11 +59,10 @@ Model_image provision_model(const accel::Model_desc& model, std::span<const u8> 
             const Bytes n = std::min(k_unit, padded - off);
             const Addr pa = span.base + off;
             std::span<u8> unit(image.ciphertext.data() + cursor + off, n);
-            baes.crypt(unit, pa, image.provision_vn);
-            const u64 mac = crypto::positional_block_mac(
-                mac_key, unit,
-                weight_context(pa, image.provision_vn, span.layer_id,
-                               static_cast<u32>(off / k_unit)));
+            baes.crypt_with(unit, pa, image.provision_vn, pad_scratch);
+            const u64 mac = hmac.positional_mac(
+                unit, weight_context(pa, image.provision_vn, span.layer_id,
+                                     static_cast<u32>(off / k_unit)));
             layer_fold.fold(mac);
             model_fold.fold(mac);
         }
@@ -75,6 +76,7 @@ Model_image provision_model(const accel::Model_desc& model, std::span<const u8> 
 
 bool verify_image(const Model_image& image, std::span<const u8> mac_key)
 {
+    const crypto::Hmac_engine hmac(mac_key);
     crypto::Xor_mac_accumulator model_fold;
     Bytes cursor = 0;
     for (std::size_t i = 0; i < image.layers.size(); ++i) {
@@ -83,10 +85,9 @@ bool verify_image(const Model_image& image, std::span<const u8> mac_key)
         for (Bytes off = 0; off < span.bytes; off += span.unit_bytes) {
             const Bytes n = std::min(span.unit_bytes, span.bytes - off);
             const std::span<const u8> unit(image.ciphertext.data() + cursor + off, n);
-            const u64 mac = crypto::positional_block_mac(
-                mac_key, unit,
-                weight_context(span.base + off, image.provision_vn, span.layer_id,
-                               static_cast<u32>(off / span.unit_bytes)));
+            const u64 mac = hmac.positional_mac(
+                unit, weight_context(span.base + off, image.provision_vn, span.layer_id,
+                                     static_cast<u32>(off / span.unit_bytes)));
             layer_fold.fold(mac);
             model_fold.fold(mac);
         }

@@ -1,5 +1,7 @@
 #include "core/secure_memory.h"
 
+#include <algorithm>
+
 #include "common/bitutil.h"
 #include "common/error.h"
 
@@ -7,7 +9,7 @@ namespace seda::core {
 
 Secure_memory::Secure_memory(std::span<const u8> enc_key, std::span<const u8> mac_key,
                              Config cfg)
-    : cfg_(cfg), baes_(enc_key), mac_key_(mac_key.begin(), mac_key.end())
+    : cfg_(cfg), baes_(enc_key), hmac_(mac_key)
 {
     require(cfg_.unit_bytes >= k_aes_block_bytes && cfg_.unit_bytes % k_aes_block_bytes == 0,
             "Secure_memory: unit must be a multiple of 16 bytes");
@@ -25,38 +27,37 @@ crypto::Mac_context Secure_memory::context_for(Addr addr, u64 vn, u32 layer_id,
     return ctx;
 }
 
-void Secure_memory::write(Addr addr, std::span<const u8> plaintext, u32 layer_id,
-                          u32 fmap_idx, u32 blk_idx)
+void Secure_memory::write_one(const Unit_write& w, std::vector<crypto::Block16>& pad_scratch)
 {
-    require(addr % cfg_.unit_bytes == 0, "Secure_memory::write: unaligned address");
-    require(plaintext.size() == cfg_.unit_bytes,
+    require(w.addr % cfg_.unit_bytes == 0, "Secure_memory::write: unaligned address");
+    require(w.plaintext.size() == cfg_.unit_bytes,
             "Secure_memory::write: plaintext must be one unit");
 
-    const u64 vn = ++onchip_vns_[addr];  // increment on every write (Eq. 1)
+    const u64 vn = ++onchip_vns_[w.addr];  // increment on every write (Eq. 1)
 
     Stored_unit unit;
-    unit.ciphertext.assign(plaintext.begin(), plaintext.end());
-    baes_.crypt(unit.ciphertext, addr, vn);
-    unit.mac = crypto::positional_block_mac(
-        mac_key_, unit.ciphertext, context_for(addr, vn, layer_id, fmap_idx, blk_idx));
+    unit.ciphertext.assign(w.plaintext.begin(), w.plaintext.end());
+    baes_.crypt_with(unit.ciphertext, w.addr, vn, pad_scratch);
+    unit.mac = hmac_.positional_mac(
+        unit.ciphertext, context_for(w.addr, vn, w.layer_id, w.fmap_idx, w.blk_idx));
     unit.stored_vn = vn;  // only consulted when VNs are kept off-chip
-    units_[addr] = std::move(unit);
+    units_[w.addr] = std::move(unit);
 }
 
-Verify_status Secure_memory::read(Addr addr, std::span<u8> out, u32 layer_id,
-                                  u32 fmap_idx, u32 blk_idx)
+Verify_status Secure_memory::read_one(const Unit_read& r,
+                                      std::vector<crypto::Block16>& pad_scratch)
 {
-    require(out.size() == cfg_.unit_bytes, "Secure_memory::read: out must be one unit");
-    const auto it = units_.find(addr);
+    require(r.out.size() == cfg_.unit_bytes, "Secure_memory::read: out must be one unit");
+    const auto it = units_.find(r.addr);
     require(it != units_.end(), "Secure_memory::read: unit never written");
     const Stored_unit& unit = it->second;
 
     // Freshness source: the trusted on-chip table, or (vulnerably) whatever
     // the untrusted memory claims.
-    const u64 vn = cfg_.onchip_vns ? onchip_vns_.at(addr) : unit.stored_vn;
+    const u64 vn = cfg_.onchip_vns ? onchip_vns_.at(r.addr) : unit.stored_vn;
 
-    const u64 expected = crypto::positional_block_mac(
-        mac_key_, unit.ciphertext, context_for(addr, vn, layer_id, fmap_idx, blk_idx));
+    const u64 expected = hmac_.positional_mac(
+        unit.ciphertext, context_for(r.addr, vn, r.layer_id, r.fmap_idx, r.blk_idx));
     if (expected != unit.mac) {
         // With on-chip VNs a stale-but-self-consistent unit fails exactly
         // here: its MAC was minted under an older VN.
@@ -64,9 +65,38 @@ Verify_status Secure_memory::read(Addr addr, std::span<u8> out, u32 layer_id,
         return Verify_status::mac_mismatch;
     }
 
-    std::copy(unit.ciphertext.begin(), unit.ciphertext.end(), out.begin());
-    baes_.crypt(out, addr, vn);
+    std::copy(unit.ciphertext.begin(), unit.ciphertext.end(), r.out.begin());
+    baes_.crypt_with(r.out, r.addr, vn, pad_scratch);
     return Verify_status::ok;
+}
+
+void Secure_memory::write(Addr addr, std::span<const u8> plaintext, u32 layer_id,
+                          u32 fmap_idx, u32 blk_idx)
+{
+    std::vector<crypto::Block16> pads;
+    write_one({addr, plaintext, layer_id, fmap_idx, blk_idx}, pads);
+}
+
+Verify_status Secure_memory::read(Addr addr, std::span<u8> out, u32 layer_id,
+                                  u32 fmap_idx, u32 blk_idx)
+{
+    std::vector<crypto::Block16> pads;
+    return read_one({addr, out, layer_id, fmap_idx, blk_idx}, pads);
+}
+
+void Secure_memory::write_units(std::span<const Unit_write> batch)
+{
+    std::vector<crypto::Block16> pads;  // shared pad scratch for the tile
+    for (const Unit_write& w : batch) write_one(w, pads);
+}
+
+std::vector<Verify_status> Secure_memory::read_units(std::span<const Unit_read> batch)
+{
+    std::vector<Verify_status> statuses;
+    statuses.reserve(batch.size());
+    std::vector<crypto::Block16> pads;
+    for (const Unit_read& r : batch) statuses.push_back(read_one(r, pads));
+    return statuses;
 }
 
 u64 Secure_memory::fold_all_macs() const

@@ -13,6 +13,12 @@
 //   replay         - caught only with freshness on (on-chip VNs); with VNs
 //                    stored in the untrusted memory itself, rollback wins,
 //                    which is precisely why MGX/TNPU/SeDA keep them on-chip.
+//
+// Tile transfers go through the batch interface (write_units / read_units):
+// one call per tile amortizes the MAC-engine setup, the B-AES pad scratch
+// and the unit-map insertions across every unit the tile touches, and is
+// bit-for-bit identical to issuing the same units one write()/read() at a
+// time (tests/core/secure_memory_batch_test.cpp holds both properties).
 #pragma once
 
 #include <map>
@@ -56,6 +62,24 @@ public:
         u64 stored_vn = 0;  ///< only meaningful when !onchip_vns
     };
 
+    /// One unit of a batch write: unit-aligned address, unit-sized payload.
+    struct Unit_write {
+        Addr addr = 0;
+        std::span<const u8> plaintext;
+        u32 layer_id = 0;
+        u32 fmap_idx = 0;
+        u32 blk_idx = 0;
+    };
+
+    /// One unit of a batch read: unit-aligned address, unit-sized out buffer.
+    struct Unit_read {
+        Addr addr = 0;
+        std::span<u8> out;
+        u32 layer_id = 0;
+        u32 fmap_idx = 0;
+        u32 blk_idx = 0;
+    };
+
     Secure_memory(std::span<const u8> enc_key, std::span<const u8> mac_key,
                   Config cfg = Config());
 
@@ -68,6 +92,16 @@ public:
     /// Reads, decrypts and verifies one unit.  `out` must be unit-sized.
     [[nodiscard]] Verify_status read(Addr addr, std::span<u8> out, u32 layer_id,
                                      u32 fmap_idx, u32 blk_idx);
+
+    /// Batch write: one tile transfer's worth of units in a single call.
+    /// Equivalent to write() per entry, in order, with the per-unit setup
+    /// amortized across the batch.
+    void write_units(std::span<const Unit_write> batch);
+
+    /// Batch read: verifies and decrypts every entry, returning one status
+    /// per unit (tamper/replay detection still fires per unit inside the
+    /// batch).  Equivalent to read() per entry, in order.
+    [[nodiscard]] std::vector<Verify_status> read_units(std::span<const Unit_read> batch);
 
     /// XOR-fold of all stored unit MACs: the layer/model MAC the verifier
     /// compares after streaming a region (Fig. 3(b)).
@@ -94,10 +128,13 @@ public:
 private:
     [[nodiscard]] crypto::Mac_context context_for(Addr addr, u64 vn, u32 layer_id,
                                                   u32 fmap_idx, u32 blk_idx) const;
+    void write_one(const Unit_write& w, std::vector<crypto::Block16>& pad_scratch);
+    [[nodiscard]] Verify_status read_one(const Unit_read& r,
+                                         std::vector<crypto::Block16>& pad_scratch);
 
     Config cfg_;
     crypto::Baes_engine baes_;
-    std::vector<u8> mac_key_;
+    crypto::Hmac_engine hmac_;            ///< precomputed-key MAC engine
     std::map<Addr, Stored_unit> units_;   ///< the untrusted array
     std::map<Addr, u64> onchip_vns_;      ///< trusted on-chip VN table
 };

@@ -141,14 +141,8 @@ void Seda_scheme::protect_range_folded(const Access_range& r, Bytes unit,
         // only to complete the unit's MAC is amplification (an RMW fetch on
         // the write path).  The optBlk search drives this to zero for
         // aligned units.
-        for (Addr block = u; block < u + unit; block += k_block_bytes) {
-            const bool inside = block >= r.first_block() && block < r.end_block();
-            dram::Request req;
-            req.addr = block;
-            req.is_write = inside && r.is_write;
-            req.tag = inside ? dram::Traffic_tag::data : dram::Traffic_tag::amplification;
-            out.timed_stream.push_back(req);
-        }
+        protect::append_unit_requests(out.timed_stream, u, unit, r.first_block(),
+                                      r.end_block(), r.is_write);
     }
 }
 
@@ -158,14 +152,8 @@ void Seda_scheme::protect_range_stored_macs(const Access_range& r, Bytes unit,
     const Addr lo = align_down(r.first_block(), unit);
     const Addr hi = align_up(r.end_block(), unit);
     for (Addr u = lo; u < hi; u += unit) {
-        for (Addr block = u; block < u + unit; block += k_block_bytes) {
-            const bool inside = block >= r.first_block() && block < r.end_block();
-            dram::Request req;
-            req.addr = block;
-            req.is_write = inside && r.is_write;
-            req.tag = inside ? dram::Traffic_tag::data : dram::Traffic_tag::amplification;
-            out.timed_stream.push_back(req);
-        }
+        protect::append_unit_requests(out.timed_stream, u, unit, r.first_block(),
+                                      r.end_block(), r.is_write);
         ++out.verify_events;
         if (cfg_.colocate_gather_macs) continue;  // MAC rides in the same burst
         // Separate-region optBlk MAC, filtered by the on-chip MAC cache.

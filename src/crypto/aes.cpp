@@ -2,110 +2,55 @@
 
 #include <algorithm>
 
+#include "common/bitutil.h"
 #include "common/error.h"
+#include "crypto/aes_backend.h"
 
 namespace seda::crypto {
 namespace {
 
-constexpr std::array<u8, 256> make_sbox()
+constexpr auto k_sbox = make_aes_sbox();
+
+/// InvMixColumns over one 16-byte round key, for the equivalent inverse
+/// cipher schedule the table-driven decrypt path consumes.
+Block16 inv_mix_columns_block(const Block16& in)
 {
-    std::array<u8, 256> t{};
-    for (int i = 0; i < 256; ++i) t[static_cast<std::size_t>(i)] = aes_sbox_value(static_cast<u8>(i));
-    return t;
-}
-
-constexpr std::array<u8, 256> make_inv_sbox()
-{
-    const auto sbox = make_sbox();
-    std::array<u8, 256> t{};
-    for (int i = 0; i < 256; ++i) t[sbox[static_cast<std::size_t>(i)]] = static_cast<u8>(i);
-    return t;
-}
-
-constexpr auto k_sbox = make_sbox();
-constexpr auto k_inv_sbox = make_inv_sbox();
-
-// Compile-time sanity anchors from FIPS-197 (full vectors are in the tests).
-static_assert(make_sbox()[0x00] == 0x63);
-static_assert(make_sbox()[0x53] == 0xED);
-static_assert(make_inv_sbox()[0x63] == 0x00);
-
-void sub_bytes(Block16& s)
-{
-    for (auto& b : s) b = k_sbox[b];
-}
-
-void inv_sub_bytes(Block16& s)
-{
-    for (auto& b : s) b = k_inv_sbox[b];
-}
-
-// State is column-major per FIPS-197: byte index = row + 4*column.
-void shift_rows(Block16& s)
-{
-    Block16 t = s;
-    for (int r = 1; r < 4; ++r)
-        for (int c = 0; c < 4; ++c)
-            s[static_cast<std::size_t>(r + 4 * c)] =
-                t[static_cast<std::size_t>(r + 4 * ((c + r) % 4))];
-}
-
-void inv_shift_rows(Block16& s)
-{
-    Block16 t = s;
-    for (int r = 1; r < 4; ++r)
-        for (int c = 0; c < 4; ++c)
-            s[static_cast<std::size_t>(r + 4 * ((c + r) % 4))] =
-                t[static_cast<std::size_t>(r + 4 * c)];
-}
-
-void mix_columns(Block16& s)
-{
+    Block16 out{};
     for (int c = 0; c < 4; ++c) {
         const std::size_t o = static_cast<std::size_t>(4 * c);
-        const u8 a0 = s[o], a1 = s[o + 1], a2 = s[o + 2], a3 = s[o + 3];
-        s[o] = static_cast<u8>(gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3);
-        s[o + 1] = static_cast<u8>(a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3);
-        s[o + 2] = static_cast<u8>(a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3));
-        s[o + 3] = static_cast<u8>(gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2));
+        const u8 a0 = in[o], a1 = in[o + 1], a2 = in[o + 2], a3 = in[o + 3];
+        out[o] = static_cast<u8>(gf_mul(a0, 0x0E) ^ gf_mul(a1, 0x0B) ^ gf_mul(a2, 0x0D) ^
+                                 gf_mul(a3, 0x09));
+        out[o + 1] = static_cast<u8>(gf_mul(a0, 0x09) ^ gf_mul(a1, 0x0E) ^
+                                     gf_mul(a2, 0x0B) ^ gf_mul(a3, 0x0D));
+        out[o + 2] = static_cast<u8>(gf_mul(a0, 0x0D) ^ gf_mul(a1, 0x09) ^
+                                     gf_mul(a2, 0x0E) ^ gf_mul(a3, 0x0B));
+        out[o + 3] = static_cast<u8>(gf_mul(a0, 0x0B) ^ gf_mul(a1, 0x0D) ^
+                                     gf_mul(a2, 0x09) ^ gf_mul(a3, 0x0E));
     }
+    return out;
 }
 
-void inv_mix_columns(Block16& s)
+void append_block_words(std::vector<u32>& words, const Block16& blk)
 {
-    for (int c = 0; c < 4; ++c) {
-        const std::size_t o = static_cast<std::size_t>(4 * c);
-        const u8 a0 = s[o], a1 = s[o + 1], a2 = s[o + 2], a3 = s[o + 3];
-        s[o] = static_cast<u8>(gf_mul(a0, 0x0E) ^ gf_mul(a1, 0x0B) ^ gf_mul(a2, 0x0D) ^
-                               gf_mul(a3, 0x09));
-        s[o + 1] = static_cast<u8>(gf_mul(a0, 0x09) ^ gf_mul(a1, 0x0E) ^ gf_mul(a2, 0x0B) ^
-                                   gf_mul(a3, 0x0D));
-        s[o + 2] = static_cast<u8>(gf_mul(a0, 0x0D) ^ gf_mul(a1, 0x09) ^ gf_mul(a2, 0x0E) ^
-                                   gf_mul(a3, 0x0B));
-        s[o + 3] = static_cast<u8>(gf_mul(a0, 0x0B) ^ gf_mul(a1, 0x0D) ^ gf_mul(a2, 0x09) ^
-                                   gf_mul(a3, 0x0E));
-    }
-}
-
-void add_round_key(Block16& s, const Block16& rk)
-{
-    for (std::size_t i = 0; i < s.size(); ++i) s[i] = static_cast<u8>(s[i] ^ rk[i]);
+    for (int c = 0; c < 4; ++c) words.push_back(load_be32(blk.data() + 4 * c));
 }
 
 }  // namespace
 
-Aes::Aes(std::span<const u8> key)
+std::vector<Block16> expand_round_keys(std::span<const u8> key)
 {
     int nk = 0;  // key length in 32-bit words
+    int rounds = 0;
     switch (key.size()) {
-        case 16: nk = 4; rounds_ = 10; break;
-        case 24: nk = 6; rounds_ = 12; break;
-        case 32: nk = 8; rounds_ = 14; break;
+        case 16: nk = 4; rounds = 10; break;
+        case 24: nk = 6; rounds = 12; break;
+        case 32: nk = 8; rounds = 14; break;
         default:
             throw Seda_error("Aes: key must be 16, 24 or 32 bytes");
     }
 
-    const int total_words = 4 * (rounds_ + 1);
+    const int total_words = 4 * (rounds + 1);
     std::vector<std::array<u8, 4>> w(static_cast<std::size_t>(total_words));
     for (int i = 0; i < nk; ++i)
         for (int b = 0; b < 4; ++b)
@@ -130,44 +75,66 @@ Aes::Aes(std::span<const u8> key)
                 temp[static_cast<std::size_t>(b)]);
     }
 
-    round_keys_.resize(static_cast<std::size_t>(rounds_ + 1));
-    for (int r = 0; r <= rounds_; ++r)
+    std::vector<Block16> round_keys(static_cast<std::size_t>(rounds + 1));
+    for (int r = 0; r <= rounds; ++r)
         for (int c = 0; c < 4; ++c)
             for (int b = 0; b < 4; ++b)
-                round_keys_[static_cast<std::size_t>(r)][static_cast<std::size_t>(4 * c + b)] =
+                round_keys[static_cast<std::size_t>(r)][static_cast<std::size_t>(4 * c + b)] =
                     w[static_cast<std::size_t>(4 * r + c)][static_cast<std::size_t>(b)];
+    return round_keys;
+}
+
+Aes::Aes(std::span<const u8> key, Aes_backend_kind kind)
+    : backend_(&backend_for(kind))
+{
+    schedule_.round_keys = expand_round_keys(key);
+    schedule_.rounds = static_cast<int>(schedule_.round_keys.size()) - 1;
+    const int rounds = schedule_.rounds;
+    const int total_words = 4 * (rounds + 1);
+
+    // Word forms for the table-driven backend: the forward schedule verbatim,
+    // and the equivalent-inverse schedule (reversed, InvMixColumns applied to
+    // every round key except the outermost two).
+    schedule_.enc_words.reserve(static_cast<std::size_t>(total_words));
+    schedule_.dec_words.reserve(static_cast<std::size_t>(total_words));
+    for (int r = 0; r <= rounds; ++r)
+        append_block_words(schedule_.enc_words, schedule_.round_keys[static_cast<std::size_t>(r)]);
+    for (int r = rounds; r >= 0; --r) {
+        const Block16& rk = schedule_.round_keys[static_cast<std::size_t>(r)];
+        append_block_words(schedule_.dec_words,
+                           (r == 0 || r == rounds) ? rk : inv_mix_columns_block(rk));
+    }
 }
 
 Block16 Aes::encrypt_block(const Block16& in) const
 {
     Block16 s = in;
-    add_round_key(s, round_keys_[0]);
-    for (int r = 1; r < rounds_; ++r) {
-        sub_bytes(s);
-        shift_rows(s);
-        mix_columns(s);
-        add_round_key(s, round_keys_[static_cast<std::size_t>(r)]);
-    }
-    sub_bytes(s);
-    shift_rows(s);
-    add_round_key(s, round_keys_[static_cast<std::size_t>(rounds_)]);
+    backend_->encrypt_blocks(schedule_, std::span<Block16>(&s, 1));
     return s;
 }
 
 Block16 Aes::decrypt_block(const Block16& in) const
 {
     Block16 s = in;
-    add_round_key(s, round_keys_[static_cast<std::size_t>(rounds_)]);
-    for (int r = rounds_ - 1; r >= 1; --r) {
-        inv_shift_rows(s);
-        inv_sub_bytes(s);
-        add_round_key(s, round_keys_[static_cast<std::size_t>(r)]);
-        inv_mix_columns(s);
-    }
-    inv_shift_rows(s);
-    inv_sub_bytes(s);
-    add_round_key(s, round_keys_[0]);
+    backend_->decrypt_blocks(schedule_, std::span<Block16>(&s, 1));
     return s;
 }
+
+void Aes::encrypt_blocks(std::span<Block16> blocks) const
+{
+    backend_->encrypt_blocks(schedule_, blocks);
+}
+
+void Aes::decrypt_blocks(std::span<Block16> blocks) const
+{
+    backend_->decrypt_blocks(schedule_, blocks);
+}
+
+void Aes::ctr_keystream(Addr pa, u64 vn, std::span<Block16> out) const
+{
+    backend_->ctr_keystream(schedule_, pa, vn, out);
+}
+
+std::string_view Aes::backend_name() const { return backend_->name(); }
 
 }  // namespace seda::crypto

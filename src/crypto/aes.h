@@ -6,6 +6,13 @@
 // encryption (B-AES, Fig. 3(a) / Algorithm 1 defense) derives per-segment
 // one-time pads by XORing the base OTP with them.
 //
+// The cipher rounds themselves run through a pluggable backend
+// (crypto/aes_backend.h): a byte-wise scalar reference that mirrors the FIPS
+// pseudocode, and a table-driven fast path (four 256-entry u32 tables,
+// word-wise rounds) that the secure-memory hot loop uses by default.  Every
+// backend consumes the same key schedule and must produce identical
+// ciphertext; tests/crypto/aes_backend_test.cpp cross-validates them.
+//
 // The S-boxes are generated at compile time from the GF(2^8) field inverse
 // and the FIPS affine transform, which removes any transcription risk; the
 // FIPS-197 appendix vectors are checked in tests/crypto/aes_test.cpp.
@@ -13,6 +20,7 @@
 
 #include <array>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/types.h"
@@ -30,27 +38,75 @@ using Block16 = std::array<u8, 16>;
     return out;
 }
 
+/// Which round implementation an Aes instance runs (see crypto/aes_backend.h).
+enum class Aes_backend_kind {
+    auto_select,  ///< t-table unless the SEDA_AES_BACKEND env var overrides
+    scalar,       ///< byte-wise FIPS-197 reference
+    ttable,       ///< four 256xu32 tables, word-wise rounds (fast default)
+};
+
+[[nodiscard]] constexpr const char* to_string(Aes_backend_kind k)
+{
+    switch (k) {
+        case Aes_backend_kind::auto_select: return "auto";
+        case Aes_backend_kind::scalar: return "scalar";
+        case Aes_backend_kind::ttable: return "ttable";
+    }
+    return "?";
+}
+
+/// Expanded key material shared by every backend.  The byte-form round keys
+/// are the B-AES pad source; the word forms feed the table-driven rounds.
+struct Aes_key_schedule {
+    int rounds = 0;                   ///< 10 / 12 / 14 for AES-128/192/256
+    std::vector<Block16> round_keys;  ///< rounds+1 byte-form round keys
+    std::vector<u32> enc_words;       ///< 4*(rounds+1) big-endian column words
+    /// Equivalent-inverse-cipher schedule: dec_words[r] = InvMixColumns of
+    /// enc round key rounds-r (identity for the first and last entries).
+    std::vector<u32> dec_words;
+};
+
+class Aes_backend;
+
 /// AES cipher with a fixed key schedule.  Thread-compatible: const methods
 /// may be called concurrently from multiple threads.
 class Aes {
 public:
     /// Builds the key schedule for a 16, 24 or 32-byte key (AES-128/192/256).
-    /// Throws Seda_error for any other key length.
-    explicit Aes(std::span<const u8> key);
+    /// Throws Seda_error for any other key length.  `kind` selects the round
+    /// implementation; auto_select resolves to the process-wide default.
+    explicit Aes(std::span<const u8> key,
+                 Aes_backend_kind kind = Aes_backend_kind::auto_select);
 
     [[nodiscard]] Block16 encrypt_block(const Block16& in) const;
     [[nodiscard]] Block16 decrypt_block(const Block16& in) const;
 
+    /// Bulk interface: encrypts/decrypts every block in place.  One virtual
+    /// dispatch for the whole span; the CTR bulk keystream path lives here.
+    void encrypt_blocks(std::span<Block16> blocks) const;
+    void decrypt_blocks(std::span<Block16> blocks) const;
+
+    /// Fills `out` with CTR keystream for counters (pa, vn)..(pa, vn+n-1),
+    /// never materializing the counter blocks (fast backends keep the
+    /// counter in registers through the rounds).
+    void ctr_keystream(Addr pa, u64 vn, std::span<Block16> out) const;
+
     /// Number of cipher rounds: 10 / 12 / 14 for AES-128/192/256.
-    [[nodiscard]] int rounds() const { return rounds_; }
+    [[nodiscard]] int rounds() const { return schedule_.rounds; }
 
     /// Round keys from keyExpansion as rounds()+1 16-byte blocks.
     /// B-AES XORs these onto the base OTP to fan out per-segment pads.
-    [[nodiscard]] std::span<const Block16> round_keys() const { return round_keys_; }
+    [[nodiscard]] std::span<const Block16> round_keys() const
+    {
+        return schedule_.round_keys;
+    }
+
+    [[nodiscard]] const Aes_key_schedule& schedule() const { return schedule_; }
+    [[nodiscard]] std::string_view backend_name() const;
 
 private:
-    int rounds_ = 0;
-    std::vector<Block16> round_keys_;
+    Aes_key_schedule schedule_;
+    const Aes_backend* backend_ = nullptr;
 };
 
 /// GF(2^8) multiply modulo the AES polynomial x^8+x^4+x^3+x+1.  Exposed for
@@ -90,5 +146,28 @@ private:
     return static_cast<u8>(inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^ rotl8(inv, 3) ^
                            rotl8(inv, 4) ^ 0x63);
 }
+
+/// The full forward S-box, generated at compile time.
+[[nodiscard]] constexpr std::array<u8, 256> make_aes_sbox()
+{
+    std::array<u8, 256> t{};
+    for (int i = 0; i < 256; ++i)
+        t[static_cast<std::size_t>(i)] = aes_sbox_value(static_cast<u8>(i));
+    return t;
+}
+
+/// The full inverse S-box, generated at compile time.
+[[nodiscard]] constexpr std::array<u8, 256> make_aes_inv_sbox()
+{
+    const auto sbox = make_aes_sbox();
+    std::array<u8, 256> t{};
+    for (int i = 0; i < 256; ++i) t[sbox[static_cast<std::size_t>(i)]] = static_cast<u8>(i);
+    return t;
+}
+
+/// keyExpansion alone: the rounds+1 byte-form round keys for a 16/24/32-byte
+/// key (throws Seda_error otherwise), without the word-form schedules an Aes
+/// instance carries.  B-AES derived pad banks only need these.
+[[nodiscard]] std::vector<Block16> expand_round_keys(std::span<const u8> key);
 
 }  // namespace seda::crypto

@@ -1,0 +1,71 @@
+// Pluggable AES round implementations behind one key schedule.
+//
+// The functional secure-memory stack pushes every protected byte through
+// AES-CTR, so the round implementation is the hottest loop in the repo.  Two
+// backends exist deliberately:
+//
+//   * scalar  - byte-wise SubBytes/ShiftRows/MixColumns that mirrors the
+//               FIPS-197 pseudocode (gf_mul per MixColumns term).  Slow, but
+//               the obviously-correct reference every other backend is
+//               cross-validated against.
+//   * ttable  - the classic four 256xu32 T-tables (SubBytes + ShiftRows +
+//               MixColumns fused per byte), word-wise rounds over u32 round
+//               keys.  The software analogue of a pipelined hardware engine
+//               and the default for bulk keystream generation.
+//
+// Backends are stateless singletons: the key schedule travels with the Aes
+// instance, so one backend object serves any number of keys concurrently.
+// Selection happens at Aes construction (Aes_backend_kind); auto_select
+// resolves to ttable unless the SEDA_AES_BACKEND environment variable names
+// a backend, which is the cross-validation escape hatch for whole binaries.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "crypto/aes.h"
+
+namespace seda::crypto {
+
+/// One round implementation.  Implementations must be stateless (aside from
+/// immutable tables) so const use is thread-safe.
+class Aes_backend {
+public:
+    virtual ~Aes_backend() = default;
+
+    [[nodiscard]] virtual std::string_view name() const = 0;
+
+    /// Encrypts every block in place under `ks`.
+    virtual void encrypt_blocks(const Aes_key_schedule& ks,
+                                std::span<Block16> blocks) const = 0;
+
+    /// Decrypts every block in place under `ks`.
+    virtual void decrypt_blocks(const Aes_key_schedule& ks,
+                                std::span<Block16> blocks) const = 0;
+
+    /// Fills `out` with CTR keystream for the counters (PA || vn) ..
+    /// (PA || vn+out.size()-1), Eq. 1's counter layout.  The base
+    /// implementation assembles the counter blocks in `out` and delegates to
+    /// encrypt_blocks; fast backends override it with a fused path that
+    /// keeps the counter in registers end to end.
+    virtual void ctr_keystream(const Aes_key_schedule& ks, Addr pa, u64 vn,
+                               std::span<Block16> out) const;
+};
+
+/// The byte-wise FIPS-197 reference backend.
+[[nodiscard]] const Aes_backend& scalar_backend();
+
+/// The table-driven fast backend.
+[[nodiscard]] const Aes_backend& ttable_backend();
+
+/// Resolves a kind to a backend; auto_select honours SEDA_AES_BACKEND
+/// ("scalar" or "ttable", read once per process) and otherwise picks ttable.
+[[nodiscard]] const Aes_backend& backend_for(Aes_backend_kind kind);
+
+/// What auto_select currently resolves to.
+[[nodiscard]] Aes_backend_kind default_backend_kind();
+
+/// The concrete backends, for cross-validation sweeps.
+[[nodiscard]] std::span<const Aes_backend_kind> all_backend_kinds();
+
+}  // namespace seda::crypto

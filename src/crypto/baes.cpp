@@ -1,17 +1,25 @@
 #include "crypto/baes.h"
-
+#include "common/bitutil.h"
 #include "common/error.h"
 
 namespace seda::crypto {
 
-Baes_engine::Baes_engine(std::span<const u8> key)
-    : key_(key.begin(), key.end()), ctr_(key)
+Baes_engine::Baes_engine(std::span<const u8> key, Aes_backend_kind kind)
+    : key_(key.begin(), key.end()), ctr_(key, kind)
 {
 }
 
 std::vector<Block16> Baes_engine::otps(Addr pa, u64 vn, std::size_t lanes) const
 {
     std::vector<Block16> pads;
+    otps_into(pa, vn, lanes, pads);
+    return pads;
+}
+
+void Baes_engine::otps_into(Addr pa, u64 vn, std::size_t lanes,
+                            std::vector<Block16>& pads) const
+{
+    pads.clear();
     pads.reserve(lanes);
     const Block16 base = ctr_.otp(pa, vn);
     const auto primary = ctr_.engine().round_keys();
@@ -20,31 +28,42 @@ std::vector<Block16> Baes_engine::otps(Addr pa, u64 vn, std::size_t lanes) const
 
     // Extension for very wide units: re-key the expansion with
     // key ^ (PA || VN) ^ bank to mint additional independent key banks.
+    // Only keyExpansion runs here -- no cipher schedule is built.
     u64 bank = 1;
     while (pads.size() < lanes) {
         const Block16 ctr_block = counter_add(make_counter(pa, vn), bank);
         std::vector<u8> derived = key_;
         for (std::size_t i = 0; i < derived.size(); ++i)
             derived[i] = static_cast<u8>(derived[i] ^ ctr_block[i % ctr_block.size()]);
-        const Aes expanded(derived);
-        for (const auto& rk : expanded.round_keys()) {
+        for (const auto& rk : expand_round_keys(derived)) {
             if (pads.size() == lanes) break;
             pads.push_back(xor_blocks(base, rk));
         }
         ++bank;
     }
-    return pads;
 }
 
 void Baes_engine::crypt(std::span<u8> data, Addr pa, u64 vn) const
 {
+    std::vector<Block16> pads;
+    crypt_with(data, pa, vn, pads);
+}
+
+void Baes_engine::crypt_with(std::span<u8> data, Addr pa, u64 vn,
+                             std::vector<Block16>& pad_scratch) const
+{
     const std::size_t lanes = (data.size() + k_aes_block_bytes - 1) / k_aes_block_bytes;
-    const auto pads = otps(pa, vn, lanes);
+    otps_into(pa, vn, lanes, pad_scratch);
     for (std::size_t seg = 0; seg < lanes; ++seg) {
         const std::size_t off = seg * k_aes_block_bytes;
         const std::size_t n = std::min<std::size_t>(k_aes_block_bytes, data.size() - off);
-        for (std::size_t i = 0; i < n; ++i)
-            data[off + i] = static_cast<u8>(data[off + i] ^ pads[seg][i]);
+        u8* p = data.data() + off;
+        const u8* pad = pad_scratch[seg].data();
+        if (n == k_aes_block_bytes) {
+            xor_16_bytes(p, pad);
+        } else {
+            for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<u8>(p[i] ^ pad[i]);
+        }
     }
 }
 

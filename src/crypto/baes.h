@@ -10,6 +10,10 @@
 // When a unit has more segments than the schedule has round keys, the paper's
 // extension applies: keyExpansion is re-run with input key ^ (PA || VN),
 // yielding a further bank of pads, and so on.
+//
+// The batch entry points (otps_into / crypt_with) take caller-owned scratch
+// so Secure_memory's batch I/O amortizes the pad buffer across a whole tile
+// of units instead of allocating per unit.
 #pragma once
 
 #include <span>
@@ -23,16 +27,25 @@ namespace seda::crypto {
 
 class Baes_engine {
 public:
-    explicit Baes_engine(std::span<const u8> key);
+    explicit Baes_engine(std::span<const u8> key,
+                         Aes_backend_kind kind = Aes_backend_kind::auto_select);
 
     /// Distinct pads for segments 0..lanes-1 of the unit at (pa, vn).
     /// Lane 0..r use the primary schedule's round keys; further lanes come
     /// from derived schedules keyed with key ^ (PA || VN) (+ bank index).
     [[nodiscard]] std::vector<Block16> otps(Addr pa, u64 vn, std::size_t lanes) const;
 
+    /// Same fan-out written into `pads` (resized to `lanes`); reusing the
+    /// vector across units keeps the batch path allocation-free.
+    void otps_into(Addr pa, u64 vn, std::size_t lanes, std::vector<Block16>& pads) const;
+
     /// Encrypts/decrypts `data` in place, one B-AES lane per 16-byte segment.
     /// CTR-style XOR discipline, so the two operations coincide.
     void crypt(std::span<u8> data, Addr pa, u64 vn) const;
+
+    /// crypt() with caller-owned pad scratch (the batch-I/O hot path).
+    void crypt_with(std::span<u8> data, Addr pa, u64 vn,
+                    std::vector<Block16>& pad_scratch) const;
 
     /// Number of pads available without re-running keyExpansion
     /// (= round keys of the primary schedule).

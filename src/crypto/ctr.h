@@ -10,6 +10,12 @@
 //                        Bandwidth-cheap but vulnerable to the SECA attack.
 //   * B-AES            - see crypto/baes.h: one AES invocation per unit,
 //                        per-segment pads derived from round keys.
+//
+// crypt_standard comes in two gears that produce identical ciphertext:
+// the blockwise loop above (the reference discipline) and crypt_bulk, which
+// keeps the counter in registers, batches keystream generation through
+// Aes::encrypt_blocks, and XORs in u64 lanes.  bench_crypto_micro measures
+// the gap; tests assert the equivalence.
 #pragma once
 
 #include <span>
@@ -27,7 +33,11 @@ namespace seda::crypto {
 
 class Aes_ctr {
 public:
-    explicit Aes_ctr(std::span<const u8> key) : aes_(key) {}
+    explicit Aes_ctr(std::span<const u8> key,
+                     Aes_backend_kind kind = Aes_backend_kind::auto_select)
+        : aes_(key, kind)
+    {
+    }
 
     /// The one-time pad for the data block at (pa, vn): AES-CTR_Ke(PA || VN).
     [[nodiscard]] Block16 otp(Addr pa, u64 vn) const
@@ -37,13 +47,24 @@ public:
 
     /// Textbook CTR over `data` (any length); segment i uses counter+i.
     /// Encryption and decryption are the same operation (Eq. 1 / Eq. 2).
+    /// One AES invocation per 16 B segment: the reference gear.
     void crypt_standard(std::span<u8> data, Addr pa, u64 vn) const;
+
+    /// Same keystream as crypt_standard, generated k_keystream_batch blocks
+    /// at a time and XORed in 64-bit lanes.  The fast gear for tile-sized
+    /// transfers; bit-identical to crypt_standard on any length.
+    void crypt_bulk(std::span<u8> data, Addr pa, u64 vn) const;
 
     /// Insecure variant: every 16-byte segment XORed with the *same* OTP.
     /// Kept as the SECA attack target; never used by the SeDA scheme.
     void crypt_shared_otp(std::span<u8> data, Addr pa, u64 vn) const;
 
     [[nodiscard]] const Aes& engine() const { return aes_; }
+
+    /// Keystream blocks generated per encrypt_blocks call in crypt_bulk
+    /// (512 B of pad per batch: deep enough to amortize dispatch, small
+    /// enough to stay in L1).
+    static constexpr std::size_t k_keystream_batch = 32;
 
 private:
     Aes aes_;

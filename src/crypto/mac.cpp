@@ -3,31 +3,18 @@
 #include <algorithm>
 #include <array>
 
+#include "common/bitutil.h"
+
 namespace seda::crypto {
 namespace {
 
 constexpr std::size_t k_hmac_block = 64;  // SHA-256 block size in bytes
 
-u64 truncate64(const Digest256& d)
-{
-    u64 v = 0;
-    for (int i = 0; i < 8; ++i) v = (v << 8) | d[static_cast<std::size_t>(i)];
-    return v;
-}
-
-void append_u64(std::vector<u8>& out, u64 v)
-{
-    for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (56 - 8 * i)));
-}
-
-void append_u32(std::vector<u8>& out, u32 v)
-{
-    for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (24 - 8 * i)));
-}
+u64 truncate64(const Digest256& d) { return load_be64(d.data()); }
 
 }  // namespace
 
-Digest256 hmac_sha256(std::span<const u8> key, std::span<const u8> message)
+Hmac_engine::Hmac_engine(std::span<const u8> key)
 {
     std::array<u8, k_hmac_block> k0{};
     if (key.size() > k_hmac_block) {
@@ -43,35 +30,64 @@ Digest256 hmac_sha256(std::span<const u8> key, std::span<const u8> message)
         ipad[i] = static_cast<u8>(k0[i] ^ 0x36);
         opad[i] = static_cast<u8>(k0[i] ^ 0x5c);
     }
+    // Absorb the pad blocks once; per-message MACs resume from copies of
+    // these mid-states instead of re-hashing the key material.
+    inner_base_.update(ipad);
+    outer_base_.update(opad);
+}
 
-    Sha256 inner;
-    inner.update(ipad);
+Digest256 Hmac_engine::mac(std::span<const u8> message) const
+{
+    Sha256 inner = inner_base_;
     inner.update(message);
     const Digest256 inner_digest = inner.finish();
 
-    Sha256 outer;
-    outer.update(opad);
+    Sha256 outer = outer_base_;
     outer.update(inner_digest);
     return outer.finish();
 }
 
+u64 Hmac_engine::naive_mac(std::span<const u8> ciphertext) const
+{
+    return truncate64(mac(ciphertext));
+}
+
+u64 Hmac_engine::positional_mac(std::span<const u8> ciphertext, const Mac_context& ctx) const
+{
+    // HASH_Kh(blk || PA || VN || layer_id || fmap_idx || blk_idx), Alg. 2 l.8.
+    // The fields stream into the hash after the ciphertext -- identical
+    // digest to concatenating them into one buffer, without the buffer.
+    std::array<u8, 28> fields{};
+    store_be64(fields.data(), ctx.pa);
+    store_be64(fields.data() + 8, ctx.vn);
+    store_be32(fields.data() + 16, ctx.layer_id);
+    store_be32(fields.data() + 20, ctx.fmap_idx);
+    store_be32(fields.data() + 24, ctx.blk_idx);
+
+    Sha256 inner = inner_base_;
+    inner.update(ciphertext);
+    inner.update(fields);
+    const Digest256 inner_digest = inner.finish();
+
+    Sha256 outer = outer_base_;
+    outer.update(inner_digest);
+    return truncate64(outer.finish());
+}
+
+Digest256 hmac_sha256(std::span<const u8> key, std::span<const u8> message)
+{
+    return Hmac_engine(key).mac(message);
+}
+
 u64 naive_block_mac(std::span<const u8> key, std::span<const u8> ciphertext)
 {
-    return truncate64(hmac_sha256(key, ciphertext));
+    return Hmac_engine(key).naive_mac(ciphertext);
 }
 
 u64 positional_block_mac(std::span<const u8> key, std::span<const u8> ciphertext,
                          const Mac_context& ctx)
 {
-    // HASH_Kh(blk || PA || VN || layer_id || fmap_idx || blk_idx), Alg. 2 l.8.
-    std::vector<u8> msg(ciphertext.begin(), ciphertext.end());
-    msg.reserve(ciphertext.size() + 8 + 8 + 4 + 4 + 4);
-    append_u64(msg, ctx.pa);
-    append_u64(msg, ctx.vn);
-    append_u32(msg, ctx.layer_id);
-    append_u32(msg, ctx.fmap_idx);
-    append_u32(msg, ctx.blk_idx);
-    return truncate64(hmac_sha256(key, msg));
+    return Hmac_engine(key).positional_mac(ciphertext, ctx);
 }
 
 u64 xor_fold(std::span<const u64> macs)

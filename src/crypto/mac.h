@@ -24,6 +24,35 @@ namespace seda::crypto {
 /// HMAC-SHA256 per RFC 2104 / FIPS 198-1.
 [[nodiscard]] Digest256 hmac_sha256(std::span<const u8> key, std::span<const u8> message);
 
+struct Mac_context;
+
+/// Precomputed-key HMAC-SHA256 engine: the ipad/opad blocks are absorbed
+/// once at construction, saving two of the three-ish compression calls a
+/// short-message HMAC costs.  This is the verifier-side analogue of the
+/// batch crypto pipeline: Secure_memory keeps one engine per key and reuses
+/// it for every unit of a tile transfer.  Thread-compatible: const methods
+/// may run concurrently.
+class Hmac_engine {
+public:
+    explicit Hmac_engine(std::span<const u8> key);
+
+    /// Full HMAC-SHA256 digest of `message`.
+    [[nodiscard]] Digest256 mac(std::span<const u8> message) const;
+
+    /// 64-bit truncated MAC over the ciphertext alone (RePA-vulnerable).
+    [[nodiscard]] u64 naive_mac(std::span<const u8> ciphertext) const;
+
+    /// 64-bit truncated positional MAC (Alg. 2 l.8): the position fields are
+    /// streamed into the hash after the ciphertext, so no message buffer is
+    /// assembled at all.
+    [[nodiscard]] u64 positional_mac(std::span<const u8> ciphertext,
+                                     const Mac_context& ctx) const;
+
+private:
+    Sha256 inner_base_;  ///< state after absorbing K0 ^ ipad
+    Sha256 outer_base_;  ///< state after absorbing K0 ^ opad
+};
+
 /// Position/identity fields bound into a SeDA block MAC (Algorithm 2, def.).
 struct Mac_context {
     Addr pa = 0;        ///< physical address of the unit

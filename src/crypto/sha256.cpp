@@ -44,10 +44,7 @@ void Sha256::reset()
 void Sha256::process_block(const u8* p)
 {
     std::array<u32, 64> w{};
-    for (int t = 0; t < 16; ++t)
-        w[static_cast<std::size_t>(t)] =
-            (static_cast<u32>(p[4 * t]) << 24) | (static_cast<u32>(p[4 * t + 1]) << 16) |
-            (static_cast<u32>(p[4 * t + 2]) << 8) | static_cast<u32>(p[4 * t + 3]);
+    for (int t = 0; t < 16; ++t) w[static_cast<std::size_t>(t)] = load_be32(p + 4 * t);
     for (int t = 16; t < 64; ++t)
         w[static_cast<std::size_t>(t)] =
             small_sigma1(w[static_cast<std::size_t>(t - 2)]) + w[static_cast<std::size_t>(t - 7)] +
@@ -101,17 +98,13 @@ Digest256 Sha256::finish()
     const u8 zero = 0x00;
     while (buf_len_ != 56) update(std::span<const u8>(&zero, 1));
 
-    std::array<u8, 8> len_be{};
-    for (int i = 0; i < 8; ++i) len_be[static_cast<std::size_t>(i)] = static_cast<u8>(bit_len >> (56 - 8 * i));
     // Bypass update()'s length accounting for the final length field.
-    std::copy(len_be.begin(), len_be.end(), buf_.begin() + 56);
+    store_be64(buf_.data() + 56, bit_len);
     process_block(buf_.data());
 
     Digest256 out{};
     for (int i = 0; i < 8; ++i)
-        for (int b = 0; b < 4; ++b)
-            out[static_cast<std::size_t>(4 * i + b)] =
-                static_cast<u8>(h_[static_cast<std::size_t>(i)] >> (24 - 8 * b));
+        store_be32(out.data() + 4 * i, h_[static_cast<std::size_t>(i)]);
     reset();
     return out;
 }

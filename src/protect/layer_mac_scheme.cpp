@@ -46,15 +46,8 @@ Layer_protect_result Layer_mac_scheme::transform_layer(const accel::Layer_sim& l
                 layer.layer->kind == accel::Layer_kind::embedding)
                 ++unverifiable_units_;
 
-            for (Addr block = u; block < u + unit_bytes_; block += k_block_bytes) {
-                const bool inside = block >= r.first_block() && block < r.end_block();
-                dram::Request req;
-                req.addr = block;
-                req.is_write = inside && r.is_write;
-                req.tag = inside ? dram::Traffic_tag::data
-                                 : dram::Traffic_tag::amplification;
-                out.timed_stream.push_back(req);
-            }
+            append_unit_requests(out.timed_stream, u, unit_bytes_, r.first_block(),
+                                 r.end_block(), r.is_write);
         }
     }
 

@@ -21,6 +21,22 @@ void emit_blocks(std::vector<dram::Request>& out, const accel::Access_range& r,
     });
 }
 
+void append_unit_requests(std::vector<dram::Request>& out, Addr unit_addr, Bytes unit_bytes,
+                          Addr demand_lo, Addr demand_hi, bool is_write)
+{
+    const std::size_t n = static_cast<std::size_t>(ceil_div(unit_bytes, k_block_bytes));
+    std::size_t i = out.size();
+    out.resize(out.size() + n);
+    for (Addr block = unit_addr; block < unit_addr + unit_bytes;
+         block += k_block_bytes, ++i) {
+        const bool inside = block >= demand_lo && block < demand_hi;
+        dram::Request& req = out[i];
+        req.addr = block;
+        req.is_write = inside && is_write;
+        req.tag = inside ? dram::Traffic_tag::data : dram::Traffic_tag::amplification;
+    }
+}
+
 Bytes unit_amplification_bytes(const accel::Access_range& r, Bytes unit_bytes)
 {
     if (unit_bytes <= k_block_bytes || r.length == 0) return 0;

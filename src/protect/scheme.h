@@ -69,6 +69,16 @@ public:
 void emit_blocks(std::vector<dram::Request>& out, const accel::Access_range& r,
                  bool is_write, dram::Traffic_tag tag);
 
+/// Appends the 64 B requests covering one protection unit
+/// [unit_addr, unit_addr + unit_bytes): blocks inside [demand_lo, demand_hi)
+/// are demand data (writes stay writes), the rest amplification fetched only
+/// to complete the unit.  One resize + tight fill per unit instead of
+/// per-block push_back -- the trace-level analogue of the crypto layer's
+/// bulk keystream, shared by every unit-granular scheme.
+void append_unit_requests(std::vector<dram::Request>& out, Addr unit_addr,
+                          Bytes unit_bytes, Addr demand_lo, Addr demand_hi,
+                          bool is_write);
+
 /// Bytes a range wastes when fetched at `unit_bytes` granularity: the
 /// distance between the unit-aligned span and the block-aligned span.
 [[nodiscard]] Bytes unit_amplification_bytes(const accel::Access_range& r, Bytes unit_bytes);

@@ -99,25 +99,14 @@ void Unit_mac_scheme::protect_range(const accel::Access_range& r, Layer_protect_
     last_vn_line_ = ~0ULL;
 
     for (Addr unit = lo; unit < hi; unit += g) {
-        for (Addr block = unit; block < unit + g; block += k_block_bytes) {
-            const bool inside = block >= r.first_block() && block < r.end_block();
-            dram::Request req;
-            req.addr = block;
-            if (r.is_write) {
-                // Inside blocks are written; outside blocks are fetched to
-                // recompute the unit MAC (read-modify-write).
-                req.is_write = inside;
-                req.tag = inside ? dram::Traffic_tag::data
-                                 : dram::Traffic_tag::amplification;
-            } else {
-                req.is_write = false;
-                req.tag = inside ? dram::Traffic_tag::data
-                                 : dram::Traffic_tag::amplification;
-            }
-            out.timed_stream.push_back(req);
-            if (cfg_.has_vn_tree || cfg_.has_vn_no_tree)
+        // All blocks of the unit in one bulk append; on the write path the
+        // outside blocks are fetched to recompute the unit MAC
+        // (read-modify-write), so they stay reads tagged amplification.
+        append_unit_requests(out.timed_stream, unit, g, r.first_block(), r.end_block(),
+                             r.is_write);
+        if (cfg_.has_vn_tree || cfg_.has_vn_no_tree)
+            for (Addr block = unit; block < unit + g; block += k_block_bytes)
                 touch_vn(block, r.is_write, out);
-        }
         ++out.verify_events;
         touch_mac(unit, r.is_write, out);
     }
