@@ -52,6 +52,39 @@ double Scheme_series::avg_norm_perf() const
     return points.empty() ? 0.0 : s / static_cast<double>(points.size());
 }
 
+std::vector<std::string_view> suite_models(std::span<const std::string_view> models)
+{
+    std::vector<std::string_view> model_names(models.begin(), models.end());
+    if (model_names.empty())
+        for (const auto& e : models::all_models()) model_names.push_back(e.short_name);
+    return model_names;
+}
+
+Suite_column make_suite_column(std::string_view model, const accel::Npu_config& npu,
+                               const protect::Perf_params& params)
+{
+    Suite_column column{accel::simulate_model(models::model_by_name(model), npu), {}};
+    protect::Baseline_scheme base;
+    column.baseline = run_protected(column.sim, base, params);
+    return column;
+}
+
+Workload_point run_suite_cell(const Suite_column& column, std::string_view model,
+                              const std::string& scheme_id,
+                              const protect::Perf_params& params, const Seda_config& seda_cfg)
+{
+    Workload_point pt;
+    pt.model = std::string(model);
+    pt.baseline = column.baseline;
+    auto scheme = make_scheme(scheme_id, seda_cfg);
+    pt.stats = run_protected(column.sim, *scheme, params);
+    pt.norm_traffic = static_cast<double>(pt.stats.traffic_bytes) /
+                      static_cast<double>(pt.baseline.traffic_bytes);
+    pt.norm_perf = static_cast<double>(pt.baseline.total_cycles) /
+                   static_cast<double>(pt.stats.total_cycles);
+    return pt;
+}
+
 Suite_result run_suite(const accel::Npu_config& npu,
                        std::span<const std::string_view> scheme_ids,
                        std::span<const std::string_view> models,
@@ -60,35 +93,20 @@ Suite_result run_suite(const accel::Npu_config& npu,
     Suite_result result;
     result.npu_name = npu.name;
 
-    std::vector<std::string_view> model_names(models.begin(), models.end());
-    if (model_names.empty())
-        for (const auto& e : models::all_models()) model_names.push_back(e.short_name);
+    const auto model_names = suite_models(models);
 
     // Simulate each model once; traces are scheme-independent.
-    std::vector<accel::Model_sim> sims;
-    std::vector<Run_stats> baselines;
-    sims.reserve(model_names.size());
-    for (const auto& name : model_names) {
-        sims.push_back(accel::simulate_model(models::model_by_name(name), npu));
-        protect::Baseline_scheme base;
-        baselines.push_back(run_protected(sims.back(), base, params));
-    }
+    std::vector<Suite_column> columns;
+    columns.reserve(model_names.size());
+    for (const auto& name : model_names)
+        columns.push_back(make_suite_column(name, npu, params));
 
     for (const auto& id : scheme_ids) {
         Scheme_series series;
         series.scheme = std::string(id);
-        auto scheme = make_scheme(series.scheme, seda_cfg);
-        for (std::size_t m = 0; m < sims.size(); ++m) {
-            Workload_point pt;
-            pt.model = std::string(model_names[m]);
-            pt.baseline = baselines[m];
-            pt.stats = run_protected(sims[m], *scheme, params);
-            pt.norm_traffic = static_cast<double>(pt.stats.traffic_bytes) /
-                              static_cast<double>(pt.baseline.traffic_bytes);
-            pt.norm_perf = static_cast<double>(pt.baseline.total_cycles) /
-                           static_cast<double>(pt.stats.total_cycles);
-            series.points.push_back(std::move(pt));
-        }
+        for (std::size_t m = 0; m < columns.size(); ++m)
+            series.points.push_back(
+                run_suite_cell(columns[m], model_names[m], series.scheme, params, seda_cfg));
         result.series.push_back(std::move(series));
     }
     return result;

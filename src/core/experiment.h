@@ -50,4 +50,37 @@ struct Suite_result {
                                      const protect::Perf_params& params = {},
                                      const Seda_config& seda_cfg = {});
 
+// ---- suite building blocks ------------------------------------------------
+//
+// run_suite decomposes into independent pieces so drivers with different
+// execution orders (the serial loop above, runtime::run_suite_parallel) share
+// one definition of what a suite cell computes -- which is what makes their
+// results bit-identical by construction.
+
+/// Resolves a suite's model list: empty means all 13 paper workloads, in the
+/// zoo's plotting order.
+[[nodiscard]] std::vector<std::string_view> suite_models(
+    std::span<const std::string_view> models);
+
+/// The scheme-independent part of one suite column: the accelerator trace
+/// and the baseline (unprotected) run it is normalized against.
+struct Suite_column {
+    accel::Model_sim sim;
+    Run_stats baseline;
+};
+
+/// Simulates one model once for the whole suite.
+[[nodiscard]] Suite_column make_suite_column(std::string_view model,
+                                             const accel::Npu_config& npu,
+                                             const protect::Perf_params& params = {});
+
+/// One (scheme, model) cell: constructs its own scheme instance via
+/// make_scheme, so cells are independent of each other and safe to run
+/// concurrently on shared-nothing workers.
+[[nodiscard]] Workload_point run_suite_cell(const Suite_column& column,
+                                            std::string_view model,
+                                            const std::string& scheme_id,
+                                            const protect::Perf_params& params = {},
+                                            const Seda_config& seda_cfg = {});
+
 }  // namespace seda::core

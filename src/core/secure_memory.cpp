@@ -1,6 +1,7 @@
 #include "core/secure_memory.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/bitutil.h"
 #include "common/error.h"
@@ -16,7 +17,7 @@ Secure_memory::Secure_memory(std::span<const u8> enc_key, std::span<const u8> ma
 }
 
 crypto::Mac_context Secure_memory::context_for(Addr addr, u64 vn, u32 layer_id,
-                                               u32 fmap_idx, u32 blk_idx) const
+                                               u32 fmap_idx, u32 blk_idx)
 {
     crypto::Mac_context ctx;
     ctx.pa = addr;
@@ -27,25 +28,68 @@ crypto::Mac_context Secure_memory::context_for(Addr addr, u64 vn, u32 layer_id,
     return ctx;
 }
 
-void Secure_memory::write_one(const Unit_write& w, std::vector<crypto::Block16>& pad_scratch)
+Secure_memory::Write_slot Secure_memory::stage_one(const Unit_write& w)
 {
     require(w.addr % cfg_.unit_bytes == 0, "Secure_memory::write: unaligned address");
     require(w.plaintext.size() == cfg_.unit_bytes,
             "Secure_memory::write: plaintext must be one unit");
 
     const u64 vn = ++onchip_vns_[w.addr];  // increment on every write (Eq. 1)
-
-    Stored_unit unit;
-    unit.ciphertext.assign(w.plaintext.begin(), w.plaintext.end());
-    baes_.crypt_with(unit.ciphertext, w.addr, vn, pad_scratch);
-    unit.mac = hmac_.positional_mac(
-        unit.ciphertext, context_for(w.addr, vn, w.layer_id, w.fmap_idx, w.blk_idx));
+    Stored_unit& unit = units_[w.addr];
     unit.stored_vn = vn;  // only consulted when VNs are kept off-chip
-    units_[w.addr] = std::move(unit);
+    return {&w, &unit, vn};
 }
 
-Verify_status Secure_memory::read_one(const Unit_read& r,
-                                      std::vector<crypto::Block16>& pad_scratch)
+void Secure_memory::encrypt_slot(const Write_slot& slot, const crypto::Baes_engine& baes,
+                                 const crypto::Hmac_engine& hmac,
+                                 std::vector<crypto::Block16>& pad_scratch)
+{
+    const Unit_write& w = *slot.src;
+    Stored_unit& unit = *slot.unit;
+    unit.ciphertext.assign(w.plaintext.begin(), w.plaintext.end());
+    baes.crypt_with(unit.ciphertext, w.addr, slot.vn, pad_scratch);
+    unit.mac = hmac.positional_mac(
+        unit.ciphertext, context_for(w.addr, slot.vn, w.layer_id, w.fmap_idx, w.blk_idx));
+}
+
+std::vector<Secure_memory::Write_slot> Secure_memory::stage_writes(
+    std::span<const Unit_write> batch)
+{
+    // Validate everything up front: a bad entry must throw before any VN is
+    // bumped or slot inserted, so a rejected batch leaves no half-staged
+    // (never-encrypted) units behind.
+    for (const Unit_write& w : batch) {
+        require(w.addr % cfg_.unit_bytes == 0, "Secure_memory::write: unaligned address");
+        require(w.plaintext.size() == cfg_.unit_bytes,
+                "Secure_memory::write: plaintext must be one unit");
+    }
+
+    std::vector<Write_slot> slots;
+    slots.reserve(batch.size());
+    std::unordered_map<const Stored_unit*, std::size_t> last_slot_for;
+    for (const Unit_write& w : batch) {
+        Write_slot slot = stage_one(w);
+        // A repeated address inside the batch supersedes the earlier entry:
+        // serial ordering leaves only the last payload (under the last VN)
+        // in storage, so only that slot gets encrypted.
+        const auto [it, inserted] = last_slot_for.try_emplace(slot.unit, slots.size());
+        if (!inserted) {
+            slots[it->second].src = nullptr;
+            it->second = slots.size();
+        }
+        slots.push_back(slot);
+    }
+    return slots;
+}
+
+void Secure_memory::write_one(const Unit_write& w, std::vector<crypto::Block16>& pad_scratch)
+{
+    encrypt_slot(stage_one(w), baes_, hmac_, pad_scratch);
+}
+
+Verify_status Secure_memory::read_with(const Unit_read& r, const crypto::Baes_engine& baes,
+                                       const crypto::Hmac_engine& hmac,
+                                       std::vector<crypto::Block16>& pad_scratch) const
 {
     require(r.out.size() == cfg_.unit_bytes, "Secure_memory::read: out must be one unit");
     const auto it = units_.find(r.addr);
@@ -56,7 +100,7 @@ Verify_status Secure_memory::read_one(const Unit_read& r,
     // the untrusted memory claims.
     const u64 vn = cfg_.onchip_vns ? onchip_vns_.at(r.addr) : unit.stored_vn;
 
-    const u64 expected = hmac_.positional_mac(
+    const u64 expected = hmac.positional_mac(
         unit.ciphertext, context_for(r.addr, vn, r.layer_id, r.fmap_idx, r.blk_idx));
     if (expected != unit.mac) {
         // With on-chip VNs a stale-but-self-consistent unit fails exactly
@@ -66,8 +110,14 @@ Verify_status Secure_memory::read_one(const Unit_read& r,
     }
 
     std::copy(unit.ciphertext.begin(), unit.ciphertext.end(), r.out.begin());
-    baes_.crypt_with(r.out, r.addr, vn, pad_scratch);
+    baes.crypt_with(r.out, r.addr, vn, pad_scratch);
     return Verify_status::ok;
+}
+
+Verify_status Secure_memory::read_one(const Unit_read& r,
+                                      std::vector<crypto::Block16>& pad_scratch) const
+{
+    return read_with(r, baes_, hmac_, pad_scratch);
 }
 
 void Secure_memory::write(Addr addr, std::span<const u8> plaintext, u32 layer_id,

@@ -103,6 +103,45 @@ public:
     /// batch).  Equivalent to read() per entry, in order.
     [[nodiscard]] std::vector<Verify_status> read_units(std::span<const Unit_read> batch);
 
+    // ---- sharded-batch building blocks (runtime::Secure_session) ---------
+    //
+    // A batch write splits into a cheap serial phase that touches the maps
+    // (VN bump + slot insertion, preserving write() ordering semantics) and
+    // an expensive crypto phase over disjoint slots that is safe to fan out
+    // across workers.  Reads need no staging: verify-and-decrypt is const
+    // once engines are supplied by the caller.
+
+    /// Destination of one staged batch entry.  `src == nullptr` marks an
+    /// entry superseded by a later write to the same address in the same
+    /// batch (its VN bump already happened; only the final payload is
+    /// encrypted, exactly as serial ordering would leave it).
+    struct Write_slot {
+        const Unit_write* src = nullptr;
+        Stored_unit* unit = nullptr;
+        u64 vn = 0;
+    };
+
+    /// Serial phase of a sharded batch write: validates every entry, bumps
+    /// per-unit VNs and inserts/locates destination slots.  Callers must
+    /// run encrypt_slot() on every non-superseded slot before the memory is
+    /// read again.
+    [[nodiscard]] std::vector<Write_slot> stage_writes(std::span<const Unit_write> batch);
+
+    /// Parallel-safe phase: encrypts and MACs one staged slot.  `baes` and
+    /// `hmac` may be per-worker engines, as long as they are keyed with this
+    /// memory's keys; slots are disjoint so concurrent calls never alias.
+    static void encrypt_slot(const Write_slot& slot, const crypto::Baes_engine& baes,
+                             const crypto::Hmac_engine& hmac,
+                             std::vector<crypto::Block16>& pad_scratch);
+
+    /// Verify-and-decrypt one unit against caller-supplied engines.  Const
+    /// and map-read-only, so disjoint-output calls may run concurrently
+    /// (no concurrent writer allowed).
+    [[nodiscard]] Verify_status read_with(const Unit_read& r,
+                                          const crypto::Baes_engine& baes,
+                                          const crypto::Hmac_engine& hmac,
+                                          std::vector<crypto::Block16>& pad_scratch) const;
+
     /// XOR-fold of all stored unit MACs: the layer/model MAC the verifier
     /// compares after streaming a region (Fig. 3(b)).
     [[nodiscard]] u64 fold_all_macs() const;
@@ -126,11 +165,12 @@ public:
     void rollback(Addr addr, const Stored_unit& old);
 
 private:
-    [[nodiscard]] crypto::Mac_context context_for(Addr addr, u64 vn, u32 layer_id,
-                                                  u32 fmap_idx, u32 blk_idx) const;
+    [[nodiscard]] static crypto::Mac_context context_for(Addr addr, u64 vn, u32 layer_id,
+                                                         u32 fmap_idx, u32 blk_idx);
+    [[nodiscard]] Write_slot stage_one(const Unit_write& w);
     void write_one(const Unit_write& w, std::vector<crypto::Block16>& pad_scratch);
     [[nodiscard]] Verify_status read_one(const Unit_read& r,
-                                         std::vector<crypto::Block16>& pad_scratch);
+                                         std::vector<crypto::Block16>& pad_scratch) const;
 
     Config cfg_;
     crypto::Baes_engine baes_;

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string_view>
 
 #include "common/bitutil.h"
@@ -362,14 +363,24 @@ const Aes_backend& ttable_backend() { return k_ttable_backend; }
 
 Aes_backend_kind default_backend_kind()
 {
-    // Read once: flipping the env var mid-process would silently mix
-    // backends across cached Aes instances.
-    static const Aes_backend_kind kind = [] {
+    // Resolved exactly once per process: flipping the env var mid-run would
+    // silently mix backends across cached Aes instances, and concurrent
+    // first-use from pool workers must neither race the resolution nor
+    // double-print the unknown-value warning.  (A function-local static
+    // initializer gives the same guarantee; std::call_once states the
+    // once-only intent explicitly now that first-use is routinely
+    // concurrent, and the TSan job watches it.)
+    static std::once_flag resolved;
+    static Aes_backend_kind kind = Aes_backend_kind::ttable;
+    std::call_once(resolved, [] {
         const char* env = std::getenv("SEDA_AES_BACKEND");
-        if (env != nullptr) {
-            const std::string_view v(env);
-            if (v == "scalar") return Aes_backend_kind::scalar;
-            if (v == "ttable") return Aes_backend_kind::ttable;
+        if (env == nullptr) return;
+        const std::string_view v(env);
+        if (v == "scalar") {
+            kind = Aes_backend_kind::scalar;
+        } else if (v == "ttable") {
+            kind = Aes_backend_kind::ttable;
+        } else {
             // A typo here would silently re-run the default backend and
             // defeat a cross-validation sweep -- say so once.
             std::fprintf(stderr,
@@ -377,8 +388,7 @@ Aes_backend_kind default_backend_kind()
                          "(scalar|ttable); using ttable\n",
                          env);
         }
-        return Aes_backend_kind::ttable;
-    }();
+    });
     return kind;
 }
 

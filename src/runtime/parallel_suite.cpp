@@ -1,0 +1,88 @@
+#include "runtime/parallel_suite.h"
+
+#include <future>
+#include <string>
+
+#include "runtime/thread_pool.h"
+
+namespace seda::runtime {
+
+std::vector<core::Suite_result> run_suites_parallel(
+    std::span<const accel::Npu_config> npus,
+    std::span<const std::string_view> scheme_ids, std::size_t jobs,
+    std::span<const std::string_view> models, const protect::Perf_params& params,
+    const core::Seda_config& seda_cfg)
+{
+    if (jobs == 1) {
+        std::vector<core::Suite_result> results;
+        results.reserve(npus.size());
+        for (const auto& npu : npus)
+            results.push_back(core::run_suite(npu, scheme_ids, models, params, seda_cfg));
+        return results;
+    }
+
+    Thread_pool pool(jobs);
+    const auto model_names = core::suite_models(models);
+
+    // Stage 1 tasks: the scheme-independent columns -- one accelerator
+    // trace and baseline run per (npu, model).  shared_future so every cell
+    // of a column can consume it without a barrier between the stages.
+    std::vector<std::vector<std::shared_future<core::Suite_column>>> columns(npus.size());
+    for (std::size_t n = 0; n < npus.size(); ++n) {
+        columns[n].reserve(model_names.size());
+        for (const auto& model : model_names)
+            columns[n].push_back(pool.submit([&npu = npus[n], model, &params] {
+                return core::make_suite_column(model, npu, params);
+            }));
+    }
+
+    // Stage 2 tasks: every (npu, scheme, model) cell, each with its own
+    // scheme instance, starting as soon as its column is ready.  A cell
+    // blocking in column.get() can never wait on a *queued* column, because
+    // Task_queue is FIFO and all column tasks were enqueued first -- its
+    // column is either done or already running on another worker.  Futures
+    // are collected in legend/zoo order, so the merge below reproduces the
+    // serial result exactly regardless of which worker finishes first.
+    std::vector<std::vector<std::vector<std::future<core::Workload_point>>>> cells(
+        npus.size());
+    for (std::size_t n = 0; n < npus.size(); ++n) {
+        cells[n].resize(scheme_ids.size());
+        for (std::size_t s = 0; s < scheme_ids.size(); ++s) {
+            cells[n][s].reserve(model_names.size());
+            for (std::size_t m = 0; m < model_names.size(); ++m)
+                cells[n][s].push_back(pool.submit(
+                    [column = columns[n][m], model = model_names[m],
+                     scheme = std::string(scheme_ids[s]), &params, &seda_cfg] {
+                        return core::run_suite_cell(column.get(), model, scheme, params,
+                                                    seda_cfg);
+                    }));
+        }
+    }
+
+    std::vector<core::Suite_result> results(npus.size());
+    for (std::size_t n = 0; n < npus.size(); ++n) {
+        results[n].npu_name = npus[n].name;
+        results[n].series.reserve(scheme_ids.size());
+        for (std::size_t s = 0; s < scheme_ids.size(); ++s) {
+            core::Scheme_series series;
+            series.scheme = std::string(scheme_ids[s]);
+            series.points.reserve(model_names.size());
+            for (auto& f : cells[n][s]) series.points.push_back(f.get());
+            results[n].series.push_back(std::move(series));
+        }
+    }
+    return results;
+}
+
+core::Suite_result run_suite_parallel(const accel::Npu_config& npu,
+                                      std::span<const std::string_view> scheme_ids,
+                                      std::size_t jobs,
+                                      std::span<const std::string_view> models,
+                                      const protect::Perf_params& params,
+                                      const core::Seda_config& seda_cfg)
+{
+    return run_suites_parallel({&npu, 1}, scheme_ids, jobs, models, params, seda_cfg)
+        .front();
+}
+
+}  // namespace seda::runtime

@@ -1,0 +1,39 @@
+// Concurrent driver for the Fig. 5/6 comparison suite.
+//
+// The (scheme x model x NPU) matrix of core::run_suite is embarrassingly
+// parallel: every cell simulates against an immutable trace with its own
+// scheme instance (core::run_suite_cell constructs one via make_scheme), so
+// workers share no mutable state.  The driver fans the scheme-independent
+// model columns out first, then every cell, and merges results in the exact
+// legend/zoo order the serial loop produces -- output is byte-identical to
+// core::run_suite at any worker count, which the determinism tests and the
+// CI `--jobs 8` vs `--jobs 1` diff both hold.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace seda::runtime {
+
+/// Parallel core::run_suite: same inputs plus a worker count.
+/// `jobs == 0` means Thread_pool::default_workers(); `jobs == 1` runs the
+/// serial path inline (no pool).
+[[nodiscard]] core::Suite_result run_suite_parallel(
+    const accel::Npu_config& npu, std::span<const std::string_view> scheme_ids,
+    std::size_t jobs, std::span<const std::string_view> models = {},
+    const protect::Perf_params& params = {}, const core::Seda_config& seda_cfg = {});
+
+/// The full multi-NPU sweep (e.g. Fig. 5 server + Fig. 6 edge) through one
+/// shared pool: all cells of all NPUs compete for the same workers, so a
+/// wide matrix saturates the machine even when one NPU's tail is short.
+/// Results are ordered like the `npus` argument.
+[[nodiscard]] std::vector<core::Suite_result> run_suites_parallel(
+    std::span<const accel::Npu_config> npus,
+    std::span<const std::string_view> scheme_ids, std::size_t jobs,
+    std::span<const std::string_view> models = {},
+    const protect::Perf_params& params = {}, const core::Seda_config& seda_cfg = {});
+
+}  // namespace seda::runtime

@@ -1,0 +1,44 @@
+#include "runtime/secure_session.h"
+
+namespace seda::runtime {
+
+Secure_session::Secure_session(std::span<const u8> enc_key, std::span<const u8> mac_key,
+                               core::Secure_mem_config cfg, std::size_t workers)
+    : mem_(enc_key, mac_key, cfg),
+      pool_(workers)
+{
+    engines_.reserve(pool_.size());
+    for (std::size_t w = 0; w < pool_.size(); ++w)
+        engines_.push_back({crypto::Baes_engine(enc_key), crypto::Hmac_engine(mac_key)});
+}
+
+void Secure_session::write_units(std::span<const core::Secure_memory::Unit_write> batch)
+{
+    // Validation, VN bumps and slot insertion happen here, serially and in
+    // batch order -- so a bad entry throws before any worker starts.
+    const auto slots = mem_.stage_writes(batch);
+
+    pool_.parallel_for(slots.size(), [&](std::size_t worker, Index_range range) {
+        Worker_engines& eng = engines_[worker];
+        std::vector<crypto::Block16> pads;  // per-shard pad scratch
+        for (std::size_t i = range.begin; i < range.end; ++i)
+            if (slots[i].src != nullptr)  // skip entries superseded in-batch
+                core::Secure_memory::encrypt_slot(slots[i], eng.baes, eng.hmac, pads);
+    });
+}
+
+std::vector<core::Verify_status> Secure_session::read_units(
+    std::span<const core::Secure_memory::Unit_read> batch)
+{
+    std::vector<core::Verify_status> statuses(batch.size());
+
+    pool_.parallel_for(batch.size(), [&](std::size_t worker, Index_range range) {
+        const Worker_engines& eng = engines_[worker];
+        std::vector<crypto::Block16> pads;
+        for (std::size_t i = range.begin; i < range.end; ++i)
+            statuses[i] = mem_.read_with(batch[i], eng.baes, eng.hmac, pads);
+    });
+    return statuses;
+}
+
+}  // namespace seda::runtime

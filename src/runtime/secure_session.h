@@ -1,0 +1,69 @@
+// Sharded, multi-worker front end over core::Secure_memory.
+//
+// A tile transfer is embarrassingly parallel on the crypto axis: every unit
+// is encrypted/MAC'd (or verified/decrypted) independently.  What is *not*
+// parallel is the bookkeeping -- VN bumps and unit-map insertion mutate the
+// trusted on-chip state in write order.  Secure_session splits the two:
+//
+//   write_units:  serial stage (Secure_memory::stage_writes -- VN per entry,
+//                 slot per address, duplicate entries superseded exactly as
+//                 serial ordering would) then the expensive B-AES + HMAC
+//                 phase fanned across contiguous per-worker shards.
+//   read_units:   no staging needed; each shard verifies and decrypts its
+//                 contiguous range via the const read path.
+//
+// Every worker owns its own Baes_engine / Hmac_engine pair (keyed with the
+// session keys) and pad scratch, so no crypto state is shared at all, and
+// the result is bit-for-bit identical to the serial batch path -- including
+// which units of a tampered tile report mac_mismatch / replay_detected.
+// Thread-compatible like its substrate: one batch call at a time per
+// session; the attacker interface stays available through memory().
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/secure_memory.h"
+#include "crypto/baes.h"
+#include "crypto/mac.h"
+#include "runtime/thread_pool.h"
+
+namespace seda::runtime {
+
+class Secure_session {
+public:
+    /// `workers == 0` means Thread_pool::default_workers().  Keys are the
+    /// same pair Secure_memory takes; each worker gets engines keyed with
+    /// them.
+    Secure_session(std::span<const u8> enc_key, std::span<const u8> mac_key,
+                   core::Secure_mem_config cfg = {}, std::size_t workers = 0);
+
+    /// The underlying memory: serial I/O, fold_all_macs, and the attacker
+    /// interface (tamper/swap/snapshot/rollback) all remain usable.
+    [[nodiscard]] core::Secure_memory& memory() { return mem_; }
+    [[nodiscard]] const core::Secure_memory& memory() const { return mem_; }
+
+    [[nodiscard]] std::size_t workers() const { return pool_.size(); }
+
+    /// Sharded batch write; state afterwards is bit-identical to
+    /// memory().write_units(batch).
+    void write_units(std::span<const core::Secure_memory::Unit_write> batch);
+
+    /// Sharded batch read; statuses and plaintext are identical to
+    /// memory().read_units(batch), with per-unit tamper/replay detection.
+    [[nodiscard]] std::vector<core::Verify_status> read_units(
+        std::span<const core::Secure_memory::Unit_read> batch);
+
+private:
+    struct Worker_engines {
+        crypto::Baes_engine baes;
+        crypto::Hmac_engine hmac;
+    };
+
+    core::Secure_memory mem_;
+    std::vector<Worker_engines> engines_;  ///< one pair per pool worker
+    Thread_pool pool_;
+};
+
+}  // namespace seda::runtime

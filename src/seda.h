@@ -14,10 +14,13 @@
 //   core      - the SeDA scheme (optBlk search + multi-level MACs), the
 //               secure-NPU pricing pipeline, functional secure memory,
 //               model provisioning, and the experiment harness
+//   runtime   - thread pool / task queue, the concurrent suite driver, and
+//               sharded multi-worker secure-memory sessions
 //
 // Typical entry points: accel::simulate_model, core::make_scheme,
 // core::run_protected, core::run_suite, core::Secure_memory,
-// core::provision_model.
+// core::provision_model, runtime::run_suite_parallel,
+// runtime::Secure_session.
 #pragma once
 
 #include "accel/accel_sim.h"
@@ -41,3 +44,6 @@
 #include "models/zoo.h"
 #include "protect/scheme.h"
 #include "protect/unit_scheme.h"
+#include "runtime/parallel_suite.h"
+#include "runtime/secure_session.h"
+#include "runtime/thread_pool.h"

@@ -1,0 +1,87 @@
+// Concurrency determinism: the parallel suite driver must reproduce the
+// serial core::run_suite bit-for-bit at any worker count -- same legend
+// order, same zoo order, same doubles, same raw cycle/traffic counts.
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "core/experiment.h"
+#include "runtime/parallel_suite.h"
+
+namespace seda::runtime {
+namespace {
+
+// A small but heterogeneous cross-section keeps this test TSan-friendly
+// while still exercising every scheme and both NPUs.
+constexpr std::string_view k_models[] = {"let", "mob", "ncf"};
+
+void expect_identical(const core::Suite_result& a, const core::Suite_result& b)
+{
+    EXPECT_EQ(a.npu_name, b.npu_name);
+    ASSERT_EQ(a.series.size(), b.series.size());
+    for (std::size_t s = 0; s < a.series.size(); ++s) {
+        const auto& sa = a.series[s];
+        const auto& sb = b.series[s];
+        EXPECT_EQ(sa.scheme, sb.scheme) << "legend order diverged at " << s;
+        ASSERT_EQ(sa.points.size(), sb.points.size());
+        for (std::size_t p = 0; p < sa.points.size(); ++p) {
+            const auto& pa = sa.points[p];
+            const auto& pb = sb.points[p];
+            EXPECT_EQ(pa.model, pb.model) << "zoo order diverged at " << p;
+            // Bit-identical, not approximately-equal: the parallel driver
+            // must run the exact serial computation per cell.
+            EXPECT_EQ(pa.norm_traffic, pb.norm_traffic) << sa.scheme << "/" << pa.model;
+            EXPECT_EQ(pa.norm_perf, pb.norm_perf) << sa.scheme << "/" << pa.model;
+            EXPECT_EQ(pa.stats.total_cycles, pb.stats.total_cycles);
+            EXPECT_EQ(pa.stats.traffic_bytes, pb.stats.traffic_bytes);
+            EXPECT_EQ(pa.stats.verify_events, pb.stats.verify_events);
+            EXPECT_EQ(pa.stats.mac_misses, pb.stats.mac_misses);
+            EXPECT_EQ(pa.baseline.total_cycles, pb.baseline.total_cycles);
+            EXPECT_EQ(pa.baseline.traffic_bytes, pb.baseline.traffic_bytes);
+        }
+    }
+}
+
+TEST(ParallelSuite, Jobs8MatchesJobs1BitForBit)
+{
+    const auto npu = accel::Npu_config::edge();
+    const auto serial =
+        run_suite_parallel(npu, core::paper_schemes(), 1, k_models);
+    const auto parallel =
+        run_suite_parallel(npu, core::paper_schemes(), 8, k_models);
+    expect_identical(serial, parallel);
+}
+
+TEST(ParallelSuite, MatchesSerialRunSuite)
+{
+    const auto npu = accel::Npu_config::server();
+    const auto serial = core::run_suite(npu, core::paper_schemes(), k_models);
+    const auto parallel =
+        run_suite_parallel(npu, core::paper_schemes(), 4, k_models);
+    expect_identical(serial, parallel);
+}
+
+TEST(ParallelSuite, MultiNpuSweepSharesThePool)
+{
+    const accel::Npu_config npus[] = {accel::Npu_config::server(),
+                                      accel::Npu_config::edge()};
+    constexpr std::string_view two_models[] = {"let", "ncf"};
+    const auto results =
+        run_suites_parallel(npus, core::paper_schemes(), 8, two_models);
+    ASSERT_EQ(results.size(), 2u);
+    for (std::size_t n = 0; n < 2; ++n) {
+        expect_identical(core::run_suite(npus[n], core::paper_schemes(), two_models),
+                         results[n]);
+    }
+}
+
+TEST(ParallelSuite, UnknownSchemePropagatesAsException)
+{
+    constexpr std::string_view bad[] = {"seda", "no-such-scheme"};
+    constexpr std::string_view one[] = {"let"};
+    EXPECT_THROW((void)run_suite_parallel(accel::Npu_config::edge(), bad, 4, one),
+                 Seda_error);
+}
+
+}  // namespace
+}  // namespace seda::runtime

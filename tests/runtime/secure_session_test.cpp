@@ -1,0 +1,235 @@
+// Sharded Secure_session I/O must be bit-for-bit identical to the serial
+// Secure_memory batch path on ragged unit counts, and per-unit
+// tamper/replay detection must keep firing when one shard's ciphertext is
+// corrupted.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "runtime/secure_session.h"
+
+namespace seda::runtime {
+namespace {
+
+using core::Secure_memory;
+using core::Verify_status;
+
+constexpr Bytes k_unit_bytes = 64;
+constexpr Addr k_base = 0x4000;
+
+struct Keys {
+    std::vector<u8> enc = std::vector<u8>(16);
+    std::vector<u8> mac = std::vector<u8>(16);
+    Keys()
+    {
+        Rng rng(0x5E55);
+        for (auto& b : enc) b = rng.next_byte();
+        for (auto& b : mac) b = rng.next_byte();
+    }
+};
+
+std::vector<std::vector<u8>> tile_data(std::size_t units, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<u8>> tile(units);
+    for (auto& unit : tile) {
+        unit.resize(k_unit_bytes);
+        for (auto& b : unit) b = rng.next_byte();
+    }
+    return tile;
+}
+
+std::vector<Secure_memory::Unit_write> make_writes(const std::vector<std::vector<u8>>& tile)
+{
+    std::vector<Secure_memory::Unit_write> batch;
+    for (std::size_t i = 0; i < tile.size(); ++i)
+        batch.push_back({k_base + i * k_unit_bytes, tile[i], 9, 2, static_cast<u32>(i)});
+    return batch;
+}
+
+std::vector<Secure_memory::Unit_read> make_reads(std::vector<std::vector<u8>>& out)
+{
+    std::vector<Secure_memory::Unit_read> batch;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        batch.push_back({k_base + i * k_unit_bytes, out[i], 9, 2, static_cast<u32>(i)});
+    return batch;
+}
+
+/// Stored state of a sharded session must equal the serial batch path's.
+void expect_state_identical(const Secure_memory& a, const Secure_memory& b,
+                            std::size_t units)
+{
+    ASSERT_EQ(a.unit_count(), b.unit_count());
+    for (std::size_t i = 0; i < units; ++i) {
+        const Addr addr = k_base + i * k_unit_bytes;
+        const auto ua = a.snapshot(addr);
+        const auto ub = b.snapshot(addr);
+        EXPECT_EQ(ua.ciphertext, ub.ciphertext) << "unit " << i;
+        EXPECT_EQ(ua.mac, ub.mac) << "unit " << i;
+        EXPECT_EQ(ua.stored_vn, ub.stored_vn) << "unit " << i;
+    }
+    EXPECT_EQ(a.fold_all_macs(), b.fold_all_macs());
+}
+
+TEST(SecureSession, ShardedWriteMatchesSerialOnRaggedCounts)
+{
+    const Keys k;
+    // Ragged on purpose: counts that don't divide evenly across workers,
+    // fewer units than workers, and a single unit.
+    for (const std::size_t units : {1u, 3u, 8u, 13u, 64u, 129u}) {
+        for (const std::size_t workers : {1u, 4u, 8u}) {
+            Secure_session session(k.enc, k.mac, {}, workers);
+            Secure_memory serial(k.enc, k.mac);
+            const auto tile = tile_data(units, units * 31 + workers);
+
+            session.write_units(make_writes(tile));
+            serial.write_units(make_writes(tile));
+            expect_state_identical(session.memory(), serial, units);
+        }
+    }
+}
+
+TEST(SecureSession, ShardedReadMatchesSerialOnRaggedCounts)
+{
+    const Keys k;
+    for (const std::size_t units : {1u, 5u, 13u, 129u}) {
+        Secure_session session(k.enc, k.mac, {}, 8);
+        const auto tile = tile_data(units, units * 17);
+        session.write_units(make_writes(tile));
+
+        auto sharded_out = tile_data(units, 999);  // junk to overwrite
+        const auto sharded = session.read_units(make_reads(sharded_out));
+
+        auto serial_out = tile_data(units, 999);
+        const auto serial = session.memory().read_units(make_reads(serial_out));
+
+        ASSERT_EQ(sharded.size(), units);
+        for (std::size_t i = 0; i < units; ++i) {
+            EXPECT_EQ(sharded[i], Verify_status::ok) << "unit " << i;
+            EXPECT_EQ(sharded[i], serial[i]) << "unit " << i;
+            EXPECT_EQ(sharded_out[i], serial_out[i]) << "unit " << i;
+            EXPECT_EQ(sharded_out[i], tile[i]) << "unit " << i;
+        }
+    }
+}
+
+TEST(SecureSession, TamperInOneShardIsCaughtPerUnit)
+{
+    const Keys k;
+    constexpr std::size_t units = 61;  // ragged across 8 workers
+    Secure_session session(k.enc, k.mac, {}, 8);
+    const auto tile = tile_data(units, 7);
+    session.write_units(make_writes(tile));
+
+    // Corrupt one unit that lands mid-shard; every other unit -- including
+    // its shard neighbours -- must still verify.
+    constexpr std::size_t victim = 42;
+    session.memory().tamper(k_base + victim * k_unit_bytes, 5, 0x01);
+
+    auto out = tile_data(units, 999);
+    const auto statuses = session.read_units(make_reads(out));
+    for (std::size_t i = 0; i < units; ++i) {
+        if (i == victim)
+            EXPECT_EQ(statuses[i], Verify_status::mac_mismatch);
+        else
+            EXPECT_EQ(statuses[i], Verify_status::ok) << "unit " << i;
+    }
+}
+
+TEST(SecureSession, ReplayInOneShardIsCaughtPerUnit)
+{
+    const Keys k;
+    constexpr std::size_t units = 29;
+    Secure_session session(k.enc, k.mac, {}, 4);
+    const auto tile = tile_data(units, 11);
+    session.write_units(make_writes(tile));
+
+    constexpr std::size_t victim = 17;
+    const Addr victim_addr = k_base + victim * k_unit_bytes;
+    const auto old = session.memory().snapshot(victim_addr);
+    session.write_units(make_writes(tile_data(units, 12)));
+    session.memory().rollback(victim_addr, old);
+
+    auto out = tile_data(units, 999);
+    const auto statuses = session.read_units(make_reads(out));
+    for (std::size_t i = 0; i < units; ++i) {
+        if (i == victim)
+            EXPECT_EQ(statuses[i], Verify_status::replay_detected);
+        else
+            EXPECT_EQ(statuses[i], Verify_status::ok) << "unit " << i;
+    }
+}
+
+TEST(SecureSession, DuplicateAddressesInBatchKeepSerialSemantics)
+{
+    const Keys k;
+    Secure_session session(k.enc, k.mac, {}, 8);
+    Secure_memory serial(k.enc, k.mac);
+
+    // Two writes to every address inside one batch: the later payload (and
+    // VN) must win, exactly as the serial path leaves it.
+    const auto first = tile_data(16, 21);
+    const auto second = tile_data(16, 22);
+    auto batch = make_writes(first);
+    const auto later = make_writes(second);
+    batch.insert(batch.end(), later.begin(), later.end());
+
+    session.write_units(batch);
+    serial.write_units(batch);
+    expect_state_identical(session.memory(), serial, 16);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(session.memory().snapshot(k_base + i * k_unit_bytes).stored_vn, 2u);
+}
+
+TEST(SecureSession, MixedSessionAndSerialCallsInterleave)
+{
+    const Keys k;
+    Secure_session session(k.enc, k.mac, {}, 4);
+    const auto tile = tile_data(8, 31);
+    session.write_units(make_writes(tile));
+
+    // Serial single-unit I/O through memory() sees the sharded writes and
+    // vice versa -- one coherent memory underneath.
+    std::vector<u8> one(k_unit_bytes);
+    EXPECT_EQ(session.memory().read(k_base, one, 9, 2, 0), Verify_status::ok);
+    EXPECT_EQ(one, tile[0]);
+
+    const auto tile2 = tile_data(8, 32);
+    session.memory().write(k_base, tile2[0], 9, 2, 0);
+    auto out = tile_data(8, 999);
+    const auto statuses = session.read_units(make_reads(out));
+    for (const auto s : statuses) EXPECT_EQ(s, Verify_status::ok);
+    EXPECT_EQ(out[0], tile2[0]);
+    EXPECT_EQ(out[1], tile[1]);
+}
+
+TEST(SecureSession, EmptyBatchIsANoop)
+{
+    const Keys k;
+    Secure_session session(k.enc, k.mac, {}, 4);
+    session.write_units({});
+    EXPECT_EQ(session.memory().unit_count(), 0u);
+    EXPECT_TRUE(session.read_units({}).empty());
+}
+
+TEST(SecureSession, MisalignedWriteThrowsBeforeAnyWorkerRuns)
+{
+    const Keys k;
+    Secure_session session(k.enc, k.mac, {}, 4);
+    const auto tile = tile_data(1, 41);
+    std::vector<Secure_memory::Unit_write> batch = {{k_base + 1, tile[0], 0, 0, 0}};
+    EXPECT_THROW(session.write_units(batch), Seda_error);
+}
+
+TEST(SecureSession, ReadOfUnwrittenUnitPropagatesFromWorker)
+{
+    const Keys k;
+    Secure_session session(k.enc, k.mac, {}, 4);
+    auto out = tile_data(4, 999);
+    EXPECT_THROW((void)session.read_units(make_reads(out)), Seda_error);
+}
+
+}  // namespace
+}  // namespace seda::runtime

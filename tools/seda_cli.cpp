@@ -2,12 +2,19 @@
 //
 //   seda_cli list
 //       List workloads, NPUs and protection schemes.
-//   seda_cli run [--model M] [--npu server|edge] [--scheme S] [--csv]
+//   seda_cli run [--model M] [--npu server|edge] [--scheme S] [--jobs N] [--csv]
 //       Run one combination; print run stats (or layer CSV with --csv).
 //   seda_cli report [--model M] [--npu server|edge]
 //       Emit the SCALE-Sim-style compute + memory reports.
-//   seda_cli suite [--npu server|edge] [--csv]
+//   seda_cli suite [--npu server|edge] [--jobs N] [--csv|--json]
 //       The full Fig. 5/6 sweep: all workloads x all five schemes.
+//
+// --jobs N fans the work across a runtime::Thread_pool of N workers (0 =
+// one per hardware thread); output is byte-identical at every worker count.
+// --json emits the suite as machine-readable JSON so bench trajectories can
+// be captured as BENCH_*.json files.
+#include <charconv>
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -19,12 +26,35 @@ using namespace seda;
 namespace {
 
 struct Options {
-    std::string command = "list";
+    std::string command;
     std::string model = "resnet18";
     std::string npu = "server";
     std::string scheme = "seda";
+    std::size_t jobs = 1;
     bool csv = false;
+    bool json = false;
 };
+
+int usage(std::ostream& os)
+{
+    os << "usage: seda_cli <command> [options]\n"
+          "\n"
+          "commands:\n"
+          "  list                      workloads, NPUs and protection schemes\n"
+          "  run                       one (model, npu, scheme) combination\n"
+          "  report                    SCALE-Sim-style compute + memory reports\n"
+          "  suite                     the full Fig. 5/6 sweep on one NPU\n"
+          "  help                      this message\n"
+          "\n"
+          "options:\n"
+          "  --model M                 workload short or full name (run, report)\n"
+          "  --npu server|edge         NPU config (default server)\n"
+          "  --scheme S                protection scheme (run; default seda)\n"
+          "  --jobs N                  worker threads, 0 = hardware (run, suite)\n"
+          "  --csv                     CSV output (run, suite)\n"
+          "  --json                    JSON output (suite)\n";
+    return os.rdbuf() == std::cout.rdbuf() ? 0 : 2;
+}
 
 Options parse(int argc, char** argv)
 {
@@ -42,8 +72,17 @@ Options parse(int argc, char** argv)
             o.npu = next();
         else if (arg == "--scheme")
             o.scheme = next();
-        else if (arg == "--csv")
+        else if (arg == "--jobs") {
+            const std::string v = next();
+            // from_chars with a full-consumption check: stoul would accept
+            // "-1" (wrapping) and "4x" (silently truncating).
+            const auto [end, ec] = std::from_chars(v.data(), v.data() + v.size(), o.jobs);
+            require(ec == std::errc() && end == v.data() + v.size(),
+                    "seda_cli: --jobs expects a non-negative integer, got '" + v + "'");
+        } else if (arg == "--csv")
             o.csv = true;
+        else if (arg == "--json")
+            o.json = true;
         else
             throw Seda_error("seda_cli: unknown argument '" + arg + "'");
     }
@@ -72,9 +111,14 @@ int cmd_run(const Options& o)
     const auto npu = npu_by_name(o.npu);
     const auto sim = accel::simulate_model(models::model_by_name(o.model), npu);
     auto scheme = core::make_scheme(o.scheme);
-    const auto stats = core::run_protected(sim, *scheme);
 
     if (o.csv) {
+        // The CSV report is a single scheme pass (no baseline to overlap
+        // with), so there is nothing for extra workers to do.
+        if (o.jobs != 1)
+            std::cerr << "seda_cli: note: --jobs has no effect on run --csv "
+                         "(single pass)\n";
+        const auto stats = core::run_protected(sim, *scheme);
         Ascii_table t({"layer", "compute_cycles", "mem_cycles", "layer_cycles",
                        "traffic_bytes", "verify_events"});
         for (const auto& l : stats.layers)
@@ -85,8 +129,25 @@ int cmd_run(const Options& o)
         return 0;
     }
 
-    protect::Baseline_scheme base;
-    const auto base_stats = core::run_protected(sim, base);
+    // The scheme and baseline runs are independent; with --jobs > 1 they
+    // overlap on the pool.
+    core::Run_stats stats;
+    core::Run_stats base_stats;
+    if (o.jobs == 1) {
+        stats = core::run_protected(sim, *scheme);
+        protect::Baseline_scheme base;
+        base_stats = core::run_protected(sim, base);
+    } else {
+        runtime::Thread_pool pool(o.jobs);
+        auto scheme_run = pool.submit([&] { return core::run_protected(sim, *scheme); });
+        auto base_run = pool.submit([&] {
+            protect::Baseline_scheme base;
+            return core::run_protected(sim, base);
+        });
+        stats = scheme_run.get();
+        base_stats = base_run.get();
+    }
+
     std::cout << o.model << " on " << npu.name << " under " << stats.scheme_name << ":\n"
               << "  cycles:  " << stats.total_cycles << " ("
               << fmt_f(stats.seconds(npu.freq_ghz) * 1e3, 3) << " ms)\n"
@@ -113,9 +174,70 @@ int cmd_report(const Options& o)
     return 0;
 }
 
+/// Shortest round-trippable representation, locale-independent ('.' radix
+/// is guaranteed for %g with the C locale snprintf uses on our platforms).
+std::string json_double(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/// Minimal JSON string escaping: today's npu/scheme/model names are
+/// identifier-like, but nothing in their contracts forbids a quote.
+std::string json_string(std::string_view s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void print_suite_json(const core::Suite_result& suite, std::ostream& os)
+{
+    os << "{\n  \"npu\": " << json_string(suite.npu_name) << ",\n  \"schemes\": [\n";
+    for (std::size_t s = 0; s < suite.series.size(); ++s) {
+        const auto& series = suite.series[s];
+        os << "    {\n      \"scheme\": " << json_string(series.scheme) << ",\n"
+           << "      \"avg_norm_traffic\": " << json_double(series.avg_norm_traffic())
+           << ",\n"
+           << "      \"avg_norm_perf\": " << json_double(series.avg_norm_perf()) << ",\n"
+           << "      \"points\": [\n";
+        for (std::size_t p = 0; p < series.points.size(); ++p) {
+            const auto& pt = series.points[p];
+            os << "        {\"model\": " << json_string(pt.model) << ", \"norm_traffic\": "
+               << json_double(pt.norm_traffic) << ", \"norm_perf\": "
+               << json_double(pt.norm_perf) << ", \"cycles\": " << pt.stats.total_cycles
+               << ", \"traffic_bytes\": " << pt.stats.traffic_bytes
+               << ", \"baseline_cycles\": " << pt.baseline.total_cycles
+               << ", \"baseline_traffic_bytes\": " << pt.baseline.traffic_bytes << "}"
+               << (p + 1 < series.points.size() ? "," : "") << "\n";
+        }
+        os << "      ]\n    }" << (s + 1 < suite.series.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
 int cmd_suite(const Options& o)
 {
-    const auto suite = core::run_suite(npu_by_name(o.npu), core::paper_schemes());
+    require(!(o.csv && o.json), "seda_cli: --csv and --json are mutually exclusive");
+    const auto suite =
+        runtime::run_suite_parallel(npu_by_name(o.npu), core::paper_schemes(), o.jobs);
+
+    if (o.json) {
+        print_suite_json(suite, std::cout);
+        return 0;
+    }
+
     std::vector<std::string> header = {"scheme", "metric"};
     for (const auto& p : suite.series.front().points) header.push_back(std::string(p.model));
     header.push_back("avg");
@@ -149,9 +271,11 @@ int main(int argc, char** argv)
         if (o.command == "run") return cmd_run(o);
         if (o.command == "report") return cmd_report(o);
         if (o.command == "suite") return cmd_suite(o);
-        std::cerr << "usage: seda_cli {list|run|report|suite} [--model M] "
-                     "[--npu server|edge] [--scheme S] [--csv]\n";
-        return 2;
+        if (o.command == "help" || o.command == "--help" || o.command == "-h")
+            return usage(std::cout);
+        if (!o.command.empty())
+            std::cerr << "seda_cli: unknown command '" << o.command << "'\n";
+        return usage(std::cerr);
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
