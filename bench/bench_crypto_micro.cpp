@@ -77,16 +77,37 @@ void bm_aes128_encrypt_blocks(benchmark::State& state)
 BENCHMARK(bm_aes128_encrypt_blocks<Aes_backend_kind::scalar>)->Arg(32);
 BENCHMARK(bm_aes128_encrypt_blocks<Aes_backend_kind::ttable>)->Arg(32);
 
+template <Sha256_backend_kind K>
 void bm_sha256_64b(benchmark::State& state)
 {
     const auto data = make_data(64);
     for (auto _ : state) {
-        auto d = sha256(data);
+        Sha256 h(K);
+        h.update(data);
+        auto d = h.finish();
         benchmark::DoNotOptimize(d);
     }
     state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 64);
 }
-BENCHMARK(bm_sha256_64b);
+BENCHMARK(bm_sha256_64b<Sha256_backend_kind::scalar>);
+BENCHMARK(bm_sha256_64b<Sha256_backend_kind::fast>);
+
+template <Sha256_backend_kind K>
+void bm_sha256_bulk(benchmark::State& state)
+{
+    // Long single stream: measures the unrolled compression alone (no
+    // multi-buffer interleave possible on one serial message).
+    const auto data = make_data(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        Sha256 h(K);
+        h.update(data);
+        auto d = h.finish();
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
+}
+BENCHMARK(bm_sha256_bulk<Sha256_backend_kind::scalar>)->Arg(4096);
+BENCHMARK(bm_sha256_bulk<Sha256_backend_kind::fast>)->Arg(4096);
 
 void bm_hmac_mac64(benchmark::State& state)
 {
@@ -115,6 +136,61 @@ void bm_hmac_engine_mac64(benchmark::State& state)
     state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0));
 }
 BENCHMARK(bm_hmac_engine_mac64)->Arg(64)->Arg(512)->Arg(4096);
+
+// --- bulk HMAC: one tile of unit MACs, loop vs digest_many -------------------
+//
+// The MAC half of a secure-memory tile transfer: 64 independent 64 B unit
+// MACs under one engine.  The loop gear is what write_units/read_units did
+// before the bulk pipeline; the bulk gear streams every MAC through the
+// backend's multi-buffer compressor.  Compare
+//     bm_hmac_units_bulk<Sha256_backend_kind::fast>
+//     bm_hmac_units_loop<Sha256_backend_kind::scalar>
+// for the full SHA-side refactor win, and the same gear across backends for
+// the compression share alone.
+
+constexpr std::size_t k_mac_units = 64;
+
+template <Sha256_backend_kind K>
+void bm_hmac_units_loop(benchmark::State& state)
+{
+    const auto key = make_key();
+    const Hmac_engine engine(key, K);
+    const auto data = make_data(64 * k_mac_units);
+    std::array<u64, k_mac_units> macs{};
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < k_mac_units; ++i) {
+            const Mac_context ctx{0x1000 + 64 * i, 1, 3, 0, static_cast<u32>(i)};
+            macs[i] = engine.positional_mac(
+                std::span<const u8>(data).subspan(64 * i, 64), ctx);
+        }
+        benchmark::DoNotOptimize(macs.data());
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(64 * k_mac_units));
+}
+BENCHMARK(bm_hmac_units_loop<Sha256_backend_kind::scalar>);
+BENCHMARK(bm_hmac_units_loop<Sha256_backend_kind::fast>);
+
+template <Sha256_backend_kind K>
+void bm_hmac_units_bulk(benchmark::State& state)
+{
+    const auto key = make_key();
+    const Hmac_engine engine(key, K);
+    const auto data = make_data(64 * k_mac_units);
+    std::vector<Mac_request> reqs;
+    for (std::size_t i = 0; i < k_mac_units; ++i)
+        reqs.push_back({std::span<const u8>(data).subspan(64 * i, 64),
+                        {0x1000 + 64 * i, 1, 3, 0, static_cast<u32>(i)}});
+    std::array<u64, k_mac_units> macs{};
+    for (auto _ : state) {
+        engine.positional_macs(reqs, macs);
+        benchmark::DoNotOptimize(macs.data());
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(64 * k_mac_units));
+}
+BENCHMARK(bm_hmac_units_bulk<Sha256_backend_kind::scalar>);
+BENCHMARK(bm_hmac_units_bulk<Sha256_backend_kind::fast>);
 
 // --- CTR disciplines: blockwise vs bulk, per backend -------------------------
 //

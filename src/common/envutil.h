@@ -1,0 +1,42 @@
+// Environment-variable backend selection shared by the pluggable crypto
+// layers (SEDA_AES_BACKEND, SEDA_SHA_BACKEND).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace seda {
+
+/// Resolves a backend-name environment variable: the kind whose name
+/// matches the variable's value, or `fallback` when the variable is unset.
+/// An unknown value also falls back, with a warning on stderr -- a typo
+/// would otherwise silently re-run the default backend and defeat a
+/// cross-validation sweep.  Callers wrap this in std::call_once so the
+/// resolution (and the warning) happen exactly once per process.
+template <typename Kind>
+[[nodiscard]] Kind resolve_backend_env(
+    const char* env_var, std::span<const std::pair<std::string_view, Kind>> names,
+    Kind fallback)
+{
+    const char* env = std::getenv(env_var);
+    if (env == nullptr) return fallback;
+    const std::string_view value(env);
+
+    std::string known;    // "scalar|ttable", for the warning
+    std::string def = "?";  // fallback's name
+    for (const auto& [name, kind] : names) {
+        if (value == name) return kind;
+        if (!known.empty()) known += '|';
+        known += name;
+        if (kind == fallback) def = name;
+    }
+    std::fprintf(stderr, "seda: %s=\"%s\" is not a backend (%s); using %s\n", env_var,
+                 env, known.c_str(), def.c_str());
+    return fallback;
+}
+
+}  // namespace seda

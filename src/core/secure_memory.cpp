@@ -82,6 +82,33 @@ std::vector<Secure_memory::Write_slot> Secure_memory::stage_writes(
     return slots;
 }
 
+void Secure_memory::encrypt_slots(std::span<const Write_slot> slots,
+                                  const crypto::Baes_engine& baes,
+                                  const crypto::Hmac_engine& hmac,
+                                  std::vector<crypto::Block16>& pad_scratch)
+{
+    // Phase 1: B-AES every live slot, gathering the MAC inputs.
+    std::vector<crypto::Mac_request> reqs;
+    std::vector<Stored_unit*> targets;
+    reqs.reserve(slots.size());
+    targets.reserve(slots.size());
+    for (const Write_slot& slot : slots) {
+        if (slot.src == nullptr) continue;  // superseded in-batch
+        const Unit_write& w = *slot.src;
+        Stored_unit& unit = *slot.unit;
+        unit.ciphertext.assign(w.plaintext.begin(), w.plaintext.end());
+        baes.crypt_with(unit.ciphertext, w.addr, slot.vn, pad_scratch);
+        reqs.push_back({unit.ciphertext,
+                        context_for(w.addr, slot.vn, w.layer_id, w.fmap_idx, w.blk_idx)});
+        targets.push_back(&unit);
+    }
+
+    // Phase 2: one bulk-HMAC call MACs the whole run.
+    std::vector<u64> macs(reqs.size());
+    hmac.positional_macs(reqs, macs);
+    for (std::size_t i = 0; i < targets.size(); ++i) targets[i]->mac = macs[i];
+}
+
 void Secure_memory::write_one(const Unit_write& w, std::vector<crypto::Block16>& pad_scratch)
 {
     encrypt_slot(stage_one(w), baes_, hmac_, pad_scratch);
@@ -114,6 +141,57 @@ Verify_status Secure_memory::read_with(const Unit_read& r, const crypto::Baes_en
     return Verify_status::ok;
 }
 
+void Secure_memory::read_units_with(std::span<const Unit_read> batch,
+                                    const crypto::Baes_engine& baes,
+                                    const crypto::Hmac_engine& hmac,
+                                    std::vector<crypto::Block16>& pad_scratch,
+                                    std::span<Verify_status> out_status) const
+{
+    require(batch.size() == out_status.size(),
+            "Secure_memory::read_units: status span must match batch");
+
+    // Phase 1: validate and locate every entry before any output is
+    // touched, gathering the expected-MAC inputs (mirrors stage_writes's
+    // all-or-nothing validation on the write side).
+    struct Located {
+        const Stored_unit* unit = nullptr;
+        u64 vn = 0;
+    };
+    std::vector<Located> located(batch.size());
+    std::vector<crypto::Mac_request> reqs(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Unit_read& r = batch[i];
+        require(r.out.size() == cfg_.unit_bytes, "Secure_memory::read: out must be one unit");
+        const auto it = units_.find(r.addr);
+        require(it != units_.end(), "Secure_memory::read: unit never written");
+        const Stored_unit& unit = it->second;
+        const u64 vn = cfg_.onchip_vns ? onchip_vns_.at(r.addr) : unit.stored_vn;
+        located[i] = {&unit, vn};
+        reqs[i] = {unit.ciphertext,
+                   context_for(r.addr, vn, r.layer_id, r.fmap_idx, r.blk_idx)};
+    }
+
+    // Phase 2: every expected MAC through the bulk HMAC pipeline at once.
+    std::vector<u64> expected(batch.size());
+    hmac.positional_macs(reqs, expected);
+
+    // Phase 3: compare and decrypt per unit -- detection still fires per
+    // unit inside the batch.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Unit_read& r = batch[i];
+        const Stored_unit& unit = *located[i].unit;
+        if (expected[i] != unit.mac) {
+            out_status[i] = cfg_.onchip_vns && unit.stored_vn != located[i].vn
+                                ? Verify_status::replay_detected
+                                : Verify_status::mac_mismatch;
+            continue;
+        }
+        std::copy(unit.ciphertext.begin(), unit.ciphertext.end(), r.out.begin());
+        baes.crypt_with(r.out, r.addr, located[i].vn, pad_scratch);
+        out_status[i] = Verify_status::ok;
+    }
+}
+
 Verify_status Secure_memory::read_one(const Unit_read& r,
                                       std::vector<crypto::Block16>& pad_scratch) const
 {
@@ -137,15 +215,14 @@ Verify_status Secure_memory::read(Addr addr, std::span<u8> out, u32 layer_id,
 void Secure_memory::write_units(std::span<const Unit_write> batch)
 {
     std::vector<crypto::Block16> pads;  // shared pad scratch for the tile
-    for (const Unit_write& w : batch) write_one(w, pads);
+    encrypt_slots(stage_writes(batch), baes_, hmac_, pads);
 }
 
 std::vector<Verify_status> Secure_memory::read_units(std::span<const Unit_read> batch)
 {
-    std::vector<Verify_status> statuses;
-    statuses.reserve(batch.size());
+    std::vector<Verify_status> statuses(batch.size());
     std::vector<crypto::Block16> pads;
-    for (const Unit_read& r : batch) statuses.push_back(read_one(r, pads));
+    read_units_with(batch, baes_, hmac_, pads, statuses);
     return statuses;
 }
 

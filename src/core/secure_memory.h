@@ -16,9 +16,11 @@
 //
 // Tile transfers go through the batch interface (write_units / read_units):
 // one call per tile amortizes the MAC-engine setup, the B-AES pad scratch
-// and the unit-map insertions across every unit the tile touches, and is
-// bit-for-bit identical to issuing the same units one write()/read() at a
-// time (tests/core/secure_memory_batch_test.cpp holds both properties).
+// and the unit-map insertions across every unit the tile touches, streams
+// every unit MAC through the bulk HMAC pipeline
+// (crypto::Hmac_engine::positional_macs), and is bit-for-bit identical to
+// issuing the same units one write()/read() at a time
+// (tests/core/secure_memory_batch_test.cpp holds both properties).
 #pragma once
 
 #include <map>
@@ -134,6 +136,16 @@ public:
                              const crypto::Hmac_engine& hmac,
                              std::vector<crypto::Block16>& pad_scratch);
 
+    /// Bulk form of encrypt_slot over a contiguous run of staged slots:
+    /// B-AES encrypts every non-superseded slot, then all their MACs stream
+    /// through the HMAC engine's multi-buffer pipeline in one call.
+    /// Bit-identical to encrypt_slot per slot; shards of one staging may
+    /// run concurrently on distinct engine pairs (Secure_session does).
+    static void encrypt_slots(std::span<const Write_slot> slots,
+                              const crypto::Baes_engine& baes,
+                              const crypto::Hmac_engine& hmac,
+                              std::vector<crypto::Block16>& pad_scratch);
+
     /// Verify-and-decrypt one unit against caller-supplied engines.  Const
     /// and map-read-only, so disjoint-output calls may run concurrently
     /// (no concurrent writer allowed).
@@ -141,6 +153,18 @@ public:
                                           const crypto::Baes_engine& baes,
                                           const crypto::Hmac_engine& hmac,
                                           std::vector<crypto::Block16>& pad_scratch) const;
+
+    /// Bulk form of read_with: validates and locates every entry up front
+    /// (a bad entry throws before any output byte is written), computes all
+    /// expected MACs through the bulk HMAC pipeline, then compares and
+    /// decrypts per unit into `out_status` (same size as `batch`).  Same
+    /// statuses and plaintext as read_with per entry; disjoint-output calls
+    /// may run concurrently (no concurrent writer allowed).
+    void read_units_with(std::span<const Unit_read> batch,
+                         const crypto::Baes_engine& baes,
+                         const crypto::Hmac_engine& hmac,
+                         std::vector<crypto::Block16>& pad_scratch,
+                         std::span<Verify_status> out_status) const;
 
     /// XOR-fold of all stored unit MACs: the layer/model MAC the verifier
     /// compares after streaming a region (Fig. 3(b)).

@@ -1,11 +1,11 @@
 #include "crypto/aes_backend.h"
 
-#include <cstdio>
-#include <cstdlib>
 #include <mutex>
 #include <string_view>
+#include <utility>
 
 #include "common/bitutil.h"
+#include "common/envutil.h"
 
 namespace seda::crypto {
 namespace {
@@ -370,24 +370,13 @@ Aes_backend_kind default_backend_kind()
     // initializer gives the same guarantee; std::call_once states the
     // once-only intent explicitly now that first-use is routinely
     // concurrent, and the TSan job watches it.)
+    static constexpr std::pair<std::string_view, Aes_backend_kind> names[] = {
+        {"scalar", Aes_backend_kind::scalar}, {"ttable", Aes_backend_kind::ttable}};
     static std::once_flag resolved;
     static Aes_backend_kind kind = Aes_backend_kind::ttable;
     std::call_once(resolved, [] {
-        const char* env = std::getenv("SEDA_AES_BACKEND");
-        if (env == nullptr) return;
-        const std::string_view v(env);
-        if (v == "scalar") {
-            kind = Aes_backend_kind::scalar;
-        } else if (v == "ttable") {
-            kind = Aes_backend_kind::ttable;
-        } else {
-            // A typo here would silently re-run the default backend and
-            // defeat a cross-validation sweep -- say so once.
-            std::fprintf(stderr,
-                         "seda: SEDA_AES_BACKEND=\"%s\" is not a backend "
-                         "(scalar|ttable); using ttable\n",
-                         env);
-        }
+        kind = resolve_backend_env<Aes_backend_kind>("SEDA_AES_BACKEND", names,
+                                                     Aes_backend_kind::ttable);
     });
     return kind;
 }

@@ -25,6 +25,12 @@
 
 namespace seda::crypto {
 
+/// B-AES encrypt/decrypt engine for one key.  Thread-safe for concurrent
+/// const use: the schedules are immutable after construction, and the batch
+/// entry points mutate only their caller-owned scratch -- which is also the
+/// sharing rule: a pad_scratch vector belongs to exactly one thread.
+/// Secure_session gives every worker its own engine anyway so backends and
+/// derived-schedule caches never ping-pong cache lines.
 class Baes_engine {
 public:
     explicit Baes_engine(std::span<const u8> key,

@@ -31,6 +31,10 @@ namespace seda::crypto {
 /// Adds `inc` to the low 64 bits (the VN half) of a counter block.
 [[nodiscard]] Block16 counter_add(const Block16& ctr, u64 inc);
 
+/// CTR-mode front end over one Aes instance.  Thread-safe for concurrent
+/// const use (the key schedule is immutable after construction and the
+/// backends are stateless); all crypt_* methods are const and keep their
+/// keystream scratch on the stack.
 class Aes_ctr {
 public:
     explicit Aes_ctr(std::span<const u8> key,

@@ -11,6 +11,13 @@
 //   * positional_block_mac- SeDA's defense: the MAC binds blk || PA || VN ||
 //                           layer_id || fmap_idx || blk_idx, so any
 //                           re-permutation changes the layer MAC.
+//
+// Tile transfers go through the bulk entry points (digest_many /
+// positional_macs): many independent unit MACs stream through the SHA-256
+// backend's multi-buffer compressor in lock-step waves, reusing the
+// engine's precomputed ipad/opad mid-states.  Bit-identical to calling
+// mac()/positional_mac() per unit -- tests/crypto/sha256_backend_test.cpp
+// holds that equivalence on equal-length and ragged batches.
 #pragma once
 
 #include <span>
@@ -25,16 +32,25 @@ namespace seda::crypto {
 [[nodiscard]] Digest256 hmac_sha256(std::span<const u8> key, std::span<const u8> message);
 
 struct Mac_context;
+struct Mac_request;
+class Sha256_backend;
 
 /// Precomputed-key HMAC-SHA256 engine: the ipad/opad blocks are absorbed
 /// once at construction, saving two of the three-ish compression calls a
 /// short-message HMAC costs.  This is the verifier-side analogue of the
 /// batch crypto pipeline: Secure_memory keeps one engine per key and reuses
-/// it for every unit of a tile transfer.  Thread-compatible: const methods
-/// may run concurrently.
+/// it for every unit of a tile transfer.
+///
+/// Thread-safety: const methods may run concurrently from any number of
+/// threads (the engine holds only immutable mid-states and a stateless
+/// backend; bulk calls keep their scratch on the caller's stack/heap).
 class Hmac_engine {
 public:
-    explicit Hmac_engine(std::span<const u8> key);
+    /// `kind` selects the SHA-256 compression backend for every MAC this
+    /// engine computes, single and bulk alike; auto_select resolves to the
+    /// process-wide default (SEDA_SHA_BACKEND or fast).
+    explicit Hmac_engine(std::span<const u8> key,
+                         Sha256_backend_kind kind = Sha256_backend_kind::auto_select);
 
     /// Full HMAC-SHA256 digest of `message`.
     [[nodiscard]] Digest256 mac(std::span<const u8> message) const;
@@ -48,9 +64,28 @@ public:
     [[nodiscard]] u64 positional_mac(std::span<const u8> ciphertext,
                                      const Mac_context& ctx) const;
 
+    /// Bulk full digests: out[i] = mac(messages[i]), with the independent
+    /// messages advanced in lock-step waves through the backend's
+    /// multi-buffer compressor.  Messages of equal length (the fixed-size
+    /// protection-unit case) batch perfectly; ragged lengths still batch
+    /// for their common prefix of blocks.  `out.size()` must equal
+    /// `messages.size()`.
+    void digest_many(std::span<const std::span<const u8>> messages,
+                     std::span<Digest256> out) const;
+
+    /// Bulk truncated positional MACs: out[i] = positional_mac(
+    /// reqs[i].ciphertext, reqs[i].ctx), batched like digest_many.  This is
+    /// the MAC half of Secure_memory's tile write/read path.
+    void positional_macs(std::span<const Mac_request> reqs, std::span<u64> out) const;
+
 private:
-    Sha256 inner_base_;  ///< state after absorbing K0 ^ ipad
-    Sha256 outer_base_;  ///< state after absorbing K0 ^ opad
+    /// Forks a streaming hasher off one of the pad mid-states.
+    [[nodiscard]] Sha256 fork(const Sha256_state& state) const;
+
+    const Sha256_backend* backend_;  ///< compression impl for every path
+    Sha256_backend_kind kind_;       ///< as resolved for this engine
+    Sha256_state inner_state_{};     ///< mid-state after K0 ^ ipad
+    Sha256_state outer_state_{};     ///< mid-state after K0 ^ opad
 };
 
 /// Position/identity fields bound into a SeDA block MAC (Algorithm 2, def.).
@@ -60,6 +95,12 @@ struct Mac_context {
     u32 layer_id = 0;   ///< DNN layer producing/owning the data
     u32 fmap_idx = 0;   ///< feature-map index within the layer
     u32 blk_idx = 0;    ///< authentication-block index within the feature map
+};
+
+/// One entry of a bulk positional-MAC batch (Hmac_engine::positional_macs).
+struct Mac_request {
+    std::span<const u8> ciphertext;
+    Mac_context ctx;
 };
 
 /// 64-bit MAC over the ciphertext only (RePA-vulnerable baseline).

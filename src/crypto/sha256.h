@@ -1,8 +1,12 @@
 // FIPS 180-4 SHA-256, implemented from scratch.
 //
 // Backs the integrity-verification engine: per-unit MACs are truncated
-// HMAC-SHA256 tags (crypto/mac.h).  Validated against the FIPS vectors in
-// tests/crypto/sha256_test.cpp.
+// HMAC-SHA256 tags (crypto/mac.h).  The compression function itself runs
+// through a pluggable backend (crypto/sha256_backend.h): a loop-form scalar
+// reference and an unrolled fast path with a multi-buffer entry point for
+// independent messages.  Validated against the FIPS vectors in
+// tests/crypto/sha256_test.cpp; backends are cross-validated bit-identical
+// in tests/crypto/sha256_backend_test.cpp.
 #pragma once
 
 #include <array>
@@ -16,26 +20,65 @@ namespace seda::crypto {
 
 using Digest256 = std::array<u8, 32>;
 
+/// The eight 32-bit chaining words of an in-flight SHA-256 computation.
+using Sha256_state = std::array<u32, 8>;
+
+/// Which compression implementation a Sha256 instance runs (see
+/// crypto/sha256_backend.h).
+enum class Sha256_backend_kind {
+    auto_select,  ///< fast unless the SEDA_SHA_BACKEND env var overrides
+    scalar,       ///< loop-form FIPS 180-4 reference
+    fast,         ///< unrolled rounds, rolling schedule, multi-buffer lanes
+};
+
+[[nodiscard]] constexpr const char* to_string(Sha256_backend_kind k)
+{
+    switch (k) {
+        case Sha256_backend_kind::auto_select: return "auto";
+        case Sha256_backend_kind::scalar: return "scalar";
+        case Sha256_backend_kind::fast: return "fast";
+    }
+    return "?";
+}
+
+class Sha256_backend;
+
 /// Incremental SHA-256 hasher.
+///
+/// Contract: update() may be called any number of times; finish() pads,
+/// returns the digest and resets the hasher, so the same object may be
+/// reused for a fresh message immediately (reuse-after-finalize is safe by
+/// construction).  Instances are freely copyable -- copying captures the
+/// mid-state, which is how Hmac_engine forks its precomputed pad blocks.
+/// Thread-compatible: distinct instances may be used concurrently; one
+/// instance must not be shared across threads while being updated.
 class Sha256 {
 public:
-    Sha256() { reset(); }
+    explicit Sha256(Sha256_backend_kind kind = Sha256_backend_kind::auto_select);
 
     void reset();
     void update(std::span<const u8> data);
-    /// Finalizes and returns the digest; the hasher must be reset() before reuse.
+    /// Finalizes and returns the digest; the hasher resets itself for reuse.
     [[nodiscard]] Digest256 finish();
 
-private:
-    void process_block(const u8* p);
+    /// Restarts the hasher mid-stream: chaining state `state` with `bytes`
+    /// already absorbed (must be a multiple of the 64-byte block size).
+    /// This is how Hmac_engine forks per-message hashers off one
+    /// precomputed pad-block state without re-hashing or duplicating it.
+    void resume(const Sha256_state& state, u64 bytes);
 
-    std::array<u32, 8> h_{};
+    /// The backend this hasher compresses through.
+    [[nodiscard]] const Sha256_backend& backend() const { return *backend_; }
+
+private:
+    const Sha256_backend* backend_;
+    Sha256_state h_{};
     std::array<u8, 64> buf_{};
     std::size_t buf_len_ = 0;
     u64 total_len_ = 0;
 };
 
-/// One-shot convenience wrapper.
+/// One-shot convenience wrapper (process-default backend).
 [[nodiscard]] Digest256 sha256(std::span<const u8> data);
 
 /// Hex string of a digest, for diagnostics and tests.

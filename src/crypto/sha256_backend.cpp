@@ -1,0 +1,326 @@
+#include "crypto/sha256_backend.h"
+
+#include <mutex>
+#include <string_view>
+#include <utility>
+
+#include "common/bitutil.h"
+#include "common/envutil.h"
+
+// The generic-vector round helpers pass u32xv by value between file-local
+// inline functions; GCC warns that the ABI would change if AVX were enabled
+// at compile time, which is moot for internal-linkage code in one TU.
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+namespace seda::crypto {
+namespace {
+
+// First 32 bits of the fractional parts of the cube roots of the first 64
+// primes (FIPS 180-4 sec. 4.2.2).
+constexpr std::array<u32, 64> k_k = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+// The FIPS logical functions, written type-generically so the same round
+// code runs on a plain u32 (one message) or on a GCC vector of u32 lanes
+// (one message per lane, the multi-buffer path).
+template <typename W> constexpr W rotr_w(W x, int s) { return (x >> s) | (x << (32 - s)); }
+template <typename W> constexpr W big_sigma0(W x) { return rotr_w(x, 2) ^ rotr_w(x, 13) ^ rotr_w(x, 22); }
+template <typename W> constexpr W big_sigma1(W x) { return rotr_w(x, 6) ^ rotr_w(x, 11) ^ rotr_w(x, 25); }
+template <typename W> constexpr W small_sigma0(W x) { return rotr_w(x, 7) ^ rotr_w(x, 18) ^ (x >> 3); }
+template <typename W> constexpr W small_sigma1(W x) { return rotr_w(x, 17) ^ rotr_w(x, 19) ^ (x >> 10); }
+template <typename W> constexpr W ch(W x, W y, W z) { return (x & y) ^ (~x & z); }
+template <typename W> constexpr W maj(W x, W y, W z) { return (x & y) ^ (x & z) ^ (y & z); }
+
+// ------------------------------------------------------- scalar backend ----
+
+/// Loop-form compression mirroring the FIPS 180-4 pseudocode: the full
+/// 64-entry message schedule is materialized, one round per iteration.
+void compress_scalar(Sha256_state& h_, const u8* p)
+{
+    std::array<u32, 64> w{};
+    for (int t = 0; t < 16; ++t) w[static_cast<std::size_t>(t)] = load_be32(p + 4 * t);
+    for (int t = 16; t < 64; ++t)
+        w[static_cast<std::size_t>(t)] =
+            small_sigma1(w[static_cast<std::size_t>(t - 2)]) + w[static_cast<std::size_t>(t - 7)] +
+            small_sigma0(w[static_cast<std::size_t>(t - 15)]) + w[static_cast<std::size_t>(t - 16)];
+
+    u32 a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+    u32 e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+    for (int t = 0; t < 64; ++t) {
+        const u32 t1 = h + big_sigma1(e) + ch(e, f, g) + k_k[static_cast<std::size_t>(t)] +
+                       w[static_cast<std::size_t>(t)];
+        const u32 t2 = big_sigma0(a) + maj(a, b, c);
+        h = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+    h_[5] += f;
+    h_[6] += g;
+    h_[7] += h;
+}
+
+class Scalar_sha256_backend final : public Sha256_backend {
+public:
+    [[nodiscard]] std::string_view name() const override { return "scalar"; }
+
+    void compress(Sha256_state& state, const u8* data, std::size_t nblocks) const override
+    {
+        for (std::size_t b = 0; b < nblocks; ++b) compress_scalar(state, data + 64 * b);
+    }
+};
+
+// --------------------------------------------------------- fast backend ----
+//
+// One type-generic round body serves two gears:
+//
+//   * W = u32      - a single message, fully unrolled: the 16-word message
+//                    schedule rolls through w[t & 15] in registers and the
+//                    a..h working variables are *renamed* per round (the
+//                    macro arguments rotate) instead of shifted, so the
+//                    eight values never move.
+//   * W = u32xv    - one independent message per SIMD lane (GCC generic
+//                    vectors, so the same source compiles to SSE, AVX2 or
+//                    plain scalar code depending on the target).  Every
+//                    round instruction advances all lanes at once -- the
+//                    multi-buffer discipline hardware SHA extensions and
+//                    OpenSSL's sha256_mb use, without intrinsics.
+//
+// compress_many feeds full lane groups through the vector gear and the
+// tail through the unrolled scalar gear.
+
+/// The multi-buffer lane vector; element j belongs to message j of the
+/// current group.  16 bytes = 4 lanes, the SSE register width every x86-64
+/// baseline has: wider vectors measured *slower* here because without
+/// -mavx2 GCC splits them in two and the working set spills (and on this
+/// repo's reference Xeon, 8 scalar-interleaved lanes spill the GP file the
+/// same way).  A hardware-targeted build can widen this to 32 bytes.
+using u32xv = u32 __attribute__((vector_size(16)));
+
+/// Lanes a word type carries: 1 for u32, 4 for u32xv.
+template <typename W>
+inline constexpr std::size_t k_lanes_of = sizeof(W) / sizeof(u32);
+
+// One round at index `i`: reads the rolling schedule, bumps D and H.
+// A..H name W-typed locals holding the working variables in rotated roles.
+#define SEDA_SHA_RND(A, B, C, D, E, F, G, H, i)                                  \
+    {                                                                            \
+        const W t1 = H + big_sigma1(E) + ch(E, F, G) + k_k[(i)] + w[(i) & 15];   \
+        const W t2 = big_sigma0(A) + maj(A, B, C);                               \
+        D += t1;                                                                 \
+        H = t1 + t2;                                                             \
+    }
+
+// Rolling-schedule update for round i >= 16, then the round itself.
+#define SEDA_SHA_RNDX(A, B, C, D, E, F, G, H, i)                                 \
+    w[(i) & 15] += small_sigma1(w[((i) + 14) & 15]) + w[((i) + 9) & 15] +        \
+                   small_sigma0(w[((i) + 1) & 15]);                              \
+    SEDA_SHA_RND(A, B, C, D, E, F, G, H, i)
+
+/// One compression over k_lanes_of<W> independent (state, block) pairs.
+template <typename W>
+void compress_batch(Sha256_state* const* states, const u8* const* blocks)
+{
+    constexpr std::size_t L = k_lanes_of<W>;
+    W w[16];
+    W a, b, c, d, e, f, g, h;
+    if constexpr (L == 1) {
+        for (int t = 0; t < 16; ++t) w[t] = load_be32(blocks[0] + 4 * t);
+        const Sha256_state& s = *states[0];
+        a = s[0]; b = s[1]; c = s[2]; d = s[3];
+        e = s[4]; f = s[5]; g = s[6]; h = s[7];
+    } else {
+        // Transpose the lane blocks and states into vector form: word t of
+        // every message lands in w[t], one message per lane.
+        for (int t = 0; t < 16; ++t)
+            for (std::size_t j = 0; j < L; ++j) w[t][j] = load_be32(blocks[j] + 4 * t);
+        for (std::size_t j = 0; j < L; ++j) {
+            const Sha256_state& s = *states[j];
+            a[j] = s[0]; b[j] = s[1]; c[j] = s[2]; d[j] = s[3];
+            e[j] = s[4]; f[j] = s[5]; g[j] = s[6]; h[j] = s[7];
+        }
+    }
+
+    SEDA_SHA_RND(a, b, c, d, e, f, g, h, 0)
+    SEDA_SHA_RND(h, a, b, c, d, e, f, g, 1)
+    SEDA_SHA_RND(g, h, a, b, c, d, e, f, 2)
+    SEDA_SHA_RND(f, g, h, a, b, c, d, e, 3)
+    SEDA_SHA_RND(e, f, g, h, a, b, c, d, 4)
+    SEDA_SHA_RND(d, e, f, g, h, a, b, c, 5)
+    SEDA_SHA_RND(c, d, e, f, g, h, a, b, 6)
+    SEDA_SHA_RND(b, c, d, e, f, g, h, a, 7)
+    SEDA_SHA_RND(a, b, c, d, e, f, g, h, 8)
+    SEDA_SHA_RND(h, a, b, c, d, e, f, g, 9)
+    SEDA_SHA_RND(g, h, a, b, c, d, e, f, 10)
+    SEDA_SHA_RND(f, g, h, a, b, c, d, e, 11)
+    SEDA_SHA_RND(e, f, g, h, a, b, c, d, 12)
+    SEDA_SHA_RND(d, e, f, g, h, a, b, c, 13)
+    SEDA_SHA_RND(c, d, e, f, g, h, a, b, 14)
+    SEDA_SHA_RND(b, c, d, e, f, g, h, a, 15)
+    SEDA_SHA_RNDX(a, b, c, d, e, f, g, h, 16)
+    SEDA_SHA_RNDX(h, a, b, c, d, e, f, g, 17)
+    SEDA_SHA_RNDX(g, h, a, b, c, d, e, f, 18)
+    SEDA_SHA_RNDX(f, g, h, a, b, c, d, e, 19)
+    SEDA_SHA_RNDX(e, f, g, h, a, b, c, d, 20)
+    SEDA_SHA_RNDX(d, e, f, g, h, a, b, c, 21)
+    SEDA_SHA_RNDX(c, d, e, f, g, h, a, b, 22)
+    SEDA_SHA_RNDX(b, c, d, e, f, g, h, a, 23)
+    SEDA_SHA_RNDX(a, b, c, d, e, f, g, h, 24)
+    SEDA_SHA_RNDX(h, a, b, c, d, e, f, g, 25)
+    SEDA_SHA_RNDX(g, h, a, b, c, d, e, f, 26)
+    SEDA_SHA_RNDX(f, g, h, a, b, c, d, e, 27)
+    SEDA_SHA_RNDX(e, f, g, h, a, b, c, d, 28)
+    SEDA_SHA_RNDX(d, e, f, g, h, a, b, c, 29)
+    SEDA_SHA_RNDX(c, d, e, f, g, h, a, b, 30)
+    SEDA_SHA_RNDX(b, c, d, e, f, g, h, a, 31)
+    SEDA_SHA_RNDX(a, b, c, d, e, f, g, h, 32)
+    SEDA_SHA_RNDX(h, a, b, c, d, e, f, g, 33)
+    SEDA_SHA_RNDX(g, h, a, b, c, d, e, f, 34)
+    SEDA_SHA_RNDX(f, g, h, a, b, c, d, e, 35)
+    SEDA_SHA_RNDX(e, f, g, h, a, b, c, d, 36)
+    SEDA_SHA_RNDX(d, e, f, g, h, a, b, c, 37)
+    SEDA_SHA_RNDX(c, d, e, f, g, h, a, b, 38)
+    SEDA_SHA_RNDX(b, c, d, e, f, g, h, a, 39)
+    SEDA_SHA_RNDX(a, b, c, d, e, f, g, h, 40)
+    SEDA_SHA_RNDX(h, a, b, c, d, e, f, g, 41)
+    SEDA_SHA_RNDX(g, h, a, b, c, d, e, f, 42)
+    SEDA_SHA_RNDX(f, g, h, a, b, c, d, e, 43)
+    SEDA_SHA_RNDX(e, f, g, h, a, b, c, d, 44)
+    SEDA_SHA_RNDX(d, e, f, g, h, a, b, c, 45)
+    SEDA_SHA_RNDX(c, d, e, f, g, h, a, b, 46)
+    SEDA_SHA_RNDX(b, c, d, e, f, g, h, a, 47)
+    SEDA_SHA_RNDX(a, b, c, d, e, f, g, h, 48)
+    SEDA_SHA_RNDX(h, a, b, c, d, e, f, g, 49)
+    SEDA_SHA_RNDX(g, h, a, b, c, d, e, f, 50)
+    SEDA_SHA_RNDX(f, g, h, a, b, c, d, e, 51)
+    SEDA_SHA_RNDX(e, f, g, h, a, b, c, d, 52)
+    SEDA_SHA_RNDX(d, e, f, g, h, a, b, c, 53)
+    SEDA_SHA_RNDX(c, d, e, f, g, h, a, b, 54)
+    SEDA_SHA_RNDX(b, c, d, e, f, g, h, a, 55)
+    SEDA_SHA_RNDX(a, b, c, d, e, f, g, h, 56)
+    SEDA_SHA_RNDX(h, a, b, c, d, e, f, g, 57)
+    SEDA_SHA_RNDX(g, h, a, b, c, d, e, f, 58)
+    SEDA_SHA_RNDX(f, g, h, a, b, c, d, e, 59)
+    SEDA_SHA_RNDX(e, f, g, h, a, b, c, d, 60)
+    SEDA_SHA_RNDX(d, e, f, g, h, a, b, c, 61)
+    SEDA_SHA_RNDX(c, d, e, f, g, h, a, b, 62)
+    SEDA_SHA_RNDX(b, c, d, e, f, g, h, a, 63)
+
+    if constexpr (L == 1) {
+        Sha256_state& s = *states[0];
+        s[0] += a; s[1] += b; s[2] += c; s[3] += d;
+        s[4] += e; s[5] += f; s[6] += g; s[7] += h;
+    } else {
+        for (std::size_t j = 0; j < L; ++j) {
+            Sha256_state& s = *states[j];
+            s[0] += a[j]; s[1] += b[j]; s[2] += c[j]; s[3] += d[j];
+            s[4] += e[j]; s[5] += f[j]; s[6] += g[j]; s[7] += h[j];
+        }
+    }
+}
+
+#undef SEDA_SHA_RNDX
+#undef SEDA_SHA_RND
+
+class Fast_sha256_backend final : public Sha256_backend {
+public:
+    [[nodiscard]] std::string_view name() const override { return "fast"; }
+
+    void compress(Sha256_state& state, const u8* data, std::size_t nblocks) const override
+    {
+        // A single message stream is one serial chain; nothing to batch, so
+        // the unrolled scalar gear is the whole win here.
+        Sha256_state* sp = &state;
+        for (std::size_t b = 0; b < nblocks; ++b) {
+            const u8* block = data + 64 * b;
+            compress_batch<u32>(&sp, &block);
+        }
+    }
+
+    void compress_many(std::span<const Sha256_job> jobs) const override
+    {
+        std::size_t i = 0;
+        for (; i + k_group <= jobs.size(); i += k_group) run_group<u32xv>(&jobs[i]);
+        for (; i < jobs.size(); ++i) run_group<u32>(&jobs[i]);
+    }
+
+private:
+    static constexpr std::size_t k_group = k_lanes_of<u32xv>;
+
+    template <typename W>
+    static void run_group(const Sha256_job* jobs)
+    {
+        Sha256_state* states[k_lanes_of<W>];
+        const u8* blocks[k_lanes_of<W>];
+        for (std::size_t j = 0; j < k_lanes_of<W>; ++j) {
+            states[j] = jobs[j].state;
+            blocks[j] = jobs[j].block;
+        }
+        compress_batch<W>(states, blocks);
+    }
+};
+
+const Scalar_sha256_backend k_scalar_sha256_backend;
+const Fast_sha256_backend k_fast_sha256_backend;
+
+}  // namespace
+
+void Sha256_backend::compress_many(std::span<const Sha256_job> jobs) const
+{
+    for (const Sha256_job& job : jobs) compress(*job.state, job.block, 1);
+}
+
+const Sha256_backend& scalar_sha256_backend() { return k_scalar_sha256_backend; }
+const Sha256_backend& fast_sha256_backend() { return k_fast_sha256_backend; }
+
+Sha256_backend_kind default_sha256_backend_kind()
+{
+    // Resolved exactly once per process, like SEDA_AES_BACKEND: flipping
+    // the env var mid-run would silently mix backends across live hashers,
+    // and concurrent first-use from pool workers must neither race the
+    // resolution nor double-print the unknown-value warning.
+    static constexpr std::pair<std::string_view, Sha256_backend_kind> names[] = {
+        {"scalar", Sha256_backend_kind::scalar}, {"fast", Sha256_backend_kind::fast}};
+    static std::once_flag resolved;
+    static Sha256_backend_kind kind = Sha256_backend_kind::fast;
+    std::call_once(resolved, [] {
+        kind = resolve_backend_env<Sha256_backend_kind>("SEDA_SHA_BACKEND", names,
+                                                        Sha256_backend_kind::fast);
+    });
+    return kind;
+}
+
+const Sha256_backend& sha256_backend_for(Sha256_backend_kind kind)
+{
+    if (kind == Sha256_backend_kind::auto_select) kind = default_sha256_backend_kind();
+    return kind == Sha256_backend_kind::scalar ? scalar_sha256_backend()
+                                               : fast_sha256_backend();
+}
+
+std::span<const Sha256_backend_kind> all_sha256_backend_kinds()
+{
+    static constexpr std::array<Sha256_backend_kind, 2> kinds = {
+        Sha256_backend_kind::scalar, Sha256_backend_kind::fast};
+    return kinds;
+}
+
+}  // namespace seda::crypto

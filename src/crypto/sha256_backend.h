@@ -1,0 +1,90 @@
+// Pluggable SHA-256 compression implementations, mirroring crypto/aes_backend.h.
+//
+// The integrity side of the secure-memory stack pushes every protected unit
+// through HMAC-SHA256, so after PR 1 made AES-CTR table-driven the MAC's
+// compression function became the hottest loop in the repo.  Two backends
+// exist deliberately:
+//
+//   * scalar - the loop-form compression that mirrors the FIPS 180-4
+//              pseudocode (64-entry message schedule in memory, one round
+//              per loop iteration).  Slow, but the obviously-correct
+//              reference every other backend is cross-validated against.
+//   * fast   - fully unrolled rounds with the 16-word rolling message
+//              schedule kept in registers, plus a multi-buffer
+//              compress_many that interleaves independent messages to hide
+//              the serial a..h dependency chain.  This is the shape a
+//              hardware SHA extension (SHA-NI) slots into later behind a
+//              CPUID gate: same interface, same multi-buffer batching.
+//
+// Backends are stateless singletons (immutable round constants only), so
+// const use is thread-safe and one backend object serves any number of
+// hashers concurrently.  Selection happens at Sha256 / Hmac_engine
+// construction (Sha256_backend_kind); auto_select resolves to fast unless
+// the SEDA_SHA_BACKEND environment variable names a backend, which is the
+// cross-validation escape hatch for whole binaries.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "crypto/sha256.h"
+
+namespace seda::crypto {
+
+/// SHA-256 block size in bytes (FIPS 180-4 sec. 5.2.1).
+inline constexpr std::size_t k_sha256_block_bytes = 64;
+
+/// Initial hash value H(0): the first 32 bits of the fractional parts of
+/// the square roots of the first eight primes (FIPS 180-4 sec. 5.3.3).
+[[nodiscard]] constexpr Sha256_state sha256_initial_state()
+{
+    return {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+}
+
+/// One unit of multi-buffer work: advance `state` by compressing the
+/// 64-byte block at `block`.  States of concurrent jobs must be distinct
+/// objects; blocks may alias freely (they are only read).
+struct Sha256_job {
+    Sha256_state* state = nullptr;
+    const u8* block = nullptr;
+};
+
+/// One compression implementation.  Implementations must be stateless
+/// (aside from immutable tables) so const use is thread-safe.
+class Sha256_backend {
+public:
+    virtual ~Sha256_backend() = default;
+
+    [[nodiscard]] virtual std::string_view name() const = 0;
+
+    /// Compresses `nblocks` consecutive 64-byte blocks at `data` into
+    /// `state` (one serial message stream).
+    virtual void compress(Sha256_state& state, const u8* data,
+                          std::size_t nblocks) const = 0;
+
+    /// Multi-buffer interface: performs one compression per job, each over
+    /// an independent state.  The base implementation loops compress();
+    /// fast backends interleave several jobs per pass so the per-round
+    /// dependency chains of independent messages overlap.  Bit-identical
+    /// to the serial loop by contract.
+    virtual void compress_many(std::span<const Sha256_job> jobs) const;
+};
+
+/// The loop-form FIPS 180-4 reference backend.
+[[nodiscard]] const Sha256_backend& scalar_sha256_backend();
+
+/// The unrolled + multi-buffer fast backend.
+[[nodiscard]] const Sha256_backend& fast_sha256_backend();
+
+/// Resolves a kind to a backend; auto_select honours SEDA_SHA_BACKEND
+/// ("scalar" or "fast", read once per process) and otherwise picks fast.
+[[nodiscard]] const Sha256_backend& sha256_backend_for(Sha256_backend_kind kind);
+
+/// What auto_select currently resolves to.
+[[nodiscard]] Sha256_backend_kind default_sha256_backend_kind();
+
+/// The concrete backends, for cross-validation sweeps.
+[[nodiscard]] std::span<const Sha256_backend_kind> all_sha256_backend_kinds();
+
+}  // namespace seda::crypto

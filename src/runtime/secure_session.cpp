@@ -21,9 +21,12 @@ void Secure_session::write_units(std::span<const core::Secure_memory::Unit_write
     pool_.parallel_for(slots.size(), [&](std::size_t worker, Index_range range) {
         Worker_engines& eng = engines_[worker];
         std::vector<crypto::Block16> pads;  // per-shard pad scratch
-        for (std::size_t i = range.begin; i < range.end; ++i)
-            if (slots[i].src != nullptr)  // skip entries superseded in-batch
-                core::Secure_memory::encrypt_slot(slots[i], eng.baes, eng.hmac, pads);
+        // Whole-shard bulk phase: B-AES per slot, then every MAC of the
+        // shard through the multi-buffer HMAC pipeline in one call
+        // (superseded entries are skipped inside).
+        const std::span<const core::Secure_memory::Write_slot> shard(
+            slots.data() + range.begin, range.size());
+        core::Secure_memory::encrypt_slots(shard, eng.baes, eng.hmac, pads);
     });
 }
 
@@ -35,8 +38,12 @@ std::vector<core::Verify_status> Secure_session::read_units(
     pool_.parallel_for(batch.size(), [&](std::size_t worker, Index_range range) {
         const Worker_engines& eng = engines_[worker];
         std::vector<crypto::Block16> pads;
-        for (std::size_t i = range.begin; i < range.end; ++i)
-            statuses[i] = mem_.read_with(batch[i], eng.baes, eng.hmac, pads);
+        // Shard-wide bulk verify-and-decrypt: expected MACs batch through
+        // the multi-buffer pipeline, statuses land in this shard's slice.
+        mem_.read_units_with(batch.subspan(range.begin, range.size()), eng.baes,
+                             eng.hmac, pads,
+                             std::span<core::Verify_status>(statuses)
+                                 .subspan(range.begin, range.size()));
     });
     return statuses;
 }

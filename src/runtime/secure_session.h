@@ -7,17 +7,27 @@
 //
 //   write_units:  serial stage (Secure_memory::stage_writes -- VN per entry,
 //                 slot per address, duplicate entries superseded exactly as
-//                 serial ordering would) then the expensive B-AES + HMAC
-//                 phase fanned across contiguous per-worker shards.
-//   read_units:   no staging needed; each shard verifies and decrypts its
-//                 contiguous range via the const read path.
+//                 serial ordering would) then the expensive crypto phase
+//                 fanned across contiguous per-worker shards, each shard
+//                 running B-AES per unit and one bulk multi-buffer HMAC
+//                 call for its whole slot range (encrypt_slots).
+//   read_units:   no staging needed; each shard bulk-verifies and decrypts
+//                 its contiguous range via the const read_units_with path.
 //
-// Every worker owns its own Baes_engine / Hmac_engine pair (keyed with the
-// session keys) and pad scratch, so no crypto state is shared at all, and
-// the result is bit-for-bit identical to the serial batch path -- including
-// which units of a tampered tile report mac_mismatch / replay_detected.
-// Thread-compatible like its substrate: one batch call at a time per
-// session; the attacker interface stays available through memory().
+// Determinism contract: shard boundaries come from shard_ranges(n, workers)
+// -- pure arithmetic on (n, workers), independent of scheduling -- and
+// every unit's ciphertext/MAC depends only on its own slot, so the
+// resulting memory state and statuses are bit-for-bit identical to the
+// serial batch path at ANY worker count -- including which units of a
+// tampered tile report mac_mismatch / replay_detected
+// (tests/runtime/secure_session_test.cpp holds this against the serial
+// path on ragged sizes).
+//
+// Thread-safety: every worker owns its own Baes_engine / Hmac_engine pair
+// (keyed with the session keys) and pad scratch, so no crypto state is
+// shared at all.  The session itself is thread-compatible like its
+// substrate: one batch call at a time per session; the attacker interface
+// stays available through memory().
 #pragma once
 
 #include <cstddef>

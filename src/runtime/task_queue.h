@@ -6,6 +6,13 @@
 // and makes further pushes fail.  Tasks already queued at close() time are
 // still drained -- a pool destructor must run what was promised, because
 // submitters may already hold futures for it.
+//
+// Thread-safety: every method is safe from any thread concurrently (one
+// mutex guards the deque; the condition variable carries wakeups).  FIFO
+// order is guaranteed per queue, but with multiple workers popping, task
+// *completion* order is unspecified -- determinism must come from the
+// caller (see parallel_suite.h's ordered merge and secure_session.h's
+// fixed shard geometry).
 #pragma once
 
 #include <condition_variable>

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Verify that relative markdown links in README.md and docs/ resolve.
+
+Scans every inline link [text](target) in the repo's top-level *.md files
+and docs/*.md, skips absolute URLs (scheme:// or mailto:) and pure
+in-page anchors (#...), strips any #fragment, and checks the remaining
+path exists relative to the file containing the link.
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken link is
+reported on stderr as file:line: target).
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_RE = re.compile(r"^([a-z][a-z0-9+.-]*:|#)", re.IGNORECASE)
+
+
+def check_file(md: Path) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(md.read_text(encoding="utf-8").splitlines(), 1):
+        for target in LINK_RE.findall(line):
+            if SKIP_RE.match(target):
+                continue  # URL or in-page anchor
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (md.parent / path).exists():
+                errors.append(f"{md}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    files = sorted(repo.glob("*.md")) + sorted((repo / "docs").glob("*.md"))
+    errors = []
+    for md in files:
+        errors.extend(check_file(md))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_doc_links: {len(files)} files scanned, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,10 @@
 // --jobs N fans the work across a runtime::Thread_pool of N workers (0 =
 // one per hardware thread); output is byte-identical at every worker count.
 // --json emits the suite as machine-readable JSON so bench trajectories can
-// be captured as BENCH_*.json files.
+// be captured as BENCH_*.json files.  The SEDA_AES_BACKEND /
+// SEDA_SHA_BACKEND environment variables pin the process-wide crypto
+// backends (docs/BACKENDS.md); simulator output is identical under every
+// backend, which is exactly what makes them a cross-validation knob.
 #include <charconv>
 #include <cstdio>
 #include <cstring>
@@ -52,7 +55,12 @@ int usage(std::ostream& os)
           "  --scheme S                protection scheme (run; default seda)\n"
           "  --jobs N                  worker threads, 0 = hardware (run, suite)\n"
           "  --csv                     CSV output (run, suite)\n"
-          "  --json                    JSON output (suite)\n";
+          "  --json                    JSON output (suite)\n"
+          "\n"
+          "environment:\n"
+          "  SEDA_AES_BACKEND=scalar|ttable   process-wide AES round impl\n"
+          "  SEDA_SHA_BACKEND=scalar|fast     process-wide SHA-256 compression\n"
+          "  (both read once at startup; see docs/BACKENDS.md)\n";
     return os.rdbuf() == std::cout.rdbuf() ? 0 : 2;
 }
 
