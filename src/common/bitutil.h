@@ -100,4 +100,17 @@ template <typename T>
 [[nodiscard]] constexpr u32 rotl32(u32 x, int s) { return std::rotl(x, s); }
 [[nodiscard]] constexpr u32 rotr32(u32 x, int s) { return std::rotr(x, s); }
 
+/// FNV-1a 64-bit hash of a byte range: the cheap, deterministic payload
+/// digest the serving-layer stats XOR-fold (not a MAC -- integrity claims
+/// stay with crypto/mac.h).
+[[nodiscard]] constexpr u64 fnv1a64(const u8* data, std::size_t len)
+{
+    u64 h = 0xCBF29CE484222325ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= data[i];
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
 }  // namespace seda

@@ -66,6 +66,25 @@ std::vector<Secure_memory::Write_slot> Secure_memory::stage_writes(
 
     std::vector<Write_slot> slots;
     slots.reserve(batch.size());
+    if (batch.size() <= 64) {
+        // Small batches (the serving layer's coalescing windows, and every
+        // single write): a backward scan for the duplicate beats building a
+        // node-allocating hash map.  Scanning backward, the first entry
+        // with the same unit is the most recent -- and therefore live --
+        // one.
+        for (const Unit_write& w : batch) {
+            Write_slot slot = stage_one(w);
+            for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
+                if (it->unit == slot.unit) {
+                    it->src = nullptr;
+                    break;
+                }
+            }
+            slots.push_back(slot);
+        }
+        return slots;
+    }
+
     std::unordered_map<const Stored_unit*, std::size_t> last_slot_for;
     for (const Unit_write& w : batch) {
         Write_slot slot = stage_one(w);
@@ -87,9 +106,23 @@ void Secure_memory::encrypt_slots(std::span<const Write_slot> slots,
                                   const crypto::Hmac_engine& hmac,
                                   std::vector<crypto::Block16>& pad_scratch)
 {
+    // Adapter for callers that only carry pad scratch: borrow it into a
+    // local Bulk_scratch so the reusable-pad behaviour is preserved.
+    Bulk_scratch scratch;
+    scratch.pads.swap(pad_scratch);
+    encrypt_slots(slots, baes, hmac, scratch);
+    scratch.pads.swap(pad_scratch);
+}
+
+void Secure_memory::encrypt_slots(std::span<const Write_slot> slots,
+                                  const crypto::Baes_engine& baes,
+                                  const crypto::Hmac_engine& hmac, Bulk_scratch& scratch)
+{
     // Phase 1: B-AES every live slot, gathering the MAC inputs.
-    std::vector<crypto::Mac_request> reqs;
-    std::vector<Stored_unit*> targets;
+    auto& reqs = scratch.reqs;
+    auto& targets = scratch.targets;
+    reqs.clear();
+    targets.clear();
     reqs.reserve(slots.size());
     targets.reserve(slots.size());
     for (const Write_slot& slot : slots) {
@@ -97,16 +130,16 @@ void Secure_memory::encrypt_slots(std::span<const Write_slot> slots,
         const Unit_write& w = *slot.src;
         Stored_unit& unit = *slot.unit;
         unit.ciphertext.assign(w.plaintext.begin(), w.plaintext.end());
-        baes.crypt_with(unit.ciphertext, w.addr, slot.vn, pad_scratch);
+        baes.crypt_with(unit.ciphertext, w.addr, slot.vn, scratch.pads);
         reqs.push_back({unit.ciphertext,
                         context_for(w.addr, slot.vn, w.layer_id, w.fmap_idx, w.blk_idx)});
         targets.push_back(&unit);
     }
 
     // Phase 2: one bulk-HMAC call MACs the whole run.
-    std::vector<u64> macs(reqs.size());
-    hmac.positional_macs(reqs, macs);
-    for (std::size_t i = 0; i < targets.size(); ++i) targets[i]->mac = macs[i];
+    scratch.macs.resize(reqs.size());
+    hmac.positional_macs(reqs, scratch.macs);
+    for (std::size_t i = 0; i < targets.size(); ++i) targets[i]->mac = scratch.macs[i];
 }
 
 void Secure_memory::write_one(const Unit_write& w, std::vector<crypto::Block16>& pad_scratch)
@@ -147,18 +180,27 @@ void Secure_memory::read_units_with(std::span<const Unit_read> batch,
                                     std::vector<crypto::Block16>& pad_scratch,
                                     std::span<Verify_status> out_status) const
 {
+    Bulk_scratch scratch;
+    scratch.pads.swap(pad_scratch);
+    read_units_with(batch, baes, hmac, scratch, out_status);
+    scratch.pads.swap(pad_scratch);
+}
+
+void Secure_memory::read_units_with(std::span<const Unit_read> batch,
+                                    const crypto::Baes_engine& baes,
+                                    const crypto::Hmac_engine& hmac, Bulk_scratch& scratch,
+                                    std::span<Verify_status> out_status) const
+{
     require(batch.size() == out_status.size(),
             "Secure_memory::read_units: status span must match batch");
 
     // Phase 1: validate and locate every entry before any output is
     // touched, gathering the expected-MAC inputs (mirrors stage_writes's
     // all-or-nothing validation on the write side).
-    struct Located {
-        const Stored_unit* unit = nullptr;
-        u64 vn = 0;
-    };
-    std::vector<Located> located(batch.size());
-    std::vector<crypto::Mac_request> reqs(batch.size());
+    auto& located = scratch.located;
+    auto& reqs = scratch.reqs;
+    located.assign(batch.size(), {});
+    reqs.resize(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
         const Unit_read& r = batch[i];
         require(r.out.size() == cfg_.unit_bytes, "Secure_memory::read: out must be one unit");
@@ -172,7 +214,8 @@ void Secure_memory::read_units_with(std::span<const Unit_read> batch,
     }
 
     // Phase 2: every expected MAC through the bulk HMAC pipeline at once.
-    std::vector<u64> expected(batch.size());
+    auto& expected = scratch.macs;
+    expected.resize(batch.size());
     hmac.positional_macs(reqs, expected);
 
     // Phase 3: compare and decrypt per unit -- detection still fires per
@@ -187,7 +230,7 @@ void Secure_memory::read_units_with(std::span<const Unit_read> batch,
             continue;
         }
         std::copy(unit.ciphertext.begin(), unit.ciphertext.end(), r.out.begin());
-        baes.crypt_with(r.out, r.addr, located[i].vn, pad_scratch);
+        baes.crypt_with(r.out, r.addr, located[i].vn, scratch.pads);
         out_status[i] = Verify_status::ok;
     }
 }

@@ -23,8 +23,8 @@
 // (tests/core/secure_memory_batch_test.cpp holds both properties).
 #pragma once
 
-#include <map>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -129,6 +129,24 @@ public:
     /// read again.
     [[nodiscard]] std::vector<Write_slot> stage_writes(std::span<const Unit_write> batch);
 
+    /// Reusable scratch for the bulk crypto paths (encrypt_slots /
+    /// read_units_with): the B-AES pad buffer plus the staging vectors the
+    /// bulk HMAC pipeline consumes.  One instance belongs to exactly one
+    /// thread at a time; runtime::Secure_session keeps one per worker and
+    /// reuses it across batches, so the steady-state serving path stops
+    /// allocating per call.
+    struct Bulk_scratch {
+        std::vector<crypto::Block16> pads;     ///< B-AES pad fan-out
+        std::vector<crypto::Mac_request> reqs; ///< bulk-MAC inputs
+        std::vector<u64> macs;                 ///< bulk-MAC outputs
+        std::vector<Stored_unit*> targets;     ///< write side: MAC destinations
+        struct Located {
+            const Stored_unit* unit = nullptr;
+            u64 vn = 0;
+        };
+        std::vector<Located> located;          ///< read side: found units + VNs
+    };
+
     /// Parallel-safe phase: encrypts and MACs one staged slot.  `baes` and
     /// `hmac` may be per-worker engines, as long as they are keyed with this
     /// memory's keys; slots are disjoint so concurrent calls never alias.
@@ -145,6 +163,12 @@ public:
                               const crypto::Baes_engine& baes,
                               const crypto::Hmac_engine& hmac,
                               std::vector<crypto::Block16>& pad_scratch);
+
+    /// encrypt_slots with fully reusable scratch (pads + MAC staging); the
+    /// allocation-free steady state of the sharded/serving write path.
+    static void encrypt_slots(std::span<const Write_slot> slots,
+                              const crypto::Baes_engine& baes,
+                              const crypto::Hmac_engine& hmac, Bulk_scratch& scratch);
 
     /// Verify-and-decrypt one unit against caller-supplied engines.  Const
     /// and map-read-only, so disjoint-output calls may run concurrently
@@ -164,6 +188,13 @@ public:
                          const crypto::Baes_engine& baes,
                          const crypto::Hmac_engine& hmac,
                          std::vector<crypto::Block16>& pad_scratch,
+                         std::span<Verify_status> out_status) const;
+
+    /// read_units_with with fully reusable scratch (pads + MAC staging); the
+    /// allocation-free steady state of the sharded/serving read path.
+    void read_units_with(std::span<const Unit_read> batch,
+                         const crypto::Baes_engine& baes,
+                         const crypto::Hmac_engine& hmac, Bulk_scratch& scratch,
                          std::span<Verify_status> out_status) const;
 
     /// XOR-fold of all stored unit MACs: the layer/model MAC the verifier
@@ -198,9 +229,13 @@ private:
 
     Config cfg_;
     crypto::Baes_engine baes_;
-    crypto::Hmac_engine hmac_;            ///< precomputed-key MAC engine
-    std::map<Addr, Stored_unit> units_;   ///< the untrusted array
-    std::map<Addr, u64> onchip_vns_;      ///< trusted on-chip VN table
+    crypto::Hmac_engine hmac_;  ///< precomputed-key MAC engine
+    // Hash maps, not ordered maps: the serving hot path does two address
+    // lookups per unit, and nothing observable depends on iteration order
+    // (fold_all_macs is an order-free XOR; node references stay stable
+    // across rehash, which stage_writes's Write_slot pointers rely on).
+    std::unordered_map<Addr, Stored_unit> units_;  ///< the untrusted array
+    std::unordered_map<Addr, u64> onchip_vns_;     ///< trusted on-chip VN table
 };
 
 }  // namespace seda::core

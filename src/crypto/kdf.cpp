@@ -1,0 +1,28 @@
+#include "crypto/kdf.h"
+
+#include "common/bitutil.h"
+#include "common/error.h"
+#include "crypto/mac.h"
+
+namespace seda::crypto {
+
+std::vector<u8> derive_key(std::span<const u8> master, std::string_view label, u64 id,
+                           std::size_t out_bytes)
+{
+    require(!master.empty(), "derive_key: master key must not be empty");
+    require(out_bytes >= 1 && out_bytes <= 32,
+            "derive_key: out_bytes must be in [1, 32] (one HMAC-SHA256 block)");
+
+    std::vector<u8> message;
+    message.reserve(label.size() + 9);
+    message.insert(message.end(), label.begin(), label.end());
+    u8 be_id[8];
+    store_be64(be_id, id);
+    message.insert(message.end(), be_id, be_id + 8);
+    message.push_back(0x01);  // HKDF-expand block counter (single block)
+
+    const Digest256 prk = Hmac_engine(master).mac(message);
+    return std::vector<u8>(prk.begin(), prk.begin() + out_bytes);
+}
+
+}  // namespace seda::crypto

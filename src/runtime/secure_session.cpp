@@ -2,14 +2,39 @@
 
 namespace seda::runtime {
 
+namespace {
+
+// Batches below this many units run inline on the caller's thread: a pool
+// hop (one submit + future join per shard) costs more than the crypto of a
+// handful of 64 B units, and the serving layer's coalescing windows would
+// otherwise pay that hop per dispatch.  Purely a scheduling choice -- the
+// bit-identical-to-serial contract holds on both sides of the threshold.
+constexpr std::size_t k_inline_batch_units = 64;
+
+}  // namespace
+
 Secure_session::Secure_session(std::span<const u8> enc_key, std::span<const u8> mac_key,
                                core::Secure_mem_config cfg, std::size_t workers)
     : mem_(enc_key, mac_key, cfg),
-      pool_(workers)
+      owned_pool_(std::make_unique<Thread_pool>(workers)),
+      pool_(owned_pool_.get())
 {
-    engines_.reserve(pool_.size());
-    for (std::size_t w = 0; w < pool_.size(); ++w)
-        engines_.push_back({crypto::Baes_engine(enc_key), crypto::Hmac_engine(mac_key)});
+    build_workers(enc_key, mac_key);
+}
+
+Secure_session::Secure_session(std::span<const u8> enc_key, std::span<const u8> mac_key,
+                               core::Secure_mem_config cfg, Thread_pool& pool)
+    : mem_(enc_key, mac_key, cfg), pool_(&pool)
+{
+    build_workers(enc_key, mac_key);
+}
+
+void Secure_session::build_workers(std::span<const u8> enc_key, std::span<const u8> mac_key)
+{
+    workers_.reserve(pool_->size());
+    for (std::size_t w = 0; w < pool_->size(); ++w)
+        workers_.push_back(
+            {crypto::Baes_engine(enc_key), crypto::Hmac_engine(mac_key), {}});
 }
 
 void Secure_session::write_units(std::span<const core::Secure_memory::Unit_write> batch)
@@ -18,15 +43,20 @@ void Secure_session::write_units(std::span<const core::Secure_memory::Unit_write
     // batch order -- so a bad entry throws before any worker starts.
     const auto slots = mem_.stage_writes(batch);
 
-    pool_.parallel_for(slots.size(), [&](std::size_t worker, Index_range range) {
-        Worker_engines& eng = engines_[worker];
-        std::vector<crypto::Block16> pads;  // per-shard pad scratch
+    if (slots.size() <= k_inline_batch_units) {
+        Worker_state& ws = workers_.front();
+        core::Secure_memory::encrypt_slots(slots, ws.baes, ws.hmac, ws.scratch);
+        return;
+    }
+
+    pool_->parallel_for(slots.size(), [&](std::size_t worker, Index_range range) {
+        Worker_state& ws = workers_[worker];
         // Whole-shard bulk phase: B-AES per slot, then every MAC of the
         // shard through the multi-buffer HMAC pipeline in one call
         // (superseded entries are skipped inside).
         const std::span<const core::Secure_memory::Write_slot> shard(
             slots.data() + range.begin, range.size());
-        core::Secure_memory::encrypt_slots(shard, eng.baes, eng.hmac, pads);
+        core::Secure_memory::encrypt_slots(shard, ws.baes, ws.hmac, ws.scratch);
     });
 }
 
@@ -35,13 +65,18 @@ std::vector<core::Verify_status> Secure_session::read_units(
 {
     std::vector<core::Verify_status> statuses(batch.size());
 
-    pool_.parallel_for(batch.size(), [&](std::size_t worker, Index_range range) {
-        const Worker_engines& eng = engines_[worker];
-        std::vector<crypto::Block16> pads;
+    if (batch.size() <= k_inline_batch_units) {
+        Worker_state& ws = workers_.front();
+        mem_.read_units_with(batch, ws.baes, ws.hmac, ws.scratch, statuses);
+        return statuses;
+    }
+
+    pool_->parallel_for(batch.size(), [&](std::size_t worker, Index_range range) {
+        Worker_state& ws = workers_[worker];
         // Shard-wide bulk verify-and-decrypt: expected MACs batch through
         // the multi-buffer pipeline, statuses land in this shard's slice.
-        mem_.read_units_with(batch.subspan(range.begin, range.size()), eng.baes,
-                             eng.hmac, pads,
+        mem_.read_units_with(batch.subspan(range.begin, range.size()), ws.baes,
+                             ws.hmac, ws.scratch,
                              std::span<core::Verify_status>(statuses)
                                  .subspan(range.begin, range.size()));
     });

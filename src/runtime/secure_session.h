@@ -14,6 +14,10 @@
 //   read_units:   no staging needed; each shard bulk-verifies and decrypts
 //                 its contiguous range via the const read_units_with path.
 //
+// Small batches (the serving layer's coalescing windows) skip the pool and
+// run inline on the caller's thread -- the pool hop costs more than the
+// crypto of a few dozen units; output is identical either way.
+//
 // Determinism contract: shard boundaries come from shard_ranges(n, workers)
 // -- pure arithmetic on (n, workers), independent of scheduling -- and
 // every unit's ciphertext/MAC depends only on its own slot, so the
@@ -23,14 +27,23 @@
 // (tests/runtime/secure_session_test.cpp holds this against the serial
 // path on ragged sizes).
 //
-// Thread-safety: every worker owns its own Baes_engine / Hmac_engine pair
-// (keyed with the session keys) and pad scratch, so no crypto state is
-// shared at all.  The session itself is thread-compatible like its
-// substrate: one batch call at a time per session; the attacker interface
-// stays available through memory().
+// Thread-safety: every shard owns its own Worker_state -- a Baes_engine /
+// Hmac_engine pair (keyed with the session keys) plus the bulk pad/MAC
+// scratch, reused across batches -- so no crypto state is shared at all and
+// the steady-state batch path allocates nothing.  The session itself is
+// thread-compatible like its substrate: one batch call at a time per
+// session; the attacker interface stays available through memory().
+//
+// Pool sharing: a session either owns its Thread_pool (the standalone
+// constructors) or borrows one (the serving layer runs one pool under many
+// tenant sessions).  Distinct sessions sharing a pool may dispatch
+// concurrently -- each session's Worker_state array is private, and the
+// pool's queue is MPMC -- as long as no batch call is issued *from* a pool
+// task (a blocked parallel_for inside a saturated pool can deadlock).
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -49,12 +62,18 @@ public:
     Secure_session(std::span<const u8> enc_key, std::span<const u8> mac_key,
                    core::Secure_mem_config cfg = {}, std::size_t workers = 0);
 
+    /// Shares `pool` instead of owning one; `pool` must outlive the
+    /// session.  One Worker_state per pool worker, exactly as the owning
+    /// constructors build.
+    Secure_session(std::span<const u8> enc_key, std::span<const u8> mac_key,
+                   core::Secure_mem_config cfg, Thread_pool& pool);
+
     /// The underlying memory: serial I/O, fold_all_macs, and the attacker
     /// interface (tamper/swap/snapshot/rollback) all remain usable.
     [[nodiscard]] core::Secure_memory& memory() { return mem_; }
     [[nodiscard]] const core::Secure_memory& memory() const { return mem_; }
 
-    [[nodiscard]] std::size_t workers() const { return pool_.size(); }
+    [[nodiscard]] std::size_t workers() const { return pool_->size(); }
 
     /// Sharded batch write; state afterwards is bit-identical to
     /// memory().write_units(batch).
@@ -66,14 +85,21 @@ public:
         std::span<const core::Secure_memory::Unit_read> batch);
 
 private:
-    struct Worker_engines {
+    /// Shared-nothing per-worker state: engines keyed with the session keys
+    /// plus the bulk crypto scratch, which persists across batches so the
+    /// steady-state path is allocation-free.
+    struct Worker_state {
         crypto::Baes_engine baes;
         crypto::Hmac_engine hmac;
+        core::Secure_memory::Bulk_scratch scratch;
     };
 
+    void build_workers(std::span<const u8> enc_key, std::span<const u8> mac_key);
+
     core::Secure_memory mem_;
-    std::vector<Worker_engines> engines_;  ///< one pair per pool worker
-    Thread_pool pool_;
+    std::vector<Worker_state> workers_;    ///< one per pool worker
+    std::unique_ptr<Thread_pool> owned_pool_;  ///< null when the pool is shared
+    Thread_pool* pool_;                    ///< owned_pool_.get() or the shared pool
 };
 
 }  // namespace seda::runtime

@@ -16,11 +16,14 @@
 //               model provisioning, and the experiment harness
 //   runtime   - thread pool / task queue, the concurrent suite driver, and
 //               sharded multi-worker secure-memory sessions
+//   serve     - the multi-tenant serving layer: request front end, bounded
+//               admission queue, per-tenant keys/memory, batching
+//               scheduler, and the closed-loop load generator
 //
 // Typical entry points: accel::simulate_model, core::make_scheme,
 // core::run_protected, core::run_suite, core::Secure_memory,
 // core::provision_model, runtime::run_suite_parallel,
-// runtime::Secure_session.
+// runtime::Secure_session, serve::Server, serve::run_loadgen.
 #pragma once
 
 #include "accel/accel_sim.h"
@@ -39,6 +42,7 @@
 #include "crypto/attacks.h"
 #include "crypto/baes.h"
 #include "crypto/engine_model.h"
+#include "crypto/kdf.h"
 #include "crypto/mac.h"
 #include "dram/dram_sim.h"
 #include "models/zoo.h"
@@ -47,3 +51,5 @@
 #include "runtime/parallel_suite.h"
 #include "runtime/secure_session.h"
 #include "runtime/thread_pool.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"

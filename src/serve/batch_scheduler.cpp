@@ -1,0 +1,197 @@
+#include "serve/batch_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/bitutil.h"
+#include "common/error.h"
+
+namespace seda::serve {
+
+using core::Verify_status;
+
+namespace {
+
+void record_latency(const Request& req, Serve_stats& stats)
+{
+    if (req.enqueued_at.time_since_epoch().count() == 0) return;  // untimestamped replay
+    stats.latencies_us.push_back(std::chrono::duration<double, std::micro>(
+                                     std::chrono::steady_clock::now() - req.enqueued_at)
+                                     .count());
+}
+
+void reject(Request& req, std::exception_ptr error, Tenant_counters& counters,
+            Serve_stats& stats)
+{
+    ++(req.op == Op::write ? counters.writes : counters.reads);
+    ++counters.rejected;
+    record_latency(req, stats);
+    if (req.reply) req.reply->set_exception(std::move(error));
+}
+
+}  // namespace
+
+Batch_scheduler::Batch_scheduler(std::span<Tenant> tenants) : tenants_(tenants)
+{
+    require(!tenants_.empty(), "Batch_scheduler: need at least one tenant");
+    per_tenant_.resize(tenants_.size());
+}
+
+void Batch_scheduler::complete(Request& req, Response&& resp, Tenant_counters& counters,
+                               Serve_stats& stats)
+{
+    ++(req.op == Op::write ? counters.writes : counters.reads);
+    switch (resp.status) {
+        case Verify_status::ok:
+            ++counters.ok;
+            counters.bytes += req.op == Op::write ? req.payload.size() : resp.payload.size();
+            if (req.op == Op::read)
+                counters.payload_fold ^= fnv1a64(resp.payload.data(), resp.payload.size());
+            break;
+        case Verify_status::mac_mismatch: ++counters.mac_mismatch; break;
+        case Verify_status::replay_detected: ++counters.replay_detected; break;
+    }
+    record_latency(req, stats);
+    if (req.reply) req.reply->set_value(std::move(resp));
+}
+
+void Batch_scheduler::dispatch_one(Tenant& tenant, Request& req, Serve_stats& stats)
+{
+    Tenant_counters& counters = stats.tenants[req.tenant_id];
+    core::Secure_memory& mem = tenant.session().memory();
+    try {
+        if (req.op == Op::write) {
+            mem.write(req.addr, req.payload, req.layer_id, req.fmap_idx, req.blk_idx);
+            complete(req, {Verify_status::ok, {}}, counters, stats);
+        } else {
+            std::vector<u8> out(mem.config().unit_bytes);
+            const Verify_status status =
+                mem.read(req.addr, out, req.layer_id, req.fmap_idx, req.blk_idx);
+            Response resp{status,
+                          status == Verify_status::ok ? std::move(out) : std::vector<u8>{}};
+            complete(req, std::move(resp), counters, stats);
+        }
+    } catch (...) {
+        reject(req, std::current_exception(), counters, stats);
+    }
+}
+
+void Batch_scheduler::flush_writes(Tenant& tenant, std::span<Request* const> segment,
+                                   Serve_stats& stats)
+{
+    writes_.clear();
+    for (Request* r : segment)
+        writes_.push_back({r->addr, r->payload, r->layer_id, r->fmap_idx, r->blk_idx});
+    try {
+        tenant.session().write_units(writes_);
+    } catch (const Seda_error&) {
+        // stage_writes validates before mutating, so a rejected batch wrote
+        // nothing: re-dispatching per request is exact, and only the
+        // poisoned entries fail.
+        for (Request* r : segment) dispatch_one(tenant, *r, stats);
+        return;
+    }
+    ++stats.batches;
+    Tenant_counters& counters = stats.tenants[tenant.id()];
+    for (Request* r : segment) complete(*r, {Verify_status::ok, {}}, counters, stats);
+}
+
+void Batch_scheduler::flush_reads(Tenant& tenant, std::span<Request* const> segment,
+                                  Serve_stats& stats)
+{
+    const Bytes unit_bytes = tenant.session().memory().config().unit_bytes;
+    if (read_bufs_.size() < segment.size()) read_bufs_.resize(segment.size());
+    reads_.clear();
+    for (std::size_t i = 0; i < segment.size(); ++i) {
+        read_bufs_[i].resize(unit_bytes);
+        reads_.push_back({segment[i]->addr, read_bufs_[i], segment[i]->layer_id,
+                          segment[i]->fmap_idx, segment[i]->blk_idx});
+    }
+
+    std::vector<Verify_status> statuses;
+    try {
+        statuses = tenant.session().read_units(reads_);
+    } catch (const Seda_error&) {
+        // The bulk read path locates every unit before touching any output,
+        // so a rejected batch read nothing; fall back per request.
+        for (Request* r : segment) dispatch_one(tenant, *r, stats);
+        return;
+    }
+    ++stats.batches;
+    Tenant_counters& counters = stats.tenants[tenant.id()];
+    for (std::size_t i = 0; i < segment.size(); ++i) {
+        Request& req = *segment[i];
+        const Verify_status status = statuses[i];
+        ++counters.reads;
+        switch (status) {
+            case Verify_status::ok:
+                ++counters.ok;
+                counters.bytes += read_bufs_[i].size();
+                counters.payload_fold ^= fnv1a64(read_bufs_[i].data(), read_bufs_[i].size());
+                break;
+            case Verify_status::mac_mismatch: ++counters.mac_mismatch; break;
+            case Verify_status::replay_detected: ++counters.replay_detected; break;
+        }
+        record_latency(req, stats);
+        // Only surrender the buffer when someone is waiting for it; the
+        // fire-and-forget path keeps reusing it allocation-free.
+        if (req.reply)
+            req.reply->set_value({status, status == Verify_status::ok
+                                              ? std::move(read_bufs_[i])
+                                              : std::vector<u8>{}});
+    }
+}
+
+void Batch_scheduler::flush_pending_writes(Tenant& tenant, Serve_stats& stats)
+{
+    if (!pending_writes_.empty()) flush_writes(tenant, pending_writes_, stats);
+    pending_writes_.clear();
+    pending_write_addrs_.clear();
+}
+
+void Batch_scheduler::flush_pending_reads(Tenant& tenant, Serve_stats& stats)
+{
+    if (!pending_reads_.empty()) flush_reads(tenant, pending_reads_, stats);
+    pending_reads_.clear();
+    pending_read_addrs_.clear();
+}
+
+void Batch_scheduler::dispatch(std::span<Request> run, Serve_stats& stats)
+{
+    if (stats.tenants.size() < tenants_.size()) stats.tenants.resize(tenants_.size());
+    for (auto& bucket : per_tenant_) bucket.clear();
+    for (Request& r : run) {
+        require(r.tenant_id < tenants_.size(),
+                "Batch_scheduler: request names an unknown tenant");
+        per_tenant_[r.tenant_id].push_back(&r);
+    }
+    stats.requests += run.size();
+
+    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+        // Accumulate one write batch and one read batch; only an address
+        // conflict against the OPPOSITE pending batch forces a flush, so a
+        // random op mix still coalesces into ~two bulk calls per window.
+        const auto contains = [](const std::vector<Addr>& addrs, Addr a) {
+            return std::find(addrs.begin(), addrs.end(), a) != addrs.end();
+        };
+        for (Request* r : per_tenant_[t]) {
+            if (r->op == Op::write) {
+                if (contains(pending_read_addrs_, r->addr))
+                    flush_pending_reads(tenants_[t], stats);
+                pending_writes_.push_back(r);
+                pending_write_addrs_.push_back(r->addr);
+            } else {
+                if (contains(pending_write_addrs_, r->addr))
+                    flush_pending_writes(tenants_[t], stats);
+                pending_reads_.push_back(r);
+                pending_read_addrs_.push_back(r->addr);
+            }
+        }
+        flush_pending_writes(tenants_[t], stats);
+        flush_pending_reads(tenants_[t], stats);
+    }
+}
+
+}  // namespace seda::serve

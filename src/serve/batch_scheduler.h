@@ -1,0 +1,90 @@
+// Batching scheduler: turns a drained run of per-request traffic into
+// per-tenant bulk Secure_session calls.
+//
+// This is the piece that keeps the PR 1-3 crypto substrate fed: a single
+// 64 B request through Secure_memory::write()/read() pays the whole
+// per-call setup and a lone HMAC, while a coalesced batch streams every
+// MAC through the multi-buffer pipeline and every pad through the bulk CTR
+// gear.  The scheduler's contract:
+//
+//   * per-tenant CONFLICT ORDER IS PRESERVED -- within one tenant's
+//     admission-ordered stream, operations on DIFFERENT addresses commute
+//     (and so do reads of the same address), so the scheduler accumulates
+//     one write batch and one read batch per tenant and only flushes when
+//     a request touches an address the OPPOSITE pending batch already
+//     holds (write-after-pending-read or read-after-pending-write).
+//     Random op mixes therefore coalesce into two bulk calls per tenant
+//     per window instead of one per op flip, and read-your-writes still
+//     holds for any in-order producer.  In-batch write-after-write is
+//     handled by stage_writes's supersede rule, in admission order.
+//   * tenants are independent -- their memories are disjoint, so the
+//     per-tenant batches of one run may dispatch in any order without
+//     observable difference; we go in tenant-id order for determinism.
+//   * results are scheduling-independent -- which requests share a batch
+//     affects only speed, never payloads or statuses (Secure_session's
+//     batch path is bit-identical to serial I/O).
+//
+// Failure containment: a request the bulk path rejects outright (e.g. a
+// read of a never-written unit throws Seda_error before any crypto) must
+// not take the batch -- or the server -- down.  The segment falls back to
+// per-request dispatch; poisoned requests complete with the exception on
+// their promise and count as `rejected`, everyone else proceeds normally.
+//
+// Thread-safety: one dispatch() at a time (the server's scheduler thread);
+// the internal staging vectors are reused across calls.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/secure_memory.h"
+#include "serve/request.h"
+#include "serve/serve_stats.h"
+#include "serve/tenant.h"
+
+namespace seda::serve {
+
+class Batch_scheduler {
+public:
+    /// `tenants` must outlive the scheduler; tenant_id indexes it.
+    explicit Batch_scheduler(std::span<Tenant> tenants);
+
+    /// Dispatches one drained run: groups by tenant (order preserved),
+    /// coalesces maximal same-op segments into bulk session calls, fulfills
+    /// every request's promise, and accumulates into `stats` (whose tenants
+    /// vector is resized to the tenant count).
+    void dispatch(std::span<Request> run, Serve_stats& stats);
+
+private:
+    /// Flush one side of the pending state.  The two sides are
+    /// address-disjoint by construction, so they commute: a conflict only
+    /// has to flush the OPPOSITE side, and the same-op batch keeps
+    /// accumulating across it.
+    void flush_pending_writes(Tenant& tenant, Serve_stats& stats);
+    void flush_pending_reads(Tenant& tenant, Serve_stats& stats);
+    void flush_writes(Tenant& tenant, std::span<Request* const> segment,
+                      Serve_stats& stats);
+    void flush_reads(Tenant& tenant, std::span<Request* const> segment,
+                     Serve_stats& stats);
+    /// Per-request fallback after a bulk rejection: isolates the poisoned
+    /// request(s) without losing the rest of the segment.
+    void dispatch_one(Tenant& tenant, Request& req, Serve_stats& stats);
+    static void complete(Request& req, Response&& resp, Tenant_counters& counters,
+                         Serve_stats& stats);
+
+    std::span<Tenant> tenants_;
+
+    // Staging scratch reused across dispatches (cleared, not freed).
+    std::vector<std::vector<Request*>> per_tenant_;
+    std::vector<Request*> pending_writes_;
+    std::vector<Request*> pending_reads_;
+    // Flat address lists (linear contains()): windows hold a few dozen
+    // addresses, where a cache-line scan beats a node-allocating hash set.
+    std::vector<Addr> pending_write_addrs_;
+    std::vector<Addr> pending_read_addrs_;
+    std::vector<core::Secure_memory::Unit_write> writes_;
+    std::vector<core::Secure_memory::Unit_read> reads_;
+    std::vector<std::vector<u8>> read_bufs_;
+};
+
+}  // namespace seda::serve

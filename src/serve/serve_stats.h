@@ -1,0 +1,99 @@
+// Serving-layer statistics: per-tenant counters plus the global sample set.
+//
+// The counters split into two determinism classes, and the split is
+// load-bearing for CI:
+//
+//   * deterministic  - writes/reads/ok/mac_mismatch/replay/rejected/bytes
+//                      and payload_fold depend only on the request streams
+//                      (closed-loop clients with disjoint address ranges),
+//                      NOT on scheduling, coalescing, or worker count.
+//                      `seda_cli loadgen --json` prints exactly these, so
+//                      the output is byte-diffable across --jobs values.
+//   * timing-bound   - batches (how traffic happened to coalesce) and
+//                      latencies_us (wall clock).  Human-readable output
+//                      only; never part of the JSON contract.
+//
+// payload_fold is an XOR of FNV-1a digests of successful read payloads:
+// XOR is commutative, so the fold is independent of completion order --
+// the same trick SeDA's layer MACs use (crypto/mac.h, Xor_mac_accumulator).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace seda::serve {
+
+/// Counters for one tenant's completed requests.
+struct Tenant_counters {
+    u64 writes = 0;
+    u64 reads = 0;
+    u64 ok = 0;
+    u64 mac_mismatch = 0;
+    u64 replay_detected = 0;
+    u64 rejected = 0;      ///< completed with an exception (e.g. never-written read)
+    u64 bytes = 0;         ///< payload bytes moved (written in + read out, ok only)
+    u64 payload_fold = 0;  ///< XOR of fnv1a64(payload) over ok reads
+
+    /// Accumulates another row (counts add, folds XOR).
+    Tenant_counters& operator+=(const Tenant_counters& o)
+    {
+        writes += o.writes;
+        reads += o.reads;
+        ok += o.ok;
+        mac_mismatch += o.mac_mismatch;
+        replay_detected += o.replay_detected;
+        rejected += o.rejected;
+        bytes += o.bytes;
+        payload_fold ^= o.payload_fold;
+        return *this;
+    }
+};
+
+/// Whole-server view: one Tenant_counters per tenant plus global samples.
+struct Serve_stats {
+    /// Retained latency samples are capped (most recent k_max kept), so a
+    /// long-running server's stats stay bounded; percentiles then describe
+    /// a recent window rather than all time.
+    static constexpr std::size_t k_max_latency_samples = 1 << 16;
+
+    std::vector<Tenant_counters> tenants;
+    u64 requests = 0;  ///< requests dispatched (deterministic)
+    u64 batches = 0;   ///< bulk session calls issued (timing-dependent)
+    std::vector<double> latencies_us;  ///< per-request wall latency, when timestamped
+
+    /// Sums every tenant row (folds XOR together, as the fold order-freedom
+    /// allows).
+    [[nodiscard]] Tenant_counters totals() const
+    {
+        Tenant_counters t;
+        for (const Tenant_counters& c : tenants) t += c;
+        return t;
+    }
+
+    /// Accumulates `delta` (produced by one dispatch) into this view.
+    void merge(const Serve_stats& delta)
+    {
+        if (tenants.size() < delta.tenants.size()) tenants.resize(delta.tenants.size());
+        for (std::size_t i = 0; i < delta.tenants.size(); ++i)
+            tenants[i] += delta.tenants[i];
+        requests += delta.requests;
+        batches += delta.batches;
+        // Ring-overwrite once saturated: percentiles don't care about
+        // order, so the oldest sample is simply replaced in place (no
+        // per-merge front-erase memmove).
+        for (const double v : delta.latencies_us) {
+            if (latencies_us.size() < k_max_latency_samples) {
+                latencies_us.push_back(v);
+            } else {
+                latencies_us[latency_cursor_] = v;
+                latency_cursor_ = (latency_cursor_ + 1) % k_max_latency_samples;
+            }
+        }
+    }
+
+private:
+    std::size_t latency_cursor_ = 0;  ///< next ring slot once saturated
+};
+
+}  // namespace seda::serve

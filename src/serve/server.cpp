@@ -1,0 +1,137 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.h"
+
+namespace seda::serve {
+
+namespace {
+
+std::vector<Tenant> build_tenants(std::span<const u8> master_enc,
+                                  std::span<const u8> master_mac,
+                                  const Server_config& cfg, runtime::Thread_pool& pool)
+{
+    require(cfg.tenants >= 1, "serve: need at least one tenant");
+    std::vector<Tenant> tenants;
+    tenants.reserve(cfg.tenants);
+    for (std::size_t i = 0; i < cfg.tenants; ++i)
+        tenants.emplace_back(static_cast<u32>(i), master_enc, master_mac, cfg.mem, pool);
+    return tenants;
+}
+
+}  // namespace
+
+Server::Server(std::span<const u8> master_enc, std::span<const u8> master_mac,
+               Server_config cfg)
+    : cfg_(cfg),
+      pool_(cfg.workers),
+      tenants_(build_tenants(master_enc, master_mac, cfg_, pool_)),
+      queue_(cfg.queue_capacity),
+      scheduler_(tenants_)
+{
+}
+
+Server::~Server() { stop(); }
+
+void Server::start()
+{
+    std::lock_guard lock(mutex_);
+    require(!started_, "serve: start() may only be called once");
+    require(!stopped_, "serve: cannot start() a stopped server");
+    started_ = true;
+    scheduler_thread_ = std::thread([this] { scheduler_loop(); });
+}
+
+std::future<Response> Server::submit(Request req)
+{
+    require(req.tenant_id < tenants_.size(), "serve: request names an unknown tenant");
+    const Bytes unit_bytes = cfg_.mem.unit_bytes;
+    require(req.addr % unit_bytes == 0, "serve: request address must be unit-aligned");
+    if (req.op == Op::write)
+        require(req.payload.size() == unit_bytes,
+                "serve: write payload must be exactly one unit");
+
+    req.reply.emplace();
+    std::future<Response> result = req.reply->get_future();
+    req.enqueued_at = std::chrono::steady_clock::now();
+
+    {
+        std::lock_guard lock(mutex_);
+        require(started_ && !stopped_, "serve: server is not accepting requests");
+        ++submitted_;
+    }
+    if (!queue_.push(req)) {
+        // stop() closed the queue between our check and the push; undo the
+        // accounting so drain() never waits for a request that was never in.
+        {
+            std::lock_guard lock(mutex_);
+            --submitted_;
+        }
+        all_done_.notify_all();
+        throw Seda_error("serve: server stopped while submitting");
+    }
+    return result;
+}
+
+void Server::drain()
+{
+    std::unique_lock lock(mutex_);
+    // Snapshot the goal up front: requests submitted AFTER drain() began
+    // are someone else's to wait for, so concurrent submitters can't
+    // starve this call.  completed_ == submitted_ ("nothing in flight at
+    // all") also satisfies the contract, and covers a snapshot inflated by
+    // a submit whose push lost the race with stop() and was rolled back.
+    const u64 target = submitted_;
+    all_done_.wait(lock, [&] { return completed_ >= target || completed_ == submitted_; });
+}
+
+void Server::stop()
+{
+    bool join = false;
+    {
+        std::lock_guard lock(mutex_);
+        if (stopped_) {
+            join = false;
+        } else {
+            stopped_ = true;
+            join = started_;
+        }
+    }
+    queue_.close();
+    if (join && scheduler_thread_.joinable()) scheduler_thread_.join();
+}
+
+Tenant& Server::tenant(u32 id)
+{
+    require(id < tenants_.size(), "serve: unknown tenant id");
+    return tenants_[id];
+}
+
+Serve_stats Server::stats() const
+{
+    std::lock_guard lock(mutex_);
+    return stats_;
+}
+
+void Server::scheduler_loop()
+{
+    std::vector<Request> run;
+    for (;;) {
+        run.clear();
+        if (queue_.pop_batch(run, cfg_.max_batch) == 0) return;  // closed + drained
+        // Dispatch into a local delta so client submit() calls never
+        // contend with the crypto phase for the stats mutex.
+        Serve_stats delta;
+        scheduler_.dispatch(run, delta);
+        {
+            std::lock_guard lock(mutex_);
+            stats_.merge(delta);
+            completed_ += run.size();
+        }
+        all_done_.notify_all();
+    }
+}
+
+}  // namespace seda::serve

@@ -1,0 +1,16 @@
+#include "serve/tenant.h"
+
+#include "crypto/kdf.h"
+
+namespace seda::serve {
+
+Tenant::Tenant(u32 id, std::span<const u8> master_enc, std::span<const u8> master_mac,
+               core::Secure_mem_config cfg, runtime::Thread_pool& pool)
+    : id_(id),
+      enc_key_(crypto::derive_key(master_enc, "seda-tenant-enc", id)),
+      mac_key_(crypto::derive_key(master_mac, "seda-tenant-mac", id)),
+      session_(enc_key_, mac_key_, cfg, pool)
+{
+}
+
+}  // namespace seda::serve

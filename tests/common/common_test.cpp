@@ -111,6 +111,46 @@ TEST(Stats, OverheadPct)
     EXPECT_NEAR(overhead_pct(1.0, 1.0), 0.0, 1e-12);
 }
 
+TEST(Stats, PercentilesNearestRank)
+{
+    EXPECT_DOUBLE_EQ(percentile_sorted({}, 50.0), 0.0);
+
+    const double one[] = {7.0};
+    EXPECT_DOUBLE_EQ(percentile_sorted(one, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile_sorted(one, 50.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile_sorted(one, 100.0), 7.0);
+
+    const double two[] = {1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile_sorted(two, 50.0), 1.0);  // ceil(0.5*2)=1st
+    EXPECT_DOUBLE_EQ(percentile_sorted(two, 51.0), 2.0);
+    EXPECT_DOUBLE_EQ(percentile_sorted(two, 100.0), 2.0);
+
+    // 1..100: the nearest-rank pct-th percentile is exactly pct.
+    std::vector<double> hundred(100);
+    for (int i = 0; i < 100; ++i) hundred[static_cast<std::size_t>(i)] = i + 1.0;
+    EXPECT_DOUBLE_EQ(percentile_sorted(hundred, 50.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile_sorted(hundred, 95.0), 95.0);
+    EXPECT_DOUBLE_EQ(percentile_sorted(hundred, 99.0), 99.0);
+
+    // The unsorted form sorts a copy and agrees.
+    const double shuffled[] = {9.0, 1.0, 5.0, 3.0, 7.0};
+    EXPECT_DOUBLE_EQ(percentile_of(shuffled, 50.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile_of(shuffled, 100.0), 9.0);
+}
+
+TEST(Bitutil, Fnv1a64KnownVectorsAndSensitivity)
+{
+    // FNV-1a reference values: empty input is the offset basis; "a" is a
+    // published test vector.
+    EXPECT_EQ(fnv1a64(nullptr, 0), 0xCBF29CE484222325ULL);
+    const u8 a[] = {'a'};
+    EXPECT_EQ(fnv1a64(a, 1), 0xAF63DC4C8601EC8CULL);
+
+    const u8 x[] = {1, 2, 3, 4};
+    const u8 y[] = {1, 2, 4, 3};  // same bytes, different order
+    EXPECT_NE(fnv1a64(x, sizeof x), fnv1a64(y, sizeof y));
+}
+
 TEST(Table, AlignsAndCounts)
 {
     Ascii_table t({"a", "long_header"});

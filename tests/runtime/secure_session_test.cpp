@@ -4,6 +4,7 @@
 // corrupted.
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 #include "common/error.h"
@@ -203,6 +204,70 @@ TEST(SecureSession, MixedSessionAndSerialCallsInterleave)
     for (const auto s : statuses) EXPECT_EQ(s, Verify_status::ok);
     EXPECT_EQ(out[0], tile2[0]);
     EXPECT_EQ(out[1], tile[1]);
+}
+
+TEST(SecureSession, SharedPoolSessionsMatchSerialUnderConcurrentDispatch)
+{
+    // Two sessions over ONE shared pool (the serving-layer shape),
+    // dispatched from two threads at once: each session's state must still
+    // be bit-identical to its own serial path -- per-session Worker_state
+    // means nothing is shared but the queue.
+    const Keys k;
+    std::vector<u8> enc2(k.enc), mac2(k.mac);
+    enc2[0] ^= 0x5A;  // distinct keys, like distinct tenants
+    mac2[0] ^= 0xA5;
+
+    Thread_pool pool(4);
+    Secure_session s1(k.enc, k.mac, {}, pool);
+    Secure_session s2(enc2, mac2, {}, pool);
+    EXPECT_EQ(s1.workers(), 4u);
+
+    const auto tile1 = tile_data(97, 51);
+    const auto tile2 = tile_data(61, 52);
+    std::thread t1([&] {
+        for (int i = 0; i < 5; ++i) s1.write_units(make_writes(tile1));
+    });
+    std::thread t2([&] {
+        for (int i = 0; i < 5; ++i) s2.write_units(make_writes(tile2));
+    });
+    t1.join();
+    t2.join();
+
+    Secure_memory serial1(k.enc, k.mac);
+    Secure_memory serial2(enc2, mac2);
+    for (int i = 0; i < 5; ++i) serial1.write_units(make_writes(tile1));
+    for (int i = 0; i < 5; ++i) serial2.write_units(make_writes(tile2));
+    expect_state_identical(s1.memory(), serial1, 97);
+    expect_state_identical(s2.memory(), serial2, 61);
+
+    // Concurrent reads over the shared pool verify clean, too.
+    auto out1 = tile_data(97, 999);
+    auto out2 = tile_data(61, 999);
+    std::vector<Verify_status> st1, st2;
+    std::thread r1([&] { st1 = s1.read_units(make_reads(out1)); });
+    std::thread r2([&] { st2 = s2.read_units(make_reads(out2)); });
+    r1.join();
+    r2.join();
+    for (const auto s : st1) EXPECT_EQ(s, Verify_status::ok);
+    for (const auto s : st2) EXPECT_EQ(s, Verify_status::ok);
+    for (std::size_t i = 0; i < out1.size(); ++i) EXPECT_EQ(out1[i], tile1[i]);
+    for (std::size_t i = 0; i < out2.size(); ++i) EXPECT_EQ(out2[i], tile2[i]);
+}
+
+TEST(SecureSession, ScratchReuseAcrossBatchesStaysBitIdentical)
+{
+    // The per-worker Bulk_scratch persists across batch calls; a sequence
+    // of ragged batches through one session must equal the same sequence
+    // through fresh serial batch calls.
+    const Keys k;
+    Secure_session session(k.enc, k.mac, {}, 3);
+    Secure_memory serial(k.enc, k.mac);
+    for (const std::size_t units : {33u, 5u, 64u, 1u, 13u}) {
+        const auto tile = tile_data(units, units * 7 + 1);
+        session.write_units(make_writes(tile));
+        serial.write_units(make_writes(tile));
+    }
+    expect_state_identical(session.memory(), serial, 64);
 }
 
 TEST(SecureSession, EmptyBatchIsANoop)

@@ -1,0 +1,153 @@
+// Bounded MPMC admission queue: capacity/backpressure, FIFO, batch pops,
+// close semantics, and a concurrency smoke the TSan job runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "serve/admission_queue.h"
+
+namespace seda::serve {
+namespace {
+
+Request make_request(u64 seq)
+{
+    Request r;
+    r.seq = seq;
+    return r;
+}
+
+TEST(AdmissionQueue, CapacityIsEnforcedAndTryPushSheds)
+{
+    Admission_queue q(2);
+    Request a = make_request(1), b = make_request(2), c = make_request(3);
+    EXPECT_TRUE(q.try_push(a));
+    EXPECT_TRUE(q.try_push(b));
+    EXPECT_FALSE(q.try_push(c));  // full: rejected, c intact
+    EXPECT_EQ(c.seq, 3u);
+    EXPECT_EQ(q.size(), 2u);
+
+    std::vector<Request> out;
+    EXPECT_EQ(q.pop_batch(out, 1), 1u);
+    EXPECT_TRUE(q.try_push(c));  // space freed
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(AdmissionQueue, PopBatchIsFifoAndBounded)
+{
+    Admission_queue q(8);
+    for (u64 i = 0; i < 5; ++i) {
+        Request r = make_request(i);
+        ASSERT_TRUE(q.push(r));
+    }
+    std::vector<Request> out;
+    EXPECT_EQ(q.pop_batch(out, 3), 3u);
+    EXPECT_EQ(q.pop_batch(out, 3), 2u);
+    ASSERT_EQ(out.size(), 5u);
+    for (u64 i = 0; i < 5; ++i) EXPECT_EQ(out[i].seq, i);
+}
+
+TEST(AdmissionQueue, BlockedPushWakesWhenSpaceFrees)
+{
+    Admission_queue q(1);
+    Request first = make_request(0);
+    ASSERT_TRUE(q.push(first));
+
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        Request second = make_request(1);
+        EXPECT_TRUE(q.push(second));  // blocks until the pop below
+        pushed = true;
+    });
+
+    std::vector<Request> out;
+    EXPECT_EQ(q.pop_batch(out, 1), 1u);
+    producer.join();
+    EXPECT_TRUE(pushed);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(AdmissionQueue, CloseDrainsAcceptedThenSignalsShutdown)
+{
+    Admission_queue q(8);
+    for (u64 i = 0; i < 3; ++i) {
+        Request r = make_request(i);
+        ASSERT_TRUE(q.push(r));
+    }
+    q.close();
+    Request late = make_request(99);
+    EXPECT_FALSE(q.push(late));
+    EXPECT_FALSE(q.try_push(late));
+    EXPECT_EQ(late.seq, 99u);  // rejected pushes leave the request intact
+
+    std::vector<Request> out;
+    EXPECT_EQ(q.pop_batch(out, 16), 3u);  // accepted requests still drain
+    EXPECT_EQ(q.pop_batch(out, 16), 0u);  // then the shutdown signal
+}
+
+TEST(AdmissionQueue, CloseWakesBlockedProducer)
+{
+    Admission_queue q(1);
+    Request first = make_request(0);
+    ASSERT_TRUE(q.push(first));
+
+    std::thread producer([&] {
+        Request second = make_request(1);
+        EXPECT_FALSE(q.push(second));  // blocked full, then closed
+    });
+    // Give the producer a moment to block, then close.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    producer.join();
+}
+
+TEST(AdmissionQueue, InvalidConfigThrows)
+{
+    EXPECT_THROW(Admission_queue q(0), Seda_error);
+    Admission_queue q(1);
+    std::vector<Request> out;
+    EXPECT_THROW((void)q.pop_batch(out, 0), Seda_error);
+}
+
+TEST(AdmissionQueue, ConcurrentProducersConsumersDeliverExactlyOnce)
+{
+    constexpr std::size_t k_producers = 4;
+    constexpr std::size_t k_consumers = 3;
+    constexpr u64 k_per_producer = 200;
+    Admission_queue q(16);  // small capacity: backpressure actually engages
+
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < k_producers; ++p)
+        producers.emplace_back([&q, p] {
+            for (u64 i = 0; i < k_per_producer; ++i) {
+                Request r = make_request(p * k_per_producer + i);
+                ASSERT_TRUE(q.push(r));
+            }
+        });
+
+    std::mutex mu;
+    std::set<u64> seen;
+    std::vector<std::thread> consumers;
+    for (std::size_t c = 0; c < k_consumers; ++c)
+        consumers.emplace_back([&] {
+            std::vector<Request> out;
+            while (q.pop_batch(out, 7) != 0) {
+                std::lock_guard lock(mu);
+                for (const Request& r : out) EXPECT_TRUE(seen.insert(r.seq).second);
+                out.clear();
+            }
+        });
+
+    for (auto& t : producers) t.join();
+    q.close();
+    for (auto& t : consumers) t.join();
+    EXPECT_EQ(seen.size(), k_producers * k_per_producer);
+}
+
+}  // namespace
+}  // namespace seda::serve

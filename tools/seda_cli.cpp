@@ -1,25 +1,24 @@
-// seda_cli: command-line front end for the simulation pipeline.
+// seda_cli: command-line front end for the simulation pipeline and the
+// secure serving layer.
 //
-//   seda_cli list
-//       List workloads, NPUs and protection schemes.
-//   seda_cli run [--model M] [--npu server|edge] [--scheme S] [--jobs N] [--csv]
-//       Run one combination; print run stats (or layer CSV with --csv).
-//   seda_cli report [--model M] [--npu server|edge]
-//       Emit the SCALE-Sim-style compute + memory reports.
-//   seda_cli suite [--npu server|edge] [--jobs N] [--csv|--json]
-//       The full Fig. 5/6 sweep: all workloads x all five schemes.
+// Subcommands are registered in one command table (name, handler, usage
+// line) so adding one does not grow an if/else chain; `help`/unknown
+// handling and exit codes stay uniform (0 for help, 2 for usage errors).
 //
 // --jobs N fans the work across a runtime::Thread_pool of N workers (0 =
-// one per hardware thread); output is byte-identical at every worker count.
-// --json emits the suite as machine-readable JSON so bench trajectories can
-// be captured as BENCH_*.json files.  The SEDA_AES_BACKEND /
-// SEDA_SHA_BACKEND environment variables pin the process-wide crypto
-// backends (docs/BACKENDS.md); simulator output is identical under every
-// backend, which is exactly what makes them a cross-validation knob.
+// one per hardware thread); output is byte-identical at every worker count
+// (for loadgen: the deterministic stats, which is all --json prints --
+// timing goes to stderr).  --json emits machine-readable JSON so bench
+// trajectories can be captured as BENCH_*.json files.  The
+// SEDA_AES_BACKEND / SEDA_SHA_BACKEND environment variables pin the
+// process-wide crypto backends (docs/BACKENDS.md); simulator output is
+// identical under every backend, which is exactly what makes them a
+// cross-validation knob.
 #include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <span>
 #include <string>
 
 #include "seda.h"
@@ -36,65 +35,23 @@ struct Options {
     std::size_t jobs = 1;
     bool csv = false;
     bool json = false;
+    // loadgen
+    std::size_t tenants = 2;
+    std::size_t clients = 4;
+    std::size_t requests = 64;
+    u64 seed = 0x5EDA;
 };
 
-int usage(std::ostream& os)
-{
-    os << "usage: seda_cli <command> [options]\n"
-          "\n"
-          "commands:\n"
-          "  list                      workloads, NPUs and protection schemes\n"
-          "  run                       one (model, npu, scheme) combination\n"
-          "  report                    SCALE-Sim-style compute + memory reports\n"
-          "  suite                     the full Fig. 5/6 sweep on one NPU\n"
-          "  help                      this message\n"
-          "\n"
-          "options:\n"
-          "  --model M                 workload short or full name (run, report)\n"
-          "  --npu server|edge         NPU config (default server)\n"
-          "  --scheme S                protection scheme (run; default seda)\n"
-          "  --jobs N                  worker threads, 0 = hardware (run, suite)\n"
-          "  --csv                     CSV output (run, suite)\n"
-          "  --json                    JSON output (suite)\n"
-          "\n"
-          "environment:\n"
-          "  SEDA_AES_BACKEND=scalar|ttable   process-wide AES round impl\n"
-          "  SEDA_SHA_BACKEND=scalar|fast     process-wide SHA-256 compression\n"
-          "  (both read once at startup; see docs/BACKENDS.md)\n";
-    return os.rdbuf() == std::cout.rdbuf() ? 0 : 2;
-}
+// ---------------------------------------------------------------- helpers ---
 
-Options parse(int argc, char** argv)
+/// from_chars with a full-consumption check: stoul would accept "-1"
+/// (wrapping) and "4x" (silently truncating).
+template <typename Int>
+void parse_int(const std::string& flag, const std::string& v, Int& out)
 {
-    Options o;
-    if (argc > 1) o.command = argv[1];
-    for (int i = 2; i < argc; ++i) {
-        const std::string arg = argv[i];
-        const auto next = [&]() -> std::string {
-            require(i + 1 < argc, "seda_cli: missing value for " + arg);
-            return argv[++i];
-        };
-        if (arg == "--model")
-            o.model = next();
-        else if (arg == "--npu")
-            o.npu = next();
-        else if (arg == "--scheme")
-            o.scheme = next();
-        else if (arg == "--jobs") {
-            const std::string v = next();
-            // from_chars with a full-consumption check: stoul would accept
-            // "-1" (wrapping) and "4x" (silently truncating).
-            const auto [end, ec] = std::from_chars(v.data(), v.data() + v.size(), o.jobs);
-            require(ec == std::errc() && end == v.data() + v.size(),
-                    "seda_cli: --jobs expects a non-negative integer, got '" + v + "'");
-        } else if (arg == "--csv")
-            o.csv = true;
-        else if (arg == "--json")
-            o.json = true;
-        else
-            throw Seda_error("seda_cli: unknown argument '" + arg + "'");
-    }
-    return o;
+    const auto [end, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    require(ec == std::errc() && end == v.data() + v.size(),
+            "seda_cli: " + flag + " expects a non-negative integer, got '" + v + "'");
 }
 
 accel::Npu_config npu_by_name(const std::string& name)
@@ -104,7 +61,44 @@ accel::Npu_config npu_by_name(const std::string& name)
     throw Seda_error("seda_cli: unknown NPU '" + name + "' (server|edge)");
 }
 
-int cmd_list()
+/// Shortest round-trippable representation, locale-independent ('.' radix
+/// is guaranteed for %g with the C locale snprintf uses on our platforms).
+std::string json_double(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/// Minimal JSON string escaping: today's npu/scheme/model names are
+/// identifier-like, but nothing in their contracts forbids a quote.
+std::string json_string(std::string_view s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string hex64(u64 v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+// --------------------------------------------------------------- commands ---
+
+int cmd_list(const Options&)
 {
     std::cout << "workloads:";
     for (const auto& e : models::all_models())
@@ -182,34 +176,6 @@ int cmd_report(const Options& o)
     return 0;
 }
 
-/// Shortest round-trippable representation, locale-independent ('.' radix
-/// is guaranteed for %g with the C locale snprintf uses on our platforms).
-std::string json_double(double v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    return buf;
-}
-
-/// Minimal JSON string escaping: today's npu/scheme/model names are
-/// identifier-like, but nothing in their contracts forbids a quote.
-std::string json_string(std::string_view s)
-{
-    std::string out = "\"";
-    for (const char c : s) {
-        if (c == '"' || c == '\\') out += '\\';
-        if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            out += buf;
-            continue;
-        }
-        out += c;
-    }
-    out += '"';
-    return out;
-}
-
 void print_suite_json(const core::Suite_result& suite, std::ostream& os)
 {
     os << "{\n  \"npu\": " << json_string(suite.npu_name) << ",\n  \"schemes\": [\n";
@@ -269,16 +235,174 @@ int cmd_suite(const Options& o)
     return 0;
 }
 
+/// Deterministic loadgen summary: ONLY fields that are byte-identical for
+/// a fixed seed at any --jobs (CI diffs this across worker counts).
+void print_loadgen_json(const serve::Loadgen_config& cfg, const serve::Loadgen_result& r,
+                        std::ostream& os)
+{
+    const auto totals = r.stats.totals();
+    os << "{\n"
+       << "  \"seed\": " << cfg.seed << ",\n"
+       << "  \"tenants\": " << cfg.tenants << ",\n"
+       << "  \"clients_per_tenant\": " << cfg.clients << ",\n"
+       << "  \"requests_per_client\": " << cfg.requests << ",\n"
+       << "  \"unit_bytes\": " << cfg.unit_bytes << ",\n"
+       << "  \"total_requests\": " << r.total_requests << ",\n"
+       << "  \"status_failures\": " << r.status_failures << ",\n"
+       << "  \"data_mismatches\": " << r.data_mismatches << ",\n"
+       << "  \"totals\": {\"writes\": " << totals.writes << ", \"reads\": " << totals.reads
+       << ", \"ok\": " << totals.ok << ", \"mac_mismatch\": " << totals.mac_mismatch
+       << ", \"replay_detected\": " << totals.replay_detected
+       << ", \"rejected\": " << totals.rejected << ", \"bytes\": " << totals.bytes
+       << ", \"payload_fold\": " << json_string(hex64(totals.payload_fold)) << "},\n"
+       << "  \"per_tenant\": [\n";
+    for (std::size_t t = 0; t < r.stats.tenants.size(); ++t) {
+        const auto& c = r.stats.tenants[t];
+        os << "    {\"tenant\": " << t << ", \"writes\": " << c.writes
+           << ", \"reads\": " << c.reads << ", \"ok\": " << c.ok
+           << ", \"mac_mismatch\": " << c.mac_mismatch
+           << ", \"replay_detected\": " << c.replay_detected
+           << ", \"rejected\": " << c.rejected << ", \"bytes\": " << c.bytes
+           << ", \"payload_fold\": " << json_string(hex64(c.payload_fold)) << "}"
+           << (t + 1 < r.stats.tenants.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+int cmd_loadgen(const Options& o)
+{
+    serve::Loadgen_config cfg;
+    cfg.tenants = o.tenants;
+    cfg.clients = o.clients;
+    cfg.requests = o.requests;
+    cfg.jobs = o.jobs;
+    cfg.seed = o.seed;
+
+    const auto result = serve::run_loadgen(cfg);
+
+    // Timing always goes to stderr: humans see it either way, and the
+    // stdout JSON stays byte-diffable across --jobs values.
+    auto sorted = result.stats.latencies_us;
+    std::sort(sorted.begin(), sorted.end());
+    std::cerr << "loadgen: " << result.total_requests << " requests ("
+              << cfg.tenants << " tenants x " << cfg.clients << " clients x "
+              << cfg.requests << " each) in " << fmt_f(result.wall_seconds, 3) << " s = "
+              << fmt_f(result.requests_per_second(), 1) << " req/s; latency us p50/p95/p99 = "
+              << fmt_f(percentile_sorted(sorted, 50), 1) << "/"
+              << fmt_f(percentile_sorted(sorted, 95), 1) << "/"
+              << fmt_f(percentile_sorted(sorted, 99), 1) << "; "
+              << result.stats.batches << " batches\n";
+
+    if (o.json) {
+        print_loadgen_json(cfg, result, std::cout);
+        return 0;
+    }
+
+    Ascii_table t({"tenant", "writes", "reads", "ok", "mac_mismatch", "replay", "rejected",
+                   "bytes", "payload_fold"});
+    for (std::size_t i = 0; i < result.stats.tenants.size(); ++i) {
+        const auto& c = result.stats.tenants[i];
+        t.add_row({std::to_string(i), std::to_string(c.writes), std::to_string(c.reads),
+                   std::to_string(c.ok), std::to_string(c.mac_mismatch),
+                   std::to_string(c.replay_detected), std::to_string(c.rejected),
+                   std::to_string(c.bytes), hex64(c.payload_fold)});
+    }
+    t.print(std::cout);
+    std::cout << "status failures: " << result.status_failures
+              << "  data mismatches: " << result.data_mismatches << "\n";
+    return 0;
+}
+
+// ---------------------------------------------------------- command table ---
+
+struct Command {
+    std::string_view name;
+    int (*handler)(const Options&);
+    std::string_view help;  ///< one usage line
+};
+
+constexpr Command k_commands[] = {
+    {"list", cmd_list, "workloads, NPUs and protection schemes"},
+    {"run", cmd_run, "one (model, npu, scheme) combination"},
+    {"report", cmd_report, "SCALE-Sim-style compute + memory reports"},
+    {"suite", cmd_suite, "the full Fig. 5/6 sweep on one NPU"},
+    {"loadgen", cmd_loadgen, "closed-loop multi-tenant serving load"},
+};
+
+int usage(std::ostream& os)
+{
+    os << "usage: seda_cli <command> [options]\n"
+          "\n"
+          "commands:\n";
+    for (const Command& c : k_commands)
+        os << "  " << c.name
+           << std::string(c.name.size() < 26 ? 26 - c.name.size() : 1, ' ') << c.help
+           << "\n";
+    os << "  help                      this message\n"
+          "\n"
+          "options:\n"
+          "  --model M                 workload short or full name (run, report)\n"
+          "  --npu server|edge         NPU config (default server)\n"
+          "  --scheme S                protection scheme (run; default seda)\n"
+          "  --jobs N                  worker threads, 0 = hardware (run, suite, loadgen)\n"
+          "  --csv                     CSV output (run, suite)\n"
+          "  --json                    JSON output (suite, loadgen)\n"
+          "  --tenants N               tenants to serve (loadgen; default 2)\n"
+          "  --clients N               closed-loop clients per tenant (loadgen; default 4)\n"
+          "  --requests N              requests per client (loadgen; default 64)\n"
+          "  --seed S                  loadgen determinism seed (default 24282)\n"
+          "\n"
+          "environment:\n"
+          "  SEDA_AES_BACKEND=scalar|ttable   process-wide AES round impl\n"
+          "  SEDA_SHA_BACKEND=scalar|fast     process-wide SHA-256 compression\n"
+          "  (both read once at startup; see docs/BACKENDS.md)\n";
+    return os.rdbuf() == std::cout.rdbuf() ? 0 : 2;
+}
+
+Options parse(int argc, char** argv)
+{
+    Options o;
+    if (argc > 1) o.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            require(i + 1 < argc, "seda_cli: missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--model")
+            o.model = next();
+        else if (arg == "--npu")
+            o.npu = next();
+        else if (arg == "--scheme")
+            o.scheme = next();
+        else if (arg == "--jobs")
+            parse_int(arg, next(), o.jobs);
+        else if (arg == "--tenants")
+            parse_int(arg, next(), o.tenants);
+        else if (arg == "--clients")
+            parse_int(arg, next(), o.clients);
+        else if (arg == "--requests")
+            parse_int(arg, next(), o.requests);
+        else if (arg == "--seed")
+            parse_int(arg, next(), o.seed);
+        else if (arg == "--csv")
+            o.csv = true;
+        else if (arg == "--json")
+            o.json = true;
+        else
+            throw Seda_error("seda_cli: unknown argument '" + arg + "'");
+    }
+    return o;
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
 {
     try {
         const Options o = parse(argc, argv);
-        if (o.command == "list") return cmd_list();
-        if (o.command == "run") return cmd_run(o);
-        if (o.command == "report") return cmd_report(o);
-        if (o.command == "suite") return cmd_suite(o);
+        for (const Command& c : k_commands)
+            if (o.command == c.name) return c.handler(o);
         if (o.command == "help" || o.command == "--help" || o.command == "-h")
             return usage(std::cout);
         if (!o.command.empty())
