@@ -1,0 +1,148 @@
+// Secure-inference benches (google-benchmark): protected inference
+// throughput per zoo model, against the raw Secure_session tile ceiling.
+//
+//   bm_infer_replay/M/J      one full inference of zoo model M (see
+//                            k_models; label = model short name) replayed
+//                            through a Secure_session with J workers --
+//                            weights resident from a one-time load, fresh
+//                            input staged per pass, every unit encrypted +
+//                            MAC'd / verified + decrypted for real.
+//                            bytes/s = plaintext through the secure path.
+//   bm_infer_serve/M         the same pass through the serve::Server front
+//                            end (admission queue + conflict-aware
+//                            batching): the full-stack cost over the
+//                            direct session path.
+//   bm_infer_ceiling/J       a flat 16384-unit tile through the same
+//                            session (write + read back): the throughput
+//                            ceiling replay overheads are measured against
+//                            (halo duplicates, direction flips, staging).
+//
+// Comparing bm_infer_replay to bm_infer_ceiling isolates what the ACCESS
+// PATTERN costs on top of the crypto: short direction-flipped batches and
+// re-read halos vs. one long bulk stream.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "infer/inference_engine.h"
+#include "infer/model_binding.h"
+#include "infer/run_infer.h"
+#include "infer/unit_sink.h"
+#include "models/zoo.h"
+#include "runtime/secure_session.h"
+
+using namespace seda;
+
+namespace {
+
+constexpr Bytes k_unit_bytes = infer::Model_binding::k_unit_bytes;
+
+/// The per-model bench set: small, mid, and the two largest trace movers.
+constexpr const char* k_models[] = {"lenet", "resnet18", "mobilenet",
+                                    "transformer_fwd", "yolo_tiny"};
+
+std::vector<u8> make_key(u64 seed)
+{
+    std::vector<u8> key(16);
+    Rng rng(seed);
+    for (auto& b : key) b = rng.next_byte();
+    return key;
+}
+
+/// Bindings are immutable and expensive to tile; build each once.
+const infer::Model_binding& binding_for(const char* name)
+{
+    static std::vector<std::pair<std::string, std::unique_ptr<infer::Model_binding>>>
+        cache;
+    for (const auto& [key, value] : cache)
+        if (key == name) return *value;
+    cache.emplace_back(name,
+                       std::make_unique<infer::Model_binding>(
+                           models::model_by_name(name), accel::Npu_config::server()));
+    return *cache.back().second;
+}
+
+void bm_infer_replay(benchmark::State& state)
+{
+    const char* name = k_models[state.range(0)];
+    const auto workers = static_cast<std::size_t>(state.range(1));
+    const auto& binding = binding_for(name);
+
+    runtime::Secure_session session(make_key(1), make_key(2),
+                                    {k_unit_bytes, true}, workers);
+    infer::Session_sink sink(session);
+    infer::Inference_engine engine(binding);
+    engine.load(sink);
+
+    for (auto _ : state) engine.infer(sink);
+
+    const auto& stats = engine.stats();
+    state.SetLabel(name);
+    state.SetBytesProcessed(
+        static_cast<i64>(stats.totals().bytes / stats.inferences * state.iterations()));
+    state.counters["verify_failures"] =
+        static_cast<double>(stats.totals().failures());
+}
+BENCHMARK(bm_infer_replay)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {1}})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void bm_infer_serve(benchmark::State& state)
+{
+    const char* name = k_models[state.range(0)];
+    infer::Infer_config cfg;
+    cfg.tenants = 1;
+    cfg.inferences = 1;
+    cfg.jobs = 1;
+    cfg.path = infer::Replay_path::serve;
+
+    const auto model = models::model_by_name(name);
+    const auto npu = accel::Npu_config::server();
+    Bytes bytes = 0;
+    for (auto _ : state) {
+        // Includes load: the server owns the tenant memory, so each pass
+        // is a fresh tenant lifecycle (the full-stack number).
+        const auto result = infer::run_infer(model, npu, cfg);
+        bytes += result.protected_bytes();
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetLabel(name);
+    state.SetBytesProcessed(static_cast<i64>(bytes));
+}
+BENCHMARK(bm_infer_serve)->DenseRange(0, 1)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void bm_infer_ceiling(benchmark::State& state)
+{
+    const auto workers = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t k_units = 16384;  // 1 MiB tile
+    runtime::Secure_session session(make_key(1), make_key(2),
+                                    {k_unit_bytes, true}, workers);
+
+    std::vector<u8> data(k_units * k_unit_bytes, 0xA5);
+    std::vector<core::Secure_memory::Unit_write> writes;
+    std::vector<core::Secure_memory::Unit_read> reads;
+    for (std::size_t i = 0; i < k_units; ++i) {
+        const Addr addr = i * k_unit_bytes;
+        const std::span<u8> unit(data.data() + i * k_unit_bytes, k_unit_bytes);
+        writes.push_back({addr, unit, 0, 0, static_cast<u32>(i)});
+        reads.push_back({addr, unit, 0, 0, static_cast<u32>(i)});
+    }
+
+    for (auto _ : state) {
+        session.write_units(writes);
+        const auto statuses = session.read_units(reads);
+        benchmark::DoNotOptimize(statuses);
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                            static_cast<i64>(2 * k_units * k_unit_bytes));
+}
+BENCHMARK(bm_infer_ceiling)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

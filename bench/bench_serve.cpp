@@ -89,11 +89,10 @@ void serve_stream(std::span<serve::Request> stream, serve::Batch_scheduler& sche
 void bm_serve_naive(benchmark::State& state)
 {
     runtime::Thread_pool pool(1);
-    std::vector<serve::Tenant> tenants;
-    tenants.reserve(k_tenants);
+    serve::Tenant_table tenants;
     for (std::size_t t = 0; t < k_tenants; ++t)
-        tenants.emplace_back(static_cast<u32>(t), make_key(1), make_key(2),
-                             core::Secure_mem_config{k_unit_bytes, true}, pool);
+        tenants.add(make_key(1), make_key(2),
+                    core::Secure_mem_config{k_unit_bytes, true}, pool);
     serve::Batch_scheduler scheduler(tenants);
     auto stream = make_stream();
 
@@ -107,11 +106,10 @@ void bm_serve_batched(benchmark::State& state)
 {
     const auto workers = static_cast<std::size_t>(state.range(0));
     runtime::Thread_pool pool(workers);
-    std::vector<serve::Tenant> tenants;
-    tenants.reserve(k_tenants);
+    serve::Tenant_table tenants;
     for (std::size_t t = 0; t < k_tenants; ++t)
-        tenants.emplace_back(static_cast<u32>(t), make_key(1), make_key(2),
-                             core::Secure_mem_config{k_unit_bytes, true}, pool);
+        tenants.add(make_key(1), make_key(2),
+                    core::Secure_mem_config{k_unit_bytes, true}, pool);
     serve::Batch_scheduler scheduler(tenants);
     auto stream = make_stream();
 

@@ -118,19 +118,34 @@ void Secure_memory::encrypt_slots(std::span<const Write_slot> slots,
                                   const crypto::Baes_engine& baes,
                                   const crypto::Hmac_engine& hmac, Bulk_scratch& scratch)
 {
-    // Phase 1: B-AES every live slot, gathering the MAC inputs.
+    // Phase 0: every live slot's base OTP in one bulk AES call (the whole
+    // flush streams through the cipher's interleaved backend at once).
+    auto& otp_reqs = scratch.otp_reqs;
+    otp_reqs.clear();
+    otp_reqs.reserve(slots.size());
+    for (const Write_slot& slot : slots) {
+        if (slot.src == nullptr) continue;  // superseded in-batch
+        otp_reqs.push_back({slot.src->addr, slot.vn});
+    }
+    scratch.otps.resize(otp_reqs.size());
+    baes.otps_many(otp_reqs, scratch.otps);
+
+    // Phase 1: B-AES every live slot (pad fan-out + XOR lanes only -- the
+    // AES work happened in phase 0), gathering the MAC inputs.
     auto& reqs = scratch.reqs;
     auto& targets = scratch.targets;
     reqs.clear();
     targets.clear();
     reqs.reserve(slots.size());
     targets.reserve(slots.size());
+    std::size_t live = 0;
     for (const Write_slot& slot : slots) {
         if (slot.src == nullptr) continue;  // superseded in-batch
         const Unit_write& w = *slot.src;
         Stored_unit& unit = *slot.unit;
         unit.ciphertext.assign(w.plaintext.begin(), w.plaintext.end());
-        baes.crypt_with(unit.ciphertext, w.addr, slot.vn, scratch.pads);
+        baes.crypt_with_base(unit.ciphertext, w.addr, slot.vn, scratch.otps[live++],
+                             scratch.pads);
         reqs.push_back({unit.ciphertext,
                         context_for(w.addr, slot.vn, w.layer_id, w.fmap_idx, w.blk_idx)});
         targets.push_back(&unit);

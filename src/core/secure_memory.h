@@ -140,6 +140,8 @@ public:
         std::vector<crypto::Mac_request> reqs; ///< bulk-MAC inputs
         std::vector<u64> macs;                 ///< bulk-MAC outputs
         std::vector<Stored_unit*> targets;     ///< write side: MAC destinations
+        std::vector<crypto::Baes_engine::Otp_request> otp_reqs;  ///< base-OTP batch inputs
+        std::vector<crypto::Block16> otps;     ///< batched base OTPs (otps_many)
         struct Located {
             const Stored_unit* unit = nullptr;
             u64 vn = 0;

@@ -16,12 +16,27 @@ std::vector<Block16> Baes_engine::otps(Addr pa, u64 vn, std::size_t lanes) const
     return pads;
 }
 
+void Baes_engine::otps_many(std::span<const Otp_request> reqs,
+                            std::span<Block16> bases) const
+{
+    require(reqs.size() == bases.size(),
+            "Baes_engine::otps_many: bases span must match requests");
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+        bases[i] = make_counter(reqs[i].pa, reqs[i].vn);
+    ctr_.engine().encrypt_blocks(bases);
+}
+
 void Baes_engine::otps_into(Addr pa, u64 vn, std::size_t lanes,
                             std::vector<Block16>& pads) const
 {
+    fan_out(ctr_.otp(pa, vn), pa, vn, lanes, pads);
+}
+
+void Baes_engine::fan_out(const Block16& base, Addr pa, u64 vn, std::size_t lanes,
+                          std::vector<Block16>& pads) const
+{
     pads.clear();
     pads.reserve(lanes);
-    const Block16 base = ctr_.otp(pa, vn);
     const auto primary = ctr_.engine().round_keys();
     for (std::size_t i = 0; i < lanes && i < primary.size(); ++i)
         pads.push_back(xor_blocks(base, primary[i]));
@@ -54,11 +69,25 @@ void Baes_engine::crypt_with(std::span<u8> data, Addr pa, u64 vn,
 {
     const std::size_t lanes = (data.size() + k_aes_block_bytes - 1) / k_aes_block_bytes;
     otps_into(pa, vn, lanes, pad_scratch);
+    xor_lanes(data, pad_scratch);
+}
+
+void Baes_engine::crypt_with_base(std::span<u8> data, Addr pa, u64 vn, const Block16& base,
+                                  std::vector<Block16>& pad_scratch) const
+{
+    const std::size_t lanes = (data.size() + k_aes_block_bytes - 1) / k_aes_block_bytes;
+    fan_out(base, pa, vn, lanes, pad_scratch);
+    xor_lanes(data, pad_scratch);
+}
+
+void Baes_engine::xor_lanes(std::span<u8> data, std::span<const Block16> pads)
+{
+    const std::size_t lanes = (data.size() + k_aes_block_bytes - 1) / k_aes_block_bytes;
     for (std::size_t seg = 0; seg < lanes; ++seg) {
         const std::size_t off = seg * k_aes_block_bytes;
         const std::size_t n = std::min<std::size_t>(k_aes_block_bytes, data.size() - off);
         u8* p = data.data() + off;
-        const u8* pad = pad_scratch[seg].data();
+        const u8* pad = pads[seg].data();
         if (n == k_aes_block_bytes) {
             xor_16_bytes(p, pad);
         } else {

@@ -36,10 +36,30 @@ public:
     explicit Baes_engine(std::span<const u8> key,
                          Aes_backend_kind kind = Aes_backend_kind::auto_select);
 
+    /// One unit of a batch base-OTP request (otps_many).
+    struct Otp_request {
+        Addr pa = 0;
+        u64 vn = 0;
+    };
+
     /// Distinct pads for segments 0..lanes-1 of the unit at (pa, vn).
     /// Lane 0..r use the primary schedule's round keys; further lanes come
     /// from derived schedules keyed with key ^ (PA || VN) (+ bank index).
     [[nodiscard]] std::vector<Block16> otps(Addr pa, u64 vn, std::size_t lanes) const;
+
+    /// Batch base-OTP generation: bases[i] = AES-CTR_Ke(PA_i || VN_i) for
+    /// every unit of a flush, streamed through the cipher's bulk interface
+    /// (one backend dispatch, interleaved rounds) instead of one
+    /// encrypt_block call per unit.  `bases.size()` must equal
+    /// `reqs.size()`; bit-identical to ctr().otp() per request.
+    void otps_many(std::span<const Otp_request> reqs, std::span<Block16> bases) const;
+
+    /// crypt_with() for a unit whose base OTP was already produced by
+    /// otps_many: only the per-segment pad fan-out and the XOR lanes run
+    /// here.  `base` must be the OTP of (pa, vn); bit-identical to
+    /// crypt_with() on the same unit.
+    void crypt_with_base(std::span<u8> data, Addr pa, u64 vn, const Block16& base,
+                         std::vector<Block16>& pad_scratch) const;
 
     /// Same fan-out written into `pads` (resized to `lanes`); reusing the
     /// vector across units keeps the batch path allocation-free.
@@ -60,6 +80,13 @@ public:
     [[nodiscard]] const Aes_ctr& ctr() const { return ctr_; }
 
 private:
+    /// Expands `base` (the OTP of (pa, vn)) into per-segment pads: primary
+    /// round keys first, then derived banks for very wide units.
+    void fan_out(const Block16& base, Addr pa, u64 vn, std::size_t lanes,
+                 std::vector<Block16>& pads) const;
+    /// XORs pads[seg] onto the seg-th 16-byte segment of `data`.
+    static void xor_lanes(std::span<u8> data, std::span<const Block16> pads);
+
     std::vector<u8> key_;
     Aes_ctr ctr_;
 };

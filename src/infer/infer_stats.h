@@ -1,0 +1,124 @@
+// Verification accounting for the secure inference engine.
+//
+// Counters follow the serve::Serve_stats discipline: everything here is
+// DETERMINISTIC -- a pure function of (model, NPU, seed, inference count)
+// -- independent of worker count, coalescing, or which path (direct
+// Secure_session batches vs. the Server front end) carried the traffic.
+// `seda_cli infer --json` prints exactly these, so CI can byte-diff the
+// output across --jobs values and across replay paths.  Wall-clock
+// throughput is measured separately and never enters this struct.
+//
+// The split is per layer AND per tensor kind: SeDA's whole argument is
+// that weight, ifmap and ofmap streams have different protection costs
+// (weights verify once per reuse epoch, halos re-verify, ofmaps write
+// back), so the accounting has to keep them apart to be checkable against
+// the trace geometry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/trace.h"
+#include "common/types.h"
+
+namespace seda::infer {
+
+/// Counters for one stream of protected-unit operations.
+struct Unit_counters {
+    u64 writes = 0;
+    u64 reads = 0;
+    u64 ok = 0;
+    u64 mac_mismatch = 0;
+    u64 replay_detected = 0;
+    u64 bytes = 0;          ///< plaintext bytes moved by ok operations
+    u64 payload_fold = 0;   ///< XOR of fnv1a64(payload) over ok reads
+    u64 data_mismatches = 0;///< ok reads whose payload != the write mirror
+
+    Unit_counters& operator+=(const Unit_counters& o)
+    {
+        writes += o.writes;
+        reads += o.reads;
+        ok += o.ok;
+        mac_mismatch += o.mac_mismatch;
+        replay_detected += o.replay_detected;
+        bytes += o.bytes;
+        payload_fold ^= o.payload_fold;
+        data_mismatches += o.data_mismatches;
+        return *this;
+    }
+
+    /// Operations that did not verify (the acceptance gate counts these).
+    [[nodiscard]] u64 failures() const { return mac_mismatch + replay_detected; }
+
+    [[nodiscard]] bool operator==(const Unit_counters&) const = default;
+};
+
+/// One layer's replay accounting, split by tensor kind.
+struct Layer_infer_stats {
+    std::string name;
+    Unit_counters weight;
+    Unit_counters ifmap;
+    Unit_counters ofmap;
+
+    [[nodiscard]] Unit_counters& by_kind(accel::Tensor_kind k)
+    {
+        switch (k) {
+            case accel::Tensor_kind::weight: return weight;
+            case accel::Tensor_kind::ifmap: return ifmap;
+            case accel::Tensor_kind::ofmap: return ofmap;
+        }
+        return ifmap;  // unreachable; keeps -Wreturn-type quiet
+    }
+
+    [[nodiscard]] Unit_counters total() const
+    {
+        Unit_counters t;
+        t += weight;
+        t += ifmap;
+        t += ofmap;
+        return t;
+    }
+
+    Layer_infer_stats& operator+=(const Layer_infer_stats& o)
+    {
+        weight += o.weight;
+        ifmap += o.ifmap;
+        ofmap += o.ofmap;
+        return *this;
+    }
+
+    [[nodiscard]] bool operator==(const Layer_infer_stats&) const = default;
+};
+
+/// Whole-engine view: model-load traffic plus per-layer replay counters.
+struct Infer_stats {
+    /// Model-load writes (weight working set + activation pre-fill), done
+    /// once per engine, NOT part of any inference's replay.
+    Unit_counters load;
+    std::vector<Layer_infer_stats> layers;
+    u64 inferences = 0;
+
+    /// Sum of every layer's counters (load excluded).
+    [[nodiscard]] Unit_counters totals() const
+    {
+        Unit_counters t;
+        for (const Layer_infer_stats& l : layers) t += l.total();
+        return t;
+    }
+
+    /// Folds another engine's stats in (same model: layer lists align).
+    void merge(const Infer_stats& o)
+    {
+        if (layers.size() < o.layers.size()) layers.resize(o.layers.size());
+        for (std::size_t i = 0; i < o.layers.size(); ++i) {
+            if (layers[i].name.empty()) layers[i].name = o.layers[i].name;
+            layers[i] += o.layers[i];
+        }
+        load += o.load;
+        inferences += o.inferences;
+    }
+
+    [[nodiscard]] bool operator==(const Infer_stats&) const = default;
+};
+
+}  // namespace seda::infer

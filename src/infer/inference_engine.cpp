@@ -1,0 +1,58 @@
+#include "infer/inference_engine.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace seda::infer {
+
+Inference_engine::Inference_engine(const Model_binding& binding, Engine_config cfg)
+    : binding_(binding), cfg_(cfg), player_(binding, cfg.max_batch_units)
+{
+    const auto& layers = binding_.sim().layers;
+    stats_.layers.resize(layers.size());
+    for (std::size_t i = 0; i < layers.size(); ++i)
+        stats_.layers[i].name = layers[i].layer->name;
+}
+
+void Inference_engine::fill_payload(Addr addr, std::span<u8> out) const
+{
+    // Deterministic per (seed, epoch, unit): collision-free enough for the
+    // mirror check, reproducible at any worker count or replay path.
+    u64 state = cfg_.seed ^ (epoch_ * 0x9E3779B97F4A7C15ULL) ^ addr;
+    u64 word = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (i % 8 == 0) word = splitmix64(state);
+        out[i] = static_cast<u8>(word >> ((i % 8) * 8));
+    }
+}
+
+void Inference_engine::load(Unit_sink& sink)
+{
+    require(!loaded_, "Inference_engine: load() may only be called once");
+    const auto fresh = [this](Addr a, std::span<u8> out) { fill_payload(a, out); };
+    player_.stage_units(binding_.weight_load_units(), sink, mirror_, fresh, stats_.load);
+    player_.stage_units(binding_.act_prefill_units(), sink, mirror_, fresh, stats_.load);
+    loaded_ = true;
+}
+
+void Inference_engine::infer(Unit_sink& sink)
+{
+    require(loaded_, "Inference_engine: infer() requires load()");
+    const auto fresh = [this](Addr a, std::span<u8> out) { fill_payload(a, out); };
+
+    // Fresh model input over layer 0's ifmap units -- the per-inference
+    // write phase (and the VN bumps that make replay detection meaningful).
+    ++epoch_;
+    require(!stats_.layers.empty(), "Inference_engine: model has no layers");
+    player_.stage_units(binding_.input_units(), sink, mirror_, fresh,
+                        stats_.layers.front().ifmap);
+
+    const auto& layers = binding_.sim().layers;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        ++epoch_;  // ofmap/spill payloads of this layer differ per pass
+        player_.play_layer(layers[i], sink, mirror_, fresh, stats_.layers[i]);
+    }
+    ++stats_.inferences;
+}
+
+}  // namespace seda::infer

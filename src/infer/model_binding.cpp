@@ -1,0 +1,90 @@
+#include "infer/model_binding.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+
+namespace seda::infer {
+
+namespace {
+
+using accel::Memory_map;
+
+/// Extent of one activation region (the ping-pong bases are this far apart).
+constexpr Bytes k_act_region_span = Memory_map::k_act_base[1] - Memory_map::k_act_base[0];
+
+}  // namespace
+
+Model_binding::Model_binding(accel::Model_desc model, const accel::Npu_config& npu)
+    : sim_(accel::simulate_model(std::move(model), npu))
+{
+    index();
+}
+
+Model_binding::Model_binding(accel::Model_sim sim) : sim_(std::move(sim)) { index(); }
+
+Model_binding::Region Model_binding::classify(Addr unit_addr) const
+{
+    require(unit_addr % k_unit_bytes == 0, "Model_binding: address is not unit-aligned");
+    if (unit_addr < weight_region_end_) return Region::weight;
+    for (int r = 0; r < 2; ++r) {
+        const Addr base = Memory_map::k_act_base[r];
+        if (unit_addr >= base && unit_addr < base + k_act_region_span)
+            return r == 0 ? Region::act0 : Region::act1;
+    }
+    throw Seda_error("Model_binding: address outside every bound region");
+}
+
+Model_binding::Unit_context Model_binding::context(Addr unit_addr) const
+{
+    const Region region = classify(unit_addr);
+    if (region == Region::weight) {
+        // Owning layer: the last weight region starting at or before the
+        // address.  weight_addr is sorted (regions are packed in order).
+        const auto& starts = sim_.map.weight_addr;
+        const auto it = std::upper_bound(starts.begin(), starts.end(), unit_addr);
+        const auto layer = static_cast<u32>(std::distance(starts.begin(), it) - 1);
+        const Addr base = starts[layer];
+        return {layer, 0, static_cast<u32>((unit_addr - base) / k_unit_bytes)};
+    }
+    const int r = region == Region::act0 ? 0 : 1;
+    const Addr base = Memory_map::k_act_base[r];
+    return {0x8000'0000u | static_cast<u32>(r), 1,
+            static_cast<u32>((unit_addr - base) / k_unit_bytes)};
+}
+
+void Model_binding::index()
+{
+    // End of the packed weight area: last region start + its aligned size.
+    const auto& model = *sim_.model;
+    weight_region_end_ = 0;
+    if (!model.layers.empty()) {
+        weight_region_end_ = sim_.map.weight_addr.back() +
+                             align_up(model.layers.back().weight_bytes(), k_unit_bytes);
+    }
+
+    for (const accel::Layer_sim& layer : sim_.layers) {
+        for (const accel::Access_range& r : layer.trace) {
+            if (r.is_write) continue;
+            auto& set = r.tensor == accel::Tensor_kind::weight ? weight_load_units_
+                                                               : act_prefill_units_;
+            accel::for_each_block(r, [&](Addr a) { set.push_back(a); });
+            if (layer.layer_id == 0 && r.tensor == accel::Tensor_kind::ifmap)
+                accel::for_each_block(r, [&](Addr a) { input_units_.push_back(a); });
+        }
+    }
+    for (auto* set : {&weight_load_units_, &act_prefill_units_, &input_units_}) {
+        std::sort(set->begin(), set->end());
+        set->erase(std::unique(set->begin(), set->end()), set->end());
+    }
+    // The convention only works if every read lands in a bound region;
+    // classify() throws on a layout bug, so probe the set extremes now.
+    for (const auto* set : {&weight_load_units_, &act_prefill_units_}) {
+        if (set->empty()) continue;
+        (void)classify(set->front());
+        (void)classify(set->back());
+    }
+}
+
+}  // namespace seda::infer

@@ -1,0 +1,99 @@
+// Trace_player: expands a layer's compressed DRAM trace into protected-unit
+// batches and replays them through a Unit_sink in trace order.
+//
+// The accelerator touches memory in long contiguous stripes; the secure
+// data path works in 64 B protection units.  The player is the adapter:
+//
+//   * ranges expand with the same arithmetic as accel::for_each_block
+//     (tests/infer/ holds the equivalence on ragged, misaligned and
+//     overlapping ranges), preserving trace order INCLUDING duplicates --
+//     a halo re-read shows up as the same unit twice in one read batch,
+//     and a psum spill as write/read flips over one stripe;
+//   * consecutive same-direction ranges coalesce into one bulk dispatch;
+//     a direction flip flushes (read-your-writes: the write batch holding
+//     a unit completes before any read of it is issued), as does the
+//     max_batch_units cap;
+//   * every dispatched unit is accounted per tensor kind: status counts,
+//     ok bytes, a payload XOR-fold, and mirror mismatches (the player
+//     keeps the caller's write mirror current, last-write-wins, exactly
+//     like stage_writes's supersede rule).
+//
+// Determinism: batches, counters and folds are a pure function of the
+// trace and the payload function -- independent of the sink's worker
+// count (the session and server transports are both bit-identical to
+// serial I/O), which is what lets CI byte-diff `seda_cli infer --json`
+// across --jobs values.
+//
+// Thread-safety: one player belongs to one engine/thread; the staging
+// scratch is reused across layers (cleared, not freed).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "accel/accel_sim.h"
+#include "core/secure_memory.h"
+#include "infer/infer_stats.h"
+#include "infer/model_binding.h"
+#include "infer/unit_sink.h"
+
+namespace seda::infer {
+
+class Trace_player {
+public:
+    /// Default dispatch cap: bounds the staging scratch at 4096 units
+    /// (256 KiB of payload) while keeping bulk calls deep enough to feed
+    /// the multi-buffer crypto pipelines.
+    static constexpr std::size_t k_default_max_batch_units = 4096;
+
+    /// The engine's record of the last plaintext written per unit.
+    using Mirror = std::unordered_map<Addr, std::vector<u8>>;
+
+    /// Fills a fresh write payload for the unit at `addr`.
+    using Payload_fn = std::function<void(Addr, std::span<u8>)>;
+
+    explicit Trace_player(const Model_binding& binding,
+                          std::size_t max_batch_units = k_default_max_batch_units);
+
+    /// Replays one layer's trace through `sink`, accumulating into `stats`
+    /// and keeping `mirror` current.  `fresh_payload` provides the bytes of
+    /// every trace write (the "computed" ofmap / spilled psums).
+    void play_layer(const accel::Layer_sim& layer, Unit_sink& sink, Mirror& mirror,
+                    const Payload_fn& fresh_payload, Layer_infer_stats& stats);
+
+    /// Batched protected writes of an explicit unit list (model load /
+    /// input staging), accounted into `counters` and mirrored.
+    void stage_units(std::span<const Addr> addrs, Unit_sink& sink, Mirror& mirror,
+                     const Payload_fn& fresh_payload, Unit_counters& counters);
+
+    /// Appends every unit `r` covers, in trace order -- the protection-unit
+    /// view of accel::for_each_block, exposed for the equivalence tests.
+    static void expand_range(const accel::Access_range& r, std::vector<Addr>& out);
+
+private:
+    void flush(Unit_sink& sink, Mirror& mirror, const Payload_fn& fresh_payload,
+               Layer_infer_stats& stats);
+    void dispatch_writes(Unit_sink& sink, Mirror& mirror, const Payload_fn& fresh_payload,
+                         std::span<Unit_counters* const> per_unit);
+    void dispatch_reads(Unit_sink& sink, const Mirror& mirror,
+                        std::span<Unit_counters* const> per_unit);
+
+    const Model_binding& binding_;
+    std::size_t max_batch_units_;
+
+    // Pending same-direction batch (cleared per flush, capacity kept).
+    bool pending_is_write_ = false;
+    std::vector<Addr> addrs_;
+    std::vector<accel::Tensor_kind> kinds_;  ///< parallel to addrs_
+
+    // Dispatch scratch.
+    std::vector<Unit_counters*> counter_refs_;
+    std::vector<u8> payload_buf_;
+    std::vector<core::Secure_memory::Unit_write> writes_;
+    std::vector<core::Secure_memory::Unit_read> reads_;
+    std::vector<core::Verify_status> statuses_;
+};
+
+}  // namespace seda::infer

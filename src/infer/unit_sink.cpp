@@ -1,0 +1,76 @@
+#include "infer/unit_sink.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+
+namespace seda::infer {
+
+void Session_sink::write_units(std::span<const core::Secure_memory::Unit_write> batch)
+{
+    session_.write_units(batch);
+}
+
+void Session_sink::read_units(std::span<const core::Secure_memory::Unit_read> batch,
+                              std::span<core::Verify_status> statuses)
+{
+    require(statuses.size() == batch.size(),
+            "Session_sink: status span must match batch");
+    const auto result = session_.read_units(batch);
+    std::copy(result.begin(), result.end(), statuses.begin());
+}
+
+void Server_sink::write_units(std::span<const core::Secure_memory::Unit_write> batch)
+{
+    futures_.clear();
+    futures_.reserve(batch.size());
+    for (const auto& w : batch) {
+        serve::Request req;
+        req.tenant_id = tenant_;
+        req.seq = seq_++;
+        req.op = serve::Op::write;
+        req.addr = w.addr;
+        req.payload.assign(w.plaintext.begin(), w.plaintext.end());
+        req.layer_id = w.layer_id;
+        req.fmap_idx = w.fmap_idx;
+        req.blk_idx = w.blk_idx;
+        futures_.push_back(server_.submit(std::move(req)));
+    }
+    // A write completes with ok or delivers its usage error here; either
+    // way nothing is left in flight when the call returns.
+    for (auto& f : futures_) {
+        const serve::Response resp = f.get();
+        require(resp.status == core::Verify_status::ok,
+                "Server_sink: protected write failed verification");
+    }
+}
+
+void Server_sink::read_units(std::span<const core::Secure_memory::Unit_read> batch,
+                             std::span<core::Verify_status> statuses)
+{
+    require(statuses.size() == batch.size(), "Server_sink: status span must match batch");
+    futures_.clear();
+    futures_.reserve(batch.size());
+    for (const auto& r : batch) {
+        serve::Request req;
+        req.tenant_id = tenant_;
+        req.seq = seq_++;
+        req.op = serve::Op::read;
+        req.addr = r.addr;
+        req.layer_id = r.layer_id;
+        req.fmap_idx = r.fmap_idx;
+        req.blk_idx = r.blk_idx;
+        futures_.push_back(server_.submit(std::move(req)));
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        serve::Response resp = futures_[i].get();
+        statuses[i] = resp.status;
+        if (resp.status != core::Verify_status::ok) continue;
+        require(resp.payload.size() == batch[i].out.size(),
+                "Server_sink: response payload is not one unit");
+        std::copy(resp.payload.begin(), resp.payload.end(), batch[i].out.begin());
+    }
+}
+
+}  // namespace seda::infer

@@ -1,0 +1,82 @@
+// Unit_sink: where the inference engine's protected-unit batches go.
+//
+// The replay logic (Trace_player) is identical whether traffic runs
+// straight into a tenant's sharded runtime::Secure_session or through the
+// serve::Server front end as individual requests; only the transport
+// differs.  Both transports promise SERIAL SEMANTICS for one producer:
+// operations complete as if executed in submission order (the session path
+// is literally ordered; the server path preserves per-producer FIFO
+// through the admission queue and Batch_scheduler flushes on same-address
+// write/read conflicts), which is exactly what trace replay needs for
+// read-your-writes across ofmap write-backs and psum spills.
+//
+// Statuses are results, not errors (serve/request.h discipline): tampered
+// or replayed units land in the per-unit Verify_status array and the
+// replay keeps going -- that is what per-layer verification accounting
+// counts.  Usage errors (misaligned address, wrong payload size, a read of
+// a never-written unit) throw.
+#pragma once
+
+#include <future>
+#include <span>
+#include <vector>
+
+#include "core/secure_memory.h"
+#include "runtime/secure_session.h"
+#include "serve/server.h"
+
+namespace seda::infer {
+
+class Unit_sink {
+public:
+    virtual ~Unit_sink() = default;
+
+    /// Protected batch write in submission order.  Writes cannot fail
+    /// verification; usage errors throw.
+    virtual void write_units(std::span<const core::Secure_memory::Unit_write> batch) = 0;
+
+    /// Protected batch read; one status per unit, `out` buffers filled for
+    /// ok units only.  `statuses.size()` must equal `batch.size()`.
+    virtual void read_units(std::span<const core::Secure_memory::Unit_read> batch,
+                            std::span<core::Verify_status> statuses) = 0;
+};
+
+/// Direct transport: bulk calls into one tenant's sharded session (the
+/// bench path, and the fast path for single-tenant replay).
+class Session_sink final : public Unit_sink {
+public:
+    explicit Session_sink(runtime::Secure_session& session) : session_(session) {}
+
+    void write_units(std::span<const core::Secure_memory::Unit_write> batch) override;
+    void read_units(std::span<const core::Secure_memory::Unit_read> batch,
+                    std::span<core::Verify_status> statuses) override;
+
+private:
+    runtime::Secure_session& session_;
+};
+
+/// Serving transport: every unit becomes one serve::Request submitted to
+/// the multi-tenant front end, so DNN trace traffic exercises the
+/// admission queue, the conflict-aware Batch_scheduler (halo re-reads and
+/// psum write/read flips land in its pending windows), and the per-tenant
+/// bulk crypto behind it.  One Server_sink is one producer: its submission
+/// order is the trace order.
+class Server_sink final : public Unit_sink {
+public:
+    Server_sink(serve::Server& server, u32 tenant_id)
+        : server_(server), tenant_(tenant_id)
+    {
+    }
+
+    void write_units(std::span<const core::Secure_memory::Unit_write> batch) override;
+    void read_units(std::span<const core::Secure_memory::Unit_read> batch,
+                    std::span<core::Verify_status> statuses) override;
+
+private:
+    serve::Server& server_;
+    u32 tenant_;
+    u64 seq_ = 0;  ///< per-producer sequence numbers for tracing
+    std::vector<std::future<serve::Response>> futures_;  ///< reused per batch
+};
+
+}  // namespace seda::infer

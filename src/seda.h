@@ -19,11 +19,15 @@
 //   serve     - the multi-tenant serving layer: request front end, bounded
 //               admission queue, per-tenant keys/memory, batching
 //               scheduler, and the closed-loop load generator
+//   infer     - the secure inference engine: model traces bound onto
+//               protected units, trace replay through a session or the
+//               server, per-layer verification accounting
 //
 // Typical entry points: accel::simulate_model, core::make_scheme,
 // core::run_protected, core::run_suite, core::Secure_memory,
 // core::provision_model, runtime::run_suite_parallel,
-// runtime::Secure_session, serve::Server, serve::run_loadgen.
+// runtime::Secure_session, serve::Server, serve::run_loadgen,
+// infer::run_infer.
 #pragma once
 
 #include "accel/accel_sim.h"
@@ -45,6 +49,11 @@
 #include "crypto/kdf.h"
 #include "crypto/mac.h"
 #include "dram/dram_sim.h"
+#include "infer/inference_engine.h"
+#include "infer/model_binding.h"
+#include "infer/run_infer.h"
+#include "infer/trace_player.h"
+#include "infer/unit_sink.h"
 #include "models/zoo.h"
 #include "protect/scheme.h"
 #include "protect/unit_scheme.h"

@@ -11,7 +11,10 @@
 // request, then drains up to `max` in one critical section, so a busy
 // period hands the scheduler a full coalescing window while an idle server
 // still dispatches single requests immediately (no artificial latency
-// timer).
+// timer).  An optional `max_wait` bounds a latency-for-batching trade: the
+// consumer lingers up to that long for the window to fill, but a lone
+// request is never held hostage past the deadline -- and close() cuts the
+// window short immediately.
 //
 // Thread-safety: all methods safe from any thread.  FIFO per queue; per
 // producer that means program order, which Batch_scheduler preserves per
@@ -20,6 +23,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -67,16 +71,41 @@ public:
 
     /// Blocks until at least one request is available (or the queue is
     /// closed and drained), then appends up to `max` requests to `out` in
-    /// FIFO order.  Returns the number appended; 0 is the shutdown signal.
-    std::size_t pop_batch(std::vector<Request>& out, std::size_t max)
+    /// FIFO order.  With a nonzero `max_wait`, a partial window lingers up
+    /// to that long for more arrivals (draining them as they come) before
+    /// returning -- bounded extra latency bought for fuller coalescing
+    /// windows; zero keeps today's drain-and-go behaviour.  close() ends
+    /// the linger immediately.  Returns the number appended; 0 is the
+    /// shutdown signal.
+    std::size_t pop_batch(std::vector<Request>& out, std::size_t max,
+                          std::chrono::microseconds max_wait = std::chrono::microseconds{0})
     {
         require(max >= 1, "Admission_queue::pop_batch: max must be >= 1");
         std::unique_lock lock(mutex_);
         ready_.wait(lock, [&] { return closed_ || !q_.empty(); });
-        const std::size_t take = std::min(max, q_.size());
-        for (std::size_t i = 0; i < take; ++i) {
-            out.push_back(std::move(q_.front()));
-            q_.pop_front();
+        std::size_t take = 0;
+        const auto drain = [&] {
+            while (take < max && !q_.empty()) {
+                out.push_back(std::move(q_.front()));
+                q_.pop_front();
+                ++take;
+            }
+        };
+        drain();
+        if (take > 0 && take < max && max_wait.count() > 0 && !closed_) {
+            // Wake producers after EVERY drain: each one frees capacity,
+            // and a producer blocked on a full queue is exactly who could
+            // fill this window.
+            space_.notify_all();
+            const auto deadline = std::chrono::steady_clock::now() + max_wait;
+            while (take < max && !closed_) {
+                if (!ready_.wait_until(lock, deadline,
+                                       [&] { return closed_ || !q_.empty(); }))
+                    break;  // window expired
+                const std::size_t before = take;
+                drain();
+                if (take > before) space_.notify_all();
+            }
         }
         lock.unlock();
         if (take > 0) space_.notify_all();  // a burst may unblock several producers

@@ -33,11 +33,7 @@ void reject(Request& req, std::exception_ptr error, Tenant_counters& counters,
 
 }  // namespace
 
-Batch_scheduler::Batch_scheduler(std::span<Tenant> tenants) : tenants_(tenants)
-{
-    require(!tenants_.empty(), "Batch_scheduler: need at least one tenant");
-    per_tenant_.resize(tenants_.size());
-}
+Batch_scheduler::Batch_scheduler(Tenant_table& tenants) : tenants_(tenants) {}
 
 void Batch_scheduler::complete(Request& req, Response&& resp, Tenant_counters& counters,
                                Serve_stats& stats)
@@ -160,16 +156,23 @@ void Batch_scheduler::flush_pending_reads(Tenant& tenant, Serve_stats& stats)
 
 void Batch_scheduler::dispatch(std::span<Request> run, Serve_stats& stats)
 {
-    if (stats.tenants.size() < tenants_.size()) stats.tenants.resize(tenants_.size());
+    // Snapshot the tenant count once: every request in `run` was admitted
+    // against the table, so its tenant already existed when the run was
+    // drained (tenants added mid-dispatch only matter for the next run).
+    const std::size_t tenant_count = tenants_.size();
+    if (stats.tenants.size() < tenant_count) stats.tenants.resize(tenant_count);
+    if (per_tenant_.size() < tenant_count) per_tenant_.resize(tenant_count);
     for (auto& bucket : per_tenant_) bucket.clear();
     for (Request& r : run) {
-        require(r.tenant_id < tenants_.size(),
+        require(r.tenant_id < tenant_count,
                 "Batch_scheduler: request names an unknown tenant");
         per_tenant_[r.tenant_id].push_back(&r);
     }
     stats.requests += run.size();
 
-    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    for (std::size_t t = 0; t < tenant_count; ++t) {
+        if (per_tenant_[t].empty()) continue;
+        Tenant& tenant = *tenants_.find(static_cast<u32>(t));
         // Accumulate one write batch and one read batch; only an address
         // conflict against the OPPOSITE pending batch forces a flush, so a
         // random op mix still coalesces into ~two bulk calls per window.
@@ -179,18 +182,18 @@ void Batch_scheduler::dispatch(std::span<Request> run, Serve_stats& stats)
         for (Request* r : per_tenant_[t]) {
             if (r->op == Op::write) {
                 if (contains(pending_read_addrs_, r->addr))
-                    flush_pending_reads(tenants_[t], stats);
+                    flush_pending_reads(tenant, stats);
                 pending_writes_.push_back(r);
                 pending_write_addrs_.push_back(r->addr);
             } else {
                 if (contains(pending_write_addrs_, r->addr))
-                    flush_pending_writes(tenants_[t], stats);
+                    flush_pending_writes(tenant, stats);
                 pending_reads_.push_back(r);
                 pending_read_addrs_.push_back(r->addr);
             }
         }
-        flush_pending_writes(tenants_[t], stats);
-        flush_pending_reads(tenants_[t], stats);
+        flush_pending_writes(tenant, stats);
+        flush_pending_reads(tenant, stats);
     }
 }
 

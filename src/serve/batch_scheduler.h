@@ -46,8 +46,10 @@ namespace seda::serve {
 
 class Batch_scheduler {
 public:
-    /// `tenants` must outlive the scheduler; tenant_id indexes it.
-    explicit Batch_scheduler(std::span<Tenant> tenants);
+    /// `tenants` must outlive the scheduler; tenant_id resolves through it,
+    /// so tenants added to a live server are dispatchable as soon as add()
+    /// returns, and tombstoned tenants keep completing what was admitted.
+    explicit Batch_scheduler(Tenant_table& tenants);
 
     /// Dispatches one drained run: groups by tenant (order preserved),
     /// coalesces maximal same-op segments into bulk session calls, fulfills
@@ -72,7 +74,7 @@ private:
     static void complete(Request& req, Response&& resp, Tenant_counters& counters,
                          Serve_stats& stats);
 
-    std::span<Tenant> tenants_;
+    Tenant_table& tenants_;
 
     // Staging scratch reused across dispatches (cleared, not freed).
     std::vector<std::vector<Request*>> per_tenant_;

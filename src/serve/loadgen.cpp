@@ -12,15 +12,6 @@ namespace seda::serve {
 
 namespace {
 
-/// Expands 16 deterministic key bytes from (seed, role tag).
-std::vector<u8> master_key(u64 seed, u64 tag)
-{
-    u64 state = seed ^ tag;
-    std::vector<u8> key(16);
-    for (auto& b : key) b = static_cast<u8>(splitmix64(state));
-    return key;
-}
-
 /// What one client accumulates; summed after join (deterministic).
 struct Client_tally {
     u64 status_failures = 0;
@@ -76,6 +67,14 @@ u64 client_seed(u64 seed, u32 tenant, u32 client)
     return splitmix64(state);
 }
 
+std::vector<u8> demo_master_key(u64 seed, u64 tag)
+{
+    u64 state = seed ^ tag;
+    std::vector<u8> key(16);
+    for (auto& b : key) b = static_cast<u8>(splitmix64(state));
+    return key;
+}
+
 Loadgen_result run_loadgen(const Loadgen_config& cfg)
 {
     require(cfg.tenants >= 1 && cfg.clients >= 1 && cfg.requests >= 1,
@@ -87,10 +86,11 @@ Loadgen_result run_loadgen(const Loadgen_config& cfg)
     server_cfg.workers = cfg.jobs;
     server_cfg.queue_capacity = cfg.queue_capacity;
     server_cfg.max_batch = cfg.max_batch;
+    server_cfg.max_wait_us = cfg.max_wait_us;
     server_cfg.mem.unit_bytes = cfg.unit_bytes;
 
-    Server server(master_key(cfg.seed, 0xE5C0DE), master_key(cfg.seed, 0x3A5C0DE),
-                  server_cfg);
+    Server server(demo_master_key(cfg.seed, 0xE5C0DE),
+                  demo_master_key(cfg.seed, 0x3A5C0DE), server_cfg);
     server.start();
 
     std::vector<Client_tally> tallies(cfg.tenants * cfg.clients);

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "common/types.h"
 #include "serve/serve_stats.h"
@@ -35,6 +36,7 @@ struct Loadgen_config {
     std::size_t jobs = 1;              ///< server crypto workers (0 = hardware)
     std::size_t queue_capacity = 1024;
     std::size_t max_batch = 256;
+    std::size_t max_wait_us = 0;       ///< coalescing linger (Server_config::max_wait_us)
     u64 seed = 0x5EDA;
     Bytes unit_bytes = 64;
     std::size_t units_per_client = 16; ///< disjoint slots each client owns
@@ -57,6 +59,11 @@ struct Loadgen_result {
 /// Seed of one client's private Rng: an injective mix of (seed, tenant,
 /// client) through SplitMix64, so streams never collide or correlate.
 [[nodiscard]] u64 client_seed(u64 seed, u32 tenant, u32 client);
+
+/// Expands 16 deterministic master-key bytes from (seed, role tag): the
+/// seeded-run convention the loadgen and the inference driver
+/// (infer::run_infer) share, so a fixed seed names a fixed server.
+[[nodiscard]] std::vector<u8> demo_master_key(u64 seed, u64 tag);
 
 /// Runs the full closed loop: build a Server per `cfg`, fan out
 /// tenants x clients client threads, drain, and collect both stat classes.

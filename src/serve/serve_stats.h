@@ -60,6 +60,10 @@ struct Serve_stats {
     std::vector<Tenant_counters> tenants;
     u64 requests = 0;  ///< requests dispatched (deterministic)
     u64 batches = 0;   ///< bulk session calls issued (timing-dependent)
+    /// Submits rejected at the door because the named tenant was evicted
+    /// (deterministic given the submit stream; the request was never
+    /// admitted, so it appears in no tenant row).
+    u64 evicted_rejects = 0;
     std::vector<double> latencies_us;  ///< per-request wall latency, when timestamped
 
     /// Sums every tenant row (folds XOR together, as the fold order-freedom
@@ -79,6 +83,7 @@ struct Serve_stats {
             tenants[i] += delta.tenants[i];
         requests += delta.requests;
         batches += delta.batches;
+        evicted_rejects += delta.evicted_rejects;
         // Ring-overwrite once saturated: percentiles don't care about
         // order, so the oldest sample is simply replaced in place (no
         // per-merge front-erase memmove).

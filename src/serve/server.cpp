@@ -7,30 +7,17 @@
 
 namespace seda::serve {
 
-namespace {
-
-std::vector<Tenant> build_tenants(std::span<const u8> master_enc,
-                                  std::span<const u8> master_mac,
-                                  const Server_config& cfg, runtime::Thread_pool& pool)
-{
-    require(cfg.tenants >= 1, "serve: need at least one tenant");
-    std::vector<Tenant> tenants;
-    tenants.reserve(cfg.tenants);
-    for (std::size_t i = 0; i < cfg.tenants; ++i)
-        tenants.emplace_back(static_cast<u32>(i), master_enc, master_mac, cfg.mem, pool);
-    return tenants;
-}
-
-}  // namespace
-
 Server::Server(std::span<const u8> master_enc, std::span<const u8> master_mac,
                Server_config cfg)
     : cfg_(cfg),
       pool_(cfg.workers),
-      tenants_(build_tenants(master_enc, master_mac, cfg_, pool_)),
+      master_enc_(master_enc.begin(), master_enc.end()),
+      master_mac_(master_mac.begin(), master_mac.end()),
       queue_(cfg.queue_capacity),
       scheduler_(tenants_)
 {
+    require(cfg_.tenants >= 1, "serve: need at least one tenant");
+    for (std::size_t i = 0; i < cfg_.tenants; ++i) add_tenant();
 }
 
 Server::~Server() { stop(); }
@@ -46,7 +33,18 @@ void Server::start()
 
 std::future<Response> Server::submit(Request req)
 {
-    require(req.tenant_id < tenants_.size(), "serve: request names an unknown tenant");
+    if (!tenants_.accepting(req.tenant_id)) {
+        // Evicted is a *counted* rejection (deterministic given the submit
+        // stream); an id that never existed is a plain usage error.
+        if (tenants_.find(req.tenant_id) != nullptr) {
+            {
+                std::lock_guard lock(mutex_);
+                ++stats_.evicted_rejects;
+            }
+            throw Seda_error("serve: tenant has been evicted");
+        }
+        throw Seda_error("serve: request names an unknown tenant");
+    }
     const Bytes unit_bytes = cfg_.mem.unit_bytes;
     require(req.addr % unit_bytes == 0, "serve: request address must be unit-aligned");
     if (req.op == Op::write)
@@ -103,16 +101,25 @@ void Server::stop()
     if (join && scheduler_thread_.joinable()) scheduler_thread_.join();
 }
 
+u32 Server::add_tenant() { return tenants_.add(master_enc_, master_mac_, cfg_.mem, pool_); }
+
+void Server::evict_tenant(u32 id) { tenants_.evict(id); }
+
 Tenant& Server::tenant(u32 id)
 {
-    require(id < tenants_.size(), "serve: unknown tenant id");
-    return tenants_[id];
+    Tenant* t = tenants_.find(id);
+    require(t != nullptr, "serve: unknown tenant id");
+    return *t;
 }
 
 Serve_stats Server::stats() const
 {
     std::lock_guard lock(mutex_);
-    return stats_;
+    Serve_stats out = stats_;
+    // A tenant added after the last dispatch has no counter row yet; size
+    // the snapshot so callers can always index by tenant id.
+    if (out.tenants.size() < tenants_.size()) out.tenants.resize(tenants_.size());
+    return out;
 }
 
 void Server::scheduler_loop()
@@ -120,7 +127,9 @@ void Server::scheduler_loop()
     std::vector<Request> run;
     for (;;) {
         run.clear();
-        if (queue_.pop_batch(run, cfg_.max_batch) == 0) return;  // closed + drained
+        if (queue_.pop_batch(run, cfg_.max_batch,
+                             std::chrono::microseconds(cfg_.max_wait_us)) == 0)
+            return;  // closed + drained
         // Dispatch into a local delta so client submit() calls never
         // contend with the crypto phase for the stats mutex.
         Serve_stats delta;

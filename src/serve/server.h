@@ -15,6 +15,12 @@
 // calls it.  Submissions racing stop() either complete normally or throw
 // -- no request is silently dropped while holding a live future.
 //
+// Tenant churn: add_tenant() and evict_tenant() work on the live server.
+// The tenant set is a Tenant_table (tenant.h): adds are visible to the
+// scheduler immediately, and eviction tombstones the slot -- in-flight
+// requests of an evicted tenant complete normally, while new submits are
+// rejected with the counted stats().evicted_rejects status.
+//
 // Roles per thread: any number of client threads block in submit() (queue
 // backpressure) and on their futures (closed-loop); ONE scheduler thread
 // owns batching and stats; pool workers only ever run shard crypto.  The
@@ -50,6 +56,10 @@ struct Server_config {
     std::size_t workers = 0;          ///< crypto pool size (0 = hardware)
     std::size_t queue_capacity = 1024;
     std::size_t max_batch = 256;      ///< coalescing cap per dispatch
+    /// Latency-bounded coalescing: a partial window lingers up to this long
+    /// for more arrivals before dispatching (0 = dispatch immediately).
+    /// Counters stay deterministic either way; only batching changes.
+    std::size_t max_wait_us = 0;
     core::Secure_mem_config mem = {}; ///< per-tenant memory configuration
 };
 
@@ -81,6 +91,17 @@ public:
     /// accepted, and joins the scheduler.  Terminal and idempotent.
     void stop();
 
+    /// Adds a tenant to the LIVE server (before or after start()) and
+    /// returns its id: keys derive from the same master pair, and requests
+    /// for it are admittable as soon as this returns.
+    u32 add_tenant();
+
+    /// Evicts a tenant from the live server: requests already admitted
+    /// complete normally (the tenant's memory and keys stay alive), while
+    /// new submits for it throw and count as stats().evicted_rejects.
+    /// Throws Seda_error for an unknown id; idempotent on a known one.
+    void evict_tenant(u32 id);
+
     [[nodiscard]] std::size_t tenant_count() const { return tenants_.size(); }
     [[nodiscard]] Tenant& tenant(u32 id);
     [[nodiscard]] const Server_config& config() const { return cfg_; }
@@ -94,7 +115,9 @@ private:
 
     Server_config cfg_;
     runtime::Thread_pool pool_;     ///< shared by every tenant session
-    std::vector<Tenant> tenants_;
+    std::vector<u8> master_enc_;    ///< retained for live add_tenant() derivation
+    std::vector<u8> master_mac_;
+    Tenant_table tenants_;
     Admission_queue queue_;
     Batch_scheduler scheduler_;
     std::thread scheduler_thread_;

@@ -1,5 +1,6 @@
 #include "serve/tenant.h"
 
+#include "common/error.h"
 #include "crypto/kdf.h"
 
 namespace seda::serve {
@@ -11,6 +12,44 @@ Tenant::Tenant(u32 id, std::span<const u8> master_enc, std::span<const u8> maste
       mac_key_(crypto::derive_key(master_mac, "seda-tenant-mac", id)),
       session_(enc_key_, mac_key_, cfg, pool)
 {
+}
+
+u32 Tenant_table::add(std::span<const u8> master_enc, std::span<const u8> master_mac,
+                      core::Secure_mem_config cfg, runtime::Thread_pool& pool)
+{
+    // Key derivation and session construction could run outside the lock,
+    // but the id must be allocated first -- and churn is rare next to
+    // dispatch, so the simple critical section wins.
+    std::lock_guard lock(mutex_);
+    const u32 id = static_cast<u32>(slots_.size());
+    slots_.push_back({std::make_unique<Tenant>(id, master_enc, master_mac, cfg, pool),
+                      false});
+    return id;
+}
+
+void Tenant_table::evict(u32 id)
+{
+    std::lock_guard lock(mutex_);
+    require(id < slots_.size(), "Tenant_table::evict: unknown tenant id");
+    slots_[id].evicted = true;
+}
+
+std::size_t Tenant_table::size() const
+{
+    std::lock_guard lock(mutex_);
+    return slots_.size();
+}
+
+bool Tenant_table::accepting(u32 id) const
+{
+    std::lock_guard lock(mutex_);
+    return id < slots_.size() && !slots_[id].evicted;
+}
+
+Tenant* Tenant_table::find(u32 id) const
+{
+    std::lock_guard lock(mutex_);
+    return id < slots_.size() ? slots_[id].tenant.get() : nullptr;
 }
 
 }  // namespace seda::serve

@@ -20,6 +20,8 @@
 //                tamper and replay included).
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -55,6 +57,51 @@ private:
     std::vector<u8> enc_key_;  ///< derive_key(master_enc, "seda-tenant-enc", id)
     std::vector<u8> mac_key_;  ///< derive_key(master_mac, "seda-tenant-mac", id)
     runtime::Secure_session session_;
+};
+
+/// Registry of a server's tenants, shared by the submit side (validation),
+/// the scheduler thread (dispatch), and live-churn callers
+/// (Server::add_tenant / evict_tenant).  Ids are dense indices and slots
+/// are never reused: eviction tombstones a slot instead of destroying it,
+/// because the Tenant object must outlive every request already admitted
+/// for it, and a stable unique_ptr per slot keeps Tenant* valid across
+/// concurrent add()s (the backing vector may reallocate; the tenants do
+/// not move).
+///
+/// Thread-safety: all methods safe from any thread.  find() hands out raw
+/// pointers that stay valid for the table's lifetime; the Tenant itself
+/// follows its own threading rules (one batch call at a time per session).
+class Tenant_table {
+public:
+    /// Builds the next tenant (keys derived from the master pair) and
+    /// returns its id.
+    u32 add(std::span<const u8> master_enc, std::span<const u8> master_mac,
+            core::Secure_mem_config cfg, runtime::Thread_pool& pool);
+
+    /// Tombstones `id`: find() keeps resolving it (requests already
+    /// admitted complete normally), accepting() turns false (new submits
+    /// are rejected at the door).  Throws Seda_error for an unknown id;
+    /// idempotent on a known one.
+    void evict(u32 id);
+
+    /// Slots ever created, tombstones included (valid ids are < size()).
+    [[nodiscard]] std::size_t size() const;
+
+    /// Known and not evicted -- may new requests be admitted for `id`?
+    [[nodiscard]] bool accepting(u32 id) const;
+
+    /// The tenant behind `id`, tombstoned or not; nullptr when the id was
+    /// never created.
+    [[nodiscard]] Tenant* find(u32 id) const;
+
+private:
+    struct Slot {
+        std::unique_ptr<Tenant> tenant;
+        bool evicted = false;
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<Slot> slots_;
 };
 
 }  // namespace seda::serve

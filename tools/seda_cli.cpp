@@ -35,11 +35,17 @@ struct Options {
     std::size_t jobs = 1;
     bool csv = false;
     bool json = false;
-    // loadgen
+    // loadgen / infer
     std::size_t tenants = 2;
     std::size_t clients = 4;
     std::size_t requests = 64;
+    std::size_t max_wait_us = 0;
     u64 seed = 0x5EDA;
+    std::string mode = "serve";  ///< infer replay path: serve | session
+    // infer defaults to 1 tenant x 1 inference (a full model pass is many
+    // thousand unit ops); explicit flags override.
+    bool tenants_set = false;
+    bool requests_set = false;
 };
 
 // ---------------------------------------------------------------- helpers ---
@@ -276,6 +282,7 @@ int cmd_loadgen(const Options& o)
     cfg.clients = o.clients;
     cfg.requests = o.requests;
     cfg.jobs = o.jobs;
+    cfg.max_wait_us = o.max_wait_us;
     cfg.seed = o.seed;
 
     const auto result = serve::run_loadgen(cfg);
@@ -313,6 +320,102 @@ int cmd_loadgen(const Options& o)
     return 0;
 }
 
+/// Deterministic infer summary: ONLY fields that are byte-identical for a
+/// fixed seed at any --jobs and either --mode (CI diffs this).
+void print_infer_json(const std::string& model, const std::string& npu,
+                      const infer::Infer_config& cfg, const infer::Infer_result& r,
+                      std::ostream& os)
+{
+    const auto counters = [](const infer::Unit_counters& c) {
+        std::string out = "{\"writes\": " + std::to_string(c.writes) +
+                          ", \"reads\": " + std::to_string(c.reads) +
+                          ", \"ok\": " + std::to_string(c.ok) +
+                          ", \"mac_mismatch\": " + std::to_string(c.mac_mismatch) +
+                          ", \"replay_detected\": " + std::to_string(c.replay_detected) +
+                          ", \"bytes\": " + std::to_string(c.bytes) +
+                          ", \"payload_fold\": \"" + hex64(c.payload_fold) + "\"}";
+        return out;
+    };
+    const auto totals = r.merged.totals();
+    os << "{\n"
+       << "  \"model\": " << json_string(model) << ",\n"
+       << "  \"npu\": " << json_string(npu) << ",\n"
+       << "  \"seed\": " << cfg.seed << ",\n"
+       << "  \"tenants\": " << cfg.tenants << ",\n"
+       << "  \"inferences_per_tenant\": " << cfg.inferences << ",\n"
+       << "  \"unit_bytes\": " << infer::Model_binding::k_unit_bytes << ",\n"
+       << "  \"verification_failures\": " << r.verification_failures << ",\n"
+       << "  \"data_mismatches\": " << r.data_mismatches << ",\n"
+       << "  \"protected_bytes\": " << r.protected_bytes() << ",\n"
+       << "  \"load\": " << counters(r.merged.load) << ",\n"
+       << "  \"totals\": " << counters(totals) << ",\n"
+       << "  \"per_layer\": [\n";
+    for (std::size_t i = 0; i < r.merged.layers.size(); ++i) {
+        const auto& l = r.merged.layers[i];
+        os << "    {\"layer\": " << i << ", \"name\": " << json_string(l.name)
+           << ",\n     \"weight\": " << counters(l.weight)
+           << ",\n     \"ifmap\": " << counters(l.ifmap)
+           << ",\n     \"ofmap\": " << counters(l.ofmap) << "}"
+           << (i + 1 < r.merged.layers.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"per_tenant\": [\n";
+    for (std::size_t t = 0; t < r.per_tenant.size(); ++t) {
+        os << "    {\"tenant\": " << t
+           << ", \"totals\": " << counters(r.per_tenant[t].totals()) << "}"
+           << (t + 1 < r.per_tenant.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+int cmd_infer(const Options& o)
+{
+    infer::Infer_config cfg;
+    cfg.tenants = o.tenants_set ? o.tenants : 1;
+    cfg.inferences = o.requests_set ? o.requests : 1;
+    cfg.jobs = o.jobs;
+    cfg.seed = o.seed;
+    cfg.max_wait_us = o.max_wait_us;
+    if (o.mode == "serve")
+        cfg.path = infer::Replay_path::serve;
+    else if (o.mode == "session")
+        cfg.path = infer::Replay_path::session;
+    else
+        throw Seda_error("seda_cli: unknown --mode '" + o.mode + "' (serve|session)");
+
+    const auto result =
+        infer::run_infer(models::model_by_name(o.model), npu_by_name(o.npu), cfg);
+
+    // Timing to stderr: stdout stays byte-diffable across --jobs/--mode.
+    std::cerr << "infer: " << o.model << " on " << o.npu << " via " << o.mode << ", "
+              << cfg.tenants << " tenant(s) x " << cfg.inferences << " inference(s) in "
+              << fmt_f(result.wall_seconds, 3) << " s = "
+              << fmt_f(result.mb_per_second(), 1) << " MB/s protected ("
+              << fmt_bytes(result.protected_bytes()) << " through the secure path)\n";
+
+    if (o.json) {
+        print_infer_json(o.model, o.npu, cfg, result, std::cout);
+        return 0;
+    }
+
+    Ascii_table t({"layer", "name", "writes", "reads", "ok", "mac_mismatch", "replay",
+                   "bytes"});
+    for (std::size_t i = 0; i < result.merged.layers.size(); ++i) {
+        const auto c = result.merged.layers[i].total();
+        t.add_row({std::to_string(i), result.merged.layers[i].name,
+                   std::to_string(c.writes), std::to_string(c.reads), std::to_string(c.ok),
+                   std::to_string(c.mac_mismatch), std::to_string(c.replay_detected),
+                   std::to_string(c.bytes)});
+    }
+    const auto totals = result.merged.totals();
+    t.add_row({"-", "total", std::to_string(totals.writes), std::to_string(totals.reads),
+               std::to_string(totals.ok), std::to_string(totals.mac_mismatch),
+               std::to_string(totals.replay_detected), std::to_string(totals.bytes)});
+    t.print(std::cout);
+    std::cout << "verification failures: " << result.verification_failures
+              << "  data mismatches: " << result.data_mismatches << "\n";
+    return 0;
+}
+
 // ---------------------------------------------------------- command table ---
 
 struct Command {
@@ -327,6 +430,7 @@ constexpr Command k_commands[] = {
     {"report", cmd_report, "SCALE-Sim-style compute + memory reports"},
     {"suite", cmd_suite, "the full Fig. 5/6 sweep on one NPU"},
     {"loadgen", cmd_loadgen, "closed-loop multi-tenant serving load"},
+    {"infer", cmd_infer, "replay DNN layer traces as protected traffic"},
 };
 
 int usage(std::ostream& os)
@@ -341,16 +445,20 @@ int usage(std::ostream& os)
     os << "  help                      this message\n"
           "\n"
           "options:\n"
-          "  --model M                 workload short or full name (run, report)\n"
+          "  --model M                 workload short or full name (run, report, infer)\n"
           "  --npu server|edge         NPU config (default server)\n"
           "  --scheme S                protection scheme (run; default seda)\n"
-          "  --jobs N                  worker threads, 0 = hardware (run, suite, loadgen)\n"
+          "  --jobs N                  worker threads, 0 = hardware (run, suite,\n"
+          "                            loadgen, infer)\n"
           "  --csv                     CSV output (run, suite)\n"
-          "  --json                    JSON output (suite, loadgen)\n"
-          "  --tenants N               tenants to serve (loadgen; default 2)\n"
+          "  --json                    JSON output (suite, loadgen, infer)\n"
+          "  --tenants N               tenants to serve (loadgen 2; infer 1)\n"
           "  --clients N               closed-loop clients per tenant (loadgen; default 4)\n"
-          "  --requests N              requests per client (loadgen; default 64)\n"
-          "  --seed S                  loadgen determinism seed (default 24282)\n"
+          "  --requests N              requests per client (loadgen 64) /\n"
+          "                            inferences per tenant (infer 1)\n"
+          "  --mode serve|session      infer replay path (default serve)\n"
+          "  --max-wait-us N           batching linger window (loadgen, infer; default 0)\n"
+          "  --seed S                  determinism seed (loadgen, infer; default 24282)\n"
           "\n"
           "environment:\n"
           "  SEDA_AES_BACKEND=scalar|ttable   process-wide AES round impl\n"
@@ -377,12 +485,18 @@ Options parse(int argc, char** argv)
             o.scheme = next();
         else if (arg == "--jobs")
             parse_int(arg, next(), o.jobs);
-        else if (arg == "--tenants")
+        else if (arg == "--tenants") {
             parse_int(arg, next(), o.tenants);
-        else if (arg == "--clients")
+            o.tenants_set = true;
+        } else if (arg == "--clients")
             parse_int(arg, next(), o.clients);
-        else if (arg == "--requests")
+        else if (arg == "--requests") {
             parse_int(arg, next(), o.requests);
+            o.requests_set = true;
+        } else if (arg == "--mode")
+            o.mode = next();
+        else if (arg == "--max-wait-us")
+            parse_int(arg, next(), o.max_wait_us);
         else if (arg == "--seed")
             parse_int(arg, next(), o.seed);
         else if (arg == "--csv")
