@@ -3,14 +3,17 @@
 // the paper contrasts (standard CTR, shared-OTP, B-AES), plus the SECA
 // attack itself.
 //
-// Backend/bulk coverage: every CTR bench runs once per AES backend (scalar
-// reference vs t-table) and once per gear (blockwise crypt_standard vs
-// crypt_bulk), so the speedup of the batched table-driven pipeline is
-// measured, not asserted.  Compare e.g.
+// Backend/bulk coverage: every CTR bench runs once per AES backend and once
+// per gear (blockwise crypt_standard vs crypt_bulk), so the speedup of the
+// batched pipeline is measured, not asserted.  Compare e.g.
 //     bm_ctr_bulk<Aes_backend_kind::ttable>/4096
 //     bm_ctr_standard<Aes_backend_kind::scalar>/4096
 // for the full refactor win, and the same bench across backends for the
-// table-lookup share alone.
+// round-implementation share alone.  The hardware kinds (aesni, shani) are
+// registered at runtime only when this host's CPUID has the features -- a
+// static BENCHMARK() would silently measure the software fallback under a
+// hardware label on older CPUs -- which is why this file has its own main()
+// instead of BENCHMARK_MAIN().
 #include <benchmark/benchmark.h>
 
 #include <array>
@@ -25,6 +28,7 @@
 #include "crypto/ctr.h"
 #include "crypto/mac.h"
 #include "crypto/sha256.h"
+#include "crypto/sha256_backend.h"
 
 using namespace seda;
 using namespace seda::crypto;
@@ -200,6 +204,25 @@ BENCHMARK(bm_hmac_units_bulk<Sha256_backend_kind::fast>);
 // the paper's N-engines-vs-XOR-lanes hardware trade (Fig. 4).
 
 template <Aes_backend_kind K>
+void bm_ctr_keystream(benchmark::State& state)
+{
+    // Pure keystream generation (no XOR, no data movement): the fused
+    // counter path each backend provides.  64 blocks is crypt_bulk's batch;
+    // 256 shows the asymptote once per-call round-key loads amortize away.
+    const Aes aes(make_key(), K);
+    std::vector<Block16> pad(static_cast<std::size_t>(state.range(0)));
+    u64 vn = 0;
+    for (auto _ : state) {
+        aes.ctr_keystream(0x4000, vn, pad);
+        vn += pad.size();
+        benchmark::DoNotOptimize(pad.data());
+    }
+    state.SetBytesProcessed(static_cast<i64>(state.iterations()) * state.range(0) * 16);
+}
+BENCHMARK(bm_ctr_keystream<Aes_backend_kind::scalar>)->Arg(4)->Arg(64)->Arg(256);
+BENCHMARK(bm_ctr_keystream<Aes_backend_kind::ttable>)->Arg(4)->Arg(64)->Arg(256);
+
+template <Aes_backend_kind K>
 void bm_ctr_standard(benchmark::State& state)
 {
     const Aes_ctr ctr(make_key(), K);
@@ -323,4 +346,50 @@ BENCHMARK(bm_xor_mac_fold)->Arg(1024)->Arg(65536);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv)
+{
+    // Hardware-backend series, present only when this host can run them.
+    if (backend_available(Aes_backend_kind::aesni)) {
+        constexpr auto k = Aes_backend_kind::aesni;
+        benchmark::RegisterBenchmark("bm_aes128_block<Aes_backend_kind::aesni>",
+                                     bm_aes128_block<k>);
+        benchmark::RegisterBenchmark("bm_aes128_encrypt_blocks<Aes_backend_kind::aesni>",
+                                     bm_aes128_encrypt_blocks<k>)
+            ->Arg(32);
+        benchmark::RegisterBenchmark("bm_ctr_keystream<Aes_backend_kind::aesni>",
+                                     bm_ctr_keystream<k>)
+            ->Arg(4)
+            ->Arg(64)
+            ->Arg(256);
+        benchmark::RegisterBenchmark("bm_ctr_standard<Aes_backend_kind::aesni>",
+                                     bm_ctr_standard<k>)
+            ->Arg(64)
+            ->Arg(512)
+            ->Arg(4096);
+        benchmark::RegisterBenchmark("bm_ctr_bulk<Aes_backend_kind::aesni>", bm_ctr_bulk<k>)
+            ->Arg(64)
+            ->Arg(512)
+            ->Arg(4096);
+        benchmark::RegisterBenchmark("bm_baes_crypt<Aes_backend_kind::aesni>",
+                                     bm_baes_crypt<k>)
+            ->Arg(64)
+            ->Arg(512);
+    }
+    if (sha256_backend_available(Sha256_backend_kind::shani)) {
+        constexpr auto k = Sha256_backend_kind::shani;
+        benchmark::RegisterBenchmark("bm_sha256_64b<Sha256_backend_kind::shani>",
+                                     bm_sha256_64b<k>);
+        benchmark::RegisterBenchmark("bm_sha256_bulk<Sha256_backend_kind::shani>",
+                                     bm_sha256_bulk<k>)
+            ->Arg(4096);
+        benchmark::RegisterBenchmark("bm_hmac_units_loop<Sha256_backend_kind::shani>",
+                                     bm_hmac_units_loop<k>);
+        benchmark::RegisterBenchmark("bm_hmac_units_bulk<Sha256_backend_kind::shani>",
+                                     bm_hmac_units_bulk<k>);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -37,6 +38,40 @@ template <typename Kind>
     std::fprintf(stderr, "seda: %s=\"%s\" is not a backend (%s); using %s\n", env_var,
                  env, known.c_str(), def.c_str());
     return fallback;
+}
+
+/// The once-per-process resolution discipline both crypto resolvers share:
+/// resolves the env var exactly once (flipping it mid-run would silently mix
+/// backends across cached instances, and concurrent first-use from pool
+/// workers must neither race the resolution nor double-print a warning --
+/// the TSan CI job watches this), then degrades a resolved-but-unavailable
+/// kind (a hardware backend forced on a CPU without the feature) to
+/// `software_fallback` with a warning.  `preferred` is what an unset
+/// variable resolves to and must itself be available.  One static state per
+/// Kind instantiation, so the AES and SHA resolvers don't interfere.
+template <typename Kind>
+[[nodiscard]] Kind resolve_backend_env_once(
+    const char* env_var, std::span<const std::pair<std::string_view, Kind>> names,
+    Kind preferred, bool (*available)(Kind), Kind software_fallback)
+{
+    static std::once_flag resolved;
+    static Kind kind{};
+    std::call_once(resolved, [&] {
+        kind = resolve_backend_env<Kind>(env_var, names, preferred);
+        if (!available(kind)) {
+            std::string_view name = "?", fb = "?";
+            for (const auto& [n, k] : names) {
+                if (k == kind) name = n;
+                if (k == software_fallback) fb = n;
+            }
+            std::fprintf(stderr,
+                         "seda: %s=%.*s is not available on this CPU; using %.*s\n",
+                         env_var, static_cast<int>(name.size()), name.data(),
+                         static_cast<int>(fb.size()), fb.data());
+            kind = software_fallback;
+        }
+    });
+    return kind;
 }
 
 }  // namespace seda

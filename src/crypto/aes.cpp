@@ -40,6 +40,16 @@ void append_block_words(std::vector<u32>& words, const Block16& blk)
 
 std::vector<Block16> expand_round_keys(std::span<const u8> key)
 {
+    // AES-128 (the only key size on the stack's hot paths) expands through
+    // aeskeygenassist when available; 192/256-bit keys and hardware-less
+    // hosts take the portable path.  Bit-identical either way, which
+    // tests/crypto/aes_backend_test.cpp asserts.
+    if (std::vector<Block16> hw; aesni_expand_round_keys128(key, hw)) return hw;
+    return expand_round_keys_portable(key);
+}
+
+std::vector<Block16> expand_round_keys_portable(std::span<const u8> key)
+{
     int nk = 0;  // key length in 32-bit words
     int rounds = 0;
     switch (key.size()) {

@@ -40,9 +40,10 @@ using Block16 = std::array<u8, 16>;
 
 /// Which round implementation an Aes instance runs (see crypto/aes_backend.h).
 enum class Aes_backend_kind {
-    auto_select,  ///< t-table unless the SEDA_AES_BACKEND env var overrides
+    auto_select,  ///< aesni when the CPU has it, else ttable; SEDA_AES_BACKEND overrides
     scalar,       ///< byte-wise FIPS-197 reference
-    ttable,       ///< four 256xu32 tables, word-wise rounds (fast default)
+    ttable,       ///< four 256xu32 tables, word-wise rounds (software fast tier)
+    aesni,        ///< AES-NI rounds (VAES 2x128-lane CTR when available), CPUID-gated
 };
 
 [[nodiscard]] constexpr const char* to_string(Aes_backend_kind k)
@@ -51,6 +52,7 @@ enum class Aes_backend_kind {
         case Aes_backend_kind::auto_select: return "auto";
         case Aes_backend_kind::scalar: return "scalar";
         case Aes_backend_kind::ttable: return "ttable";
+        case Aes_backend_kind::aesni: return "aesni";
     }
     return "?";
 }
@@ -167,7 +169,13 @@ private:
 
 /// keyExpansion alone: the rounds+1 byte-form round keys for a 16/24/32-byte
 /// key (throws Seda_error otherwise), without the word-form schedules an Aes
-/// instance carries.  B-AES derived pad banks only need these.
+/// instance carries.  B-AES derived pad banks only need these.  AES-128
+/// expansion runs through aeskeygenassist when the AES-NI backend is
+/// available; the result is bit-identical to the portable path.
 [[nodiscard]] std::vector<Block16> expand_round_keys(std::span<const u8> key);
+
+/// The portable RotWord/SubWord/Rcon expansion, unconditionally.  Exposed so
+/// tests can cross-validate the aeskeygenassist path against it.
+[[nodiscard]] std::vector<Block16> expand_round_keys_portable(std::span<const u8> key);
 
 }  // namespace seda::crypto

@@ -1,6 +1,5 @@
 #include "crypto/aes_backend.h"
 
-#include <mutex>
 #include <string_view>
 #include <utility>
 
@@ -361,36 +360,56 @@ void Aes_backend::ctr_keystream(const Aes_key_schedule& ks, Addr pa, u64 vn,
 const Aes_backend& scalar_backend() { return k_scalar_backend; }
 const Aes_backend& ttable_backend() { return k_ttable_backend; }
 
+Cpu_crypto_features cpu_crypto_features()
+{
+    Cpu_crypto_features f;
+#if defined(__x86_64__)
+    f.aes = __builtin_cpu_supports("aes") != 0;
+    f.vaes = __builtin_cpu_supports("vaes") != 0;
+    f.sha_ni = __builtin_cpu_supports("sha") != 0;
+    f.avx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+    return f;
+}
+
+bool backend_available(Aes_backend_kind kind)
+{
+    return kind != Aes_backend_kind::aesni || aesni_backend() != nullptr;
+}
+
 Aes_backend_kind default_backend_kind()
 {
-    // Resolved exactly once per process: flipping the env var mid-run would
-    // silently mix backends across cached Aes instances, and concurrent
-    // first-use from pool workers must neither race the resolution nor
-    // double-print the unknown-value warning.  (A function-local static
-    // initializer gives the same guarantee; std::call_once states the
-    // once-only intent explicitly now that first-use is routinely
-    // concurrent, and the TSan job watches it.)
+    // Best available tier unless the env var forces one; the once-per-process
+    // discipline (and the degrade-to-ttable path for a hardware kind forced
+    // on a CPU without it) lives in resolve_backend_env_once.
     static constexpr std::pair<std::string_view, Aes_backend_kind> names[] = {
-        {"scalar", Aes_backend_kind::scalar}, {"ttable", Aes_backend_kind::ttable}};
-    static std::once_flag resolved;
-    static Aes_backend_kind kind = Aes_backend_kind::ttable;
-    std::call_once(resolved, [] {
-        kind = resolve_backend_env<Aes_backend_kind>("SEDA_AES_BACKEND", names,
-                                                     Aes_backend_kind::ttable);
-    });
-    return kind;
+        {"scalar", Aes_backend_kind::scalar},
+        {"ttable", Aes_backend_kind::ttable},
+        {"aesni", Aes_backend_kind::aesni}};
+    const Aes_backend_kind preferred =
+        aesni_backend() != nullptr ? Aes_backend_kind::aesni : Aes_backend_kind::ttable;
+    return resolve_backend_env_once<Aes_backend_kind>(
+        "SEDA_AES_BACKEND", names, preferred, backend_available, Aes_backend_kind::ttable);
 }
 
 const Aes_backend& backend_for(Aes_backend_kind kind)
 {
     if (kind == Aes_backend_kind::auto_select) kind = default_backend_kind();
-    return kind == Aes_backend_kind::scalar ? scalar_backend() : ttable_backend();
+    switch (kind) {
+        case Aes_backend_kind::scalar: return scalar_backend();
+        case Aes_backend_kind::aesni:
+            // Degrades to the software fast tier when the CPU can't run it,
+            // so a kind persisted in config stays safe across machines.
+            if (const Aes_backend* hw = aesni_backend()) return *hw;
+            [[fallthrough]];
+        default: return ttable_backend();
+    }
 }
 
 std::span<const Aes_backend_kind> all_backend_kinds()
 {
-    static constexpr std::array<Aes_backend_kind, 2> kinds = {Aes_backend_kind::scalar,
-                                                              Aes_backend_kind::ttable};
+    static constexpr std::array<Aes_backend_kind, 3> kinds = {
+        Aes_backend_kind::scalar, Aes_backend_kind::ttable, Aes_backend_kind::aesni};
     return kinds;
 }
 

@@ -1,8 +1,8 @@
 // Pluggable AES round implementations behind one key schedule.
 //
 // The functional secure-memory stack pushes every protected byte through
-// AES-CTR, so the round implementation is the hottest loop in the repo.  Two
-// backends exist deliberately:
+// AES-CTR, so the round implementation is the hottest loop in the repo.
+// Three backends exist deliberately:
 //
 //   * scalar  - byte-wise SubBytes/ShiftRows/MixColumns that mirrors the
 //               FIPS-197 pseudocode (gf_mul per MixColumns term).  Slow, but
@@ -11,13 +11,18 @@
 //   * ttable  - the classic four 256xu32 T-tables (SubBytes + ShiftRows +
 //               MixColumns fused per byte), word-wise rounds over u32 round
 //               keys.  The software analogue of a pipelined hardware engine
-//               and the default for bulk keystream generation.
+//               and the fallback tier on CPUs without AES-NI.
+//   * aesni   - hardware rounds via aesenc/aesdec with 8 blocks in flight,
+//               a fused CTR keystream, and a VAES 2x128-bit-lane gear when
+//               the CPU has it.  CPUID-gated at runtime; the default
+//               wherever available (src/crypto/aes_backend_aesni.cpp).
 //
 // Backends are stateless singletons: the key schedule travels with the Aes
 // instance, so one backend object serves any number of keys concurrently.
 // Selection happens at Aes construction (Aes_backend_kind); auto_select
-// resolves to ttable unless the SEDA_AES_BACKEND environment variable names
-// a backend, which is the cross-validation escape hatch for whole binaries.
+// resolves once per process to the best available tier (aesni -> ttable)
+// unless the SEDA_AES_BACKEND environment variable names a backend, which
+// is the cross-validation escape hatch for whole binaries.
 #pragma once
 
 #include <span>
@@ -55,17 +60,47 @@ public:
 /// The byte-wise FIPS-197 reference backend.
 [[nodiscard]] const Aes_backend& scalar_backend();
 
-/// The table-driven fast backend.
+/// The table-driven software fast backend.
 [[nodiscard]] const Aes_backend& ttable_backend();
 
+/// The AES-NI hardware backend, or nullptr when it can't run here (CPU
+/// without the aes feature, non-x86 build, or SEDA_DISABLE_HW_CRYPTO).
+[[nodiscard]] const Aes_backend* aesni_backend();
+
+/// Whether `kind` can run on this CPU/build.  scalar and ttable are always
+/// available; aesni mirrors aesni_backend() != nullptr.  Tests and the CLI
+/// use this to enumerate/force only what the host supports.
+[[nodiscard]] bool backend_available(Aes_backend_kind kind);
+
 /// Resolves a kind to a backend; auto_select honours SEDA_AES_BACKEND
-/// ("scalar" or "ttable", read once per process) and otherwise picks ttable.
+/// ("scalar", "ttable" or "aesni", read once per process) and otherwise
+/// picks the best available tier (aesni -> ttable).  A kind forced on a
+/// CPU that lacks it degrades to ttable (with a once-only warning when the
+/// forcing came from the environment).
 [[nodiscard]] const Aes_backend& backend_for(Aes_backend_kind kind);
 
 /// What auto_select currently resolves to.
 [[nodiscard]] Aes_backend_kind default_backend_kind();
 
-/// The concrete backends, for cross-validation sweeps.
+/// The concrete backends, for cross-validation sweeps.  Includes hardware
+/// kinds unconditionally; pair with backend_available() to skip what the
+/// host can't run.
 [[nodiscard]] std::span<const Aes_backend_kind> all_backend_kinds();
+
+/// CPU crypto features relevant to backend selection, as CPUID reports them
+/// (independent of SEDA_DISABLE_HW_CRYPTO; all false on non-x86).
+struct Cpu_crypto_features {
+    bool aes = false;     ///< AES-NI round instructions
+    bool vaes = false;    ///< 256-bit vector AES (with avx2: the wide CTR gear)
+    bool sha_ni = false;  ///< SHA extensions (sha256rnds2/msg1/msg2)
+    bool avx2 = false;    ///< 32-byte integer vectors
+};
+[[nodiscard]] Cpu_crypto_features cpu_crypto_features();
+
+/// AES-128 key expansion via aeskeygenassist, used by expand_round_keys as
+/// a drop-in for the portable path.  Returns false (leaving `out` untouched)
+/// unless the key is 16 bytes and the AES-NI backend is available.
+[[nodiscard]] bool aesni_expand_round_keys128(std::span<const u8> key,
+                                              std::vector<Block16>& out);
 
 }  // namespace seda::crypto

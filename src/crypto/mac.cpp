@@ -32,6 +32,29 @@ struct Bulk_plan {
     std::size_t tail_off = 0;      ///< offset into the shared tail scratch
 };
 
+/// Per-thread scratch reused across bulk calls.  The bulk pipeline runs
+/// once per tile on the hot path, and with a hardware compressor the cost
+/// of allocating fresh staging vectors per call rivals a compression wave;
+/// thread_local reuse keeps Hmac_engine's concurrent-const-use contract.
+struct Bulk_scratch {
+    std::vector<Sha256_state> states;
+    std::vector<Bulk_plan> plan;
+    std::vector<u8> tail;
+    std::vector<Sha256_job> jobs;
+    std::vector<Sha256_state> outer_states;
+    std::vector<u8> outer_blocks;
+    // Staging for the public entry points (disjoint from hmac_many's use).
+    std::vector<std::array<u8, 28>> fields;
+    std::vector<Bulk_msg> msgs;
+    std::vector<Digest256> digests;
+};
+
+Bulk_scratch& bulk_scratch()
+{
+    thread_local Bulk_scratch scratch;
+    return scratch;
+}
+
 /// Bulk HMAC-SHA256 core: out[i] = HMAC(messages[i]) with the ipad/opad
 /// compressions already folded into `inner0`/`outer0`.  All inner hashes
 /// advance in lock-step waves (one block per message per wave) through the
@@ -44,8 +67,11 @@ void hmac_many(const Sha256_backend& be, const Sha256_state& inner0,
                std::span<Digest256> out)
 {
     const std::size_t n = msgs.size();
-    std::vector<Sha256_state> states(n, inner0);
-    std::vector<Bulk_plan> plan(n);
+    Bulk_scratch& sc = bulk_scratch();
+    std::vector<Sha256_state>& states = sc.states;
+    states.assign(n, inner0);
+    std::vector<Bulk_plan>& plan = sc.plan;
+    plan.assign(n, Bulk_plan{});
 
     std::size_t tail_total = 0;
     std::size_t max_blocks = 0;
@@ -61,7 +87,8 @@ void hmac_many(const Sha256_backend& be, const Sha256_state& inner0,
 
     // Stage every tail: data remainder, suffix, 0x80, zeros, bit length of
     // the whole inner stream (the 64-byte ipad block counts toward it).
-    std::vector<u8> tail(tail_total, 0);
+    std::vector<u8>& tail = sc.tail;
+    tail.assign(tail_total, 0);
     for (std::size_t i = 0; i < n; ++i) {
         const Bulk_msg& m = msgs[i];
         const std::size_t rem = m.data.size() - plan[i].direct_blocks * k_hmac_block;
@@ -76,7 +103,7 @@ void hmac_many(const Sha256_backend& be, const Sha256_state& inner0,
     }
 
     // Inner waves: block b of every still-unfinished message, interleaved.
-    std::vector<Sha256_job> jobs;
+    std::vector<Sha256_job>& jobs = sc.jobs;
     jobs.reserve(n);
     for (std::size_t b = 0; b < max_blocks; ++b) {
         jobs.clear();
@@ -94,8 +121,10 @@ void hmac_many(const Sha256_backend& be, const Sha256_state& inner0,
 
     // Outer pass: each message's outer hash is exactly one padded block
     // (32-byte inner digest + padding), so the whole batch is one wave.
-    std::vector<Sha256_state> outer_states(n, outer0);
-    std::vector<u8> outer_blocks(n * k_hmac_block, 0);
+    std::vector<Sha256_state>& outer_states = sc.outer_states;
+    outer_states.assign(n, outer0);
+    std::vector<u8>& outer_blocks = sc.outer_blocks;
+    outer_blocks.assign(n * k_hmac_block, 0);
     jobs.clear();
     for (std::size_t i = 0; i < n; ++i) {
         u8* ob = outer_blocks.data() + i * k_hmac_block;
@@ -201,7 +230,8 @@ void Hmac_engine::digest_many(std::span<const std::span<const u8>> messages,
                               std::span<Digest256> out) const
 {
     require(messages.size() == out.size(), "Hmac_engine::digest_many: size mismatch");
-    std::vector<Bulk_msg> msgs(messages.size());
+    std::vector<Bulk_msg>& msgs = bulk_scratch().msgs;
+    msgs.assign(messages.size(), Bulk_msg{});
     for (std::size_t i = 0; i < messages.size(); ++i) msgs[i].data = messages[i];
     hmac_many(*backend_, inner_state_, outer_state_, msgs, out);
 }
@@ -210,13 +240,17 @@ void Hmac_engine::positional_macs(std::span<const Mac_request> reqs,
                                   std::span<u64> out) const
 {
     require(reqs.size() == out.size(), "Hmac_engine::positional_macs: size mismatch");
-    std::vector<std::array<u8, 28>> fields(reqs.size());
-    std::vector<Bulk_msg> msgs(reqs.size());
+    Bulk_scratch& sc = bulk_scratch();
+    std::vector<std::array<u8, 28>>& fields = sc.fields;
+    fields.resize(reqs.size());
+    std::vector<Bulk_msg>& msgs = sc.msgs;
+    msgs.resize(reqs.size());
     for (std::size_t i = 0; i < reqs.size(); ++i) {
         fields[i] = mac_fields(reqs[i].ctx);
         msgs[i] = {reqs[i].ciphertext, fields[i]};
     }
-    std::vector<Digest256> digests(reqs.size());
+    std::vector<Digest256>& digests = sc.digests;
+    digests.resize(reqs.size());
     hmac_many(*backend_, inner_state_, outer_state_, msgs, digests);
     for (std::size_t i = 0; i < reqs.size(); ++i) out[i] = truncate64(digests[i]);
 }

@@ -26,9 +26,10 @@ using Sha256_state = std::array<u32, 8>;
 /// Which compression implementation a Sha256 instance runs (see
 /// crypto/sha256_backend.h).
 enum class Sha256_backend_kind {
-    auto_select,  ///< fast unless the SEDA_SHA_BACKEND env var overrides
+    auto_select,  ///< shani when the CPU has it, else fast; SEDA_SHA_BACKEND overrides
     scalar,       ///< loop-form FIPS 180-4 reference
     fast,         ///< unrolled rounds, rolling schedule, multi-buffer lanes
+    shani,        ///< SHA-NI sha256rnds2/msg1/msg2 compression, CPUID-gated
 };
 
 [[nodiscard]] constexpr const char* to_string(Sha256_backend_kind k)
@@ -37,6 +38,7 @@ enum class Sha256_backend_kind {
         case Sha256_backend_kind::auto_select: return "auto";
         case Sha256_backend_kind::scalar: return "scalar";
         case Sha256_backend_kind::fast: return "fast";
+        case Sha256_backend_kind::shani: return "shani";
     }
     return "?";
 }

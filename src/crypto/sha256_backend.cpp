@@ -1,6 +1,5 @@
 #include "crypto/sha256_backend.h"
 
-#include <mutex>
 #include <string_view>
 #include <utility>
 
@@ -113,8 +112,14 @@ public:
 /// baseline has: wider vectors measured *slower* here because without
 /// -mavx2 GCC splits them in two and the working set spills (and on this
 /// repo's reference Xeon, 8 scalar-interleaved lanes spill the GP file the
-/// same way).  A hardware-targeted build can widen this to 32 bytes.
+/// same way).  On an AVX2-targeted build (-march=native etc.) the lane
+/// widens to 32 bytes = 8 messages per pass, keeping this tier competitive
+/// as the fallback below shani.
+#if defined(__AVX2__)
+using u32xv = u32 __attribute__((vector_size(32)));
+#else
 using u32xv = u32 __attribute__((vector_size(16)));
+#endif
 
 /// Lanes a word type carries: 1 for u32, 4 for u32xv.
 template <typename W>
@@ -292,34 +297,47 @@ void Sha256_backend::compress_many(std::span<const Sha256_job> jobs) const
 const Sha256_backend& scalar_sha256_backend() { return k_scalar_sha256_backend; }
 const Sha256_backend& fast_sha256_backend() { return k_fast_sha256_backend; }
 
+bool sha256_backend_available(Sha256_backend_kind kind)
+{
+    return kind != Sha256_backend_kind::shani || shani_sha256_backend() != nullptr;
+}
+
 Sha256_backend_kind default_sha256_backend_kind()
 {
-    // Resolved exactly once per process, like SEDA_AES_BACKEND: flipping
-    // the env var mid-run would silently mix backends across live hashers,
-    // and concurrent first-use from pool workers must neither race the
-    // resolution nor double-print the unknown-value warning.
+    // Best available tier unless the env var forces one; the once-per-process
+    // discipline (and the degrade-to-fast path for a hardware kind forced on
+    // a CPU without it) lives in resolve_backend_env_once.
     static constexpr std::pair<std::string_view, Sha256_backend_kind> names[] = {
-        {"scalar", Sha256_backend_kind::scalar}, {"fast", Sha256_backend_kind::fast}};
-    static std::once_flag resolved;
-    static Sha256_backend_kind kind = Sha256_backend_kind::fast;
-    std::call_once(resolved, [] {
-        kind = resolve_backend_env<Sha256_backend_kind>("SEDA_SHA_BACKEND", names,
-                                                        Sha256_backend_kind::fast);
-    });
-    return kind;
+        {"scalar", Sha256_backend_kind::scalar},
+        {"fast", Sha256_backend_kind::fast},
+        {"shani", Sha256_backend_kind::shani}};
+    const Sha256_backend_kind preferred = shani_sha256_backend() != nullptr
+                                              ? Sha256_backend_kind::shani
+                                              : Sha256_backend_kind::fast;
+    return resolve_backend_env_once<Sha256_backend_kind>(
+        "SEDA_SHA_BACKEND", names, preferred, sha256_backend_available,
+        Sha256_backend_kind::fast);
 }
 
 const Sha256_backend& sha256_backend_for(Sha256_backend_kind kind)
 {
     if (kind == Sha256_backend_kind::auto_select) kind = default_sha256_backend_kind();
-    return kind == Sha256_backend_kind::scalar ? scalar_sha256_backend()
-                                               : fast_sha256_backend();
+    switch (kind) {
+        case Sha256_backend_kind::scalar: return scalar_sha256_backend();
+        case Sha256_backend_kind::shani:
+            // Degrades to the software fast tier when the CPU can't run it,
+            // so a kind persisted in config stays safe across machines.
+            if (const Sha256_backend* hw = shani_sha256_backend()) return *hw;
+            [[fallthrough]];
+        default: return fast_sha256_backend();
+    }
 }
 
 std::span<const Sha256_backend_kind> all_sha256_backend_kinds()
 {
-    static constexpr std::array<Sha256_backend_kind, 2> kinds = {
-        Sha256_backend_kind::scalar, Sha256_backend_kind::fast};
+    static constexpr std::array<Sha256_backend_kind, 3> kinds = {
+        Sha256_backend_kind::scalar, Sha256_backend_kind::fast,
+        Sha256_backend_kind::shani};
     return kinds;
 }
 

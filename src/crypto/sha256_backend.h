@@ -12,16 +12,22 @@
 //   * fast   - fully unrolled rounds with the 16-word rolling message
 //              schedule kept in registers, plus a multi-buffer
 //              compress_many that interleaves independent messages to hide
-//              the serial a..h dependency chain.  This is the shape a
-//              hardware SHA extension (SHA-NI) slots into later behind a
-//              CPUID gate: same interface, same multi-buffer batching.
+//              the serial a..h dependency chain (GCC generic vectors; the
+//              lane widens to 32 B on AVX2-targeted builds).  The fallback
+//              tier on CPUs without the SHA extensions.
+//   * shani  - hardware compression via sha256rnds2/sha256msg1/sha256msg2,
+//              with a compress_many that round-robins two independent
+//              messages through the pipeline per pass.  CPUID-gated at
+//              runtime; the default wherever available
+//              (src/crypto/sha256_backend_shani.cpp).
 //
 // Backends are stateless singletons (immutable round constants only), so
 // const use is thread-safe and one backend object serves any number of
 // hashers concurrently.  Selection happens at Sha256 / Hmac_engine
-// construction (Sha256_backend_kind); auto_select resolves to fast unless
-// the SEDA_SHA_BACKEND environment variable names a backend, which is the
-// cross-validation escape hatch for whole binaries.
+// construction (Sha256_backend_kind); auto_select resolves once per process
+// to the best available tier (shani -> fast) unless the SEDA_SHA_BACKEND
+// environment variable names a backend, which is the cross-validation
+// escape hatch for whole binaries.
 #pragma once
 
 #include <span>
@@ -77,14 +83,27 @@ public:
 /// The unrolled + multi-buffer fast backend.
 [[nodiscard]] const Sha256_backend& fast_sha256_backend();
 
+/// The SHA-NI hardware backend, or nullptr when it can't run here (CPU
+/// without the sha feature, non-x86 build, or SEDA_DISABLE_HW_CRYPTO).
+[[nodiscard]] const Sha256_backend* shani_sha256_backend();
+
+/// Whether `kind` can run on this CPU/build.  scalar and fast are always
+/// available; shani mirrors shani_sha256_backend() != nullptr.
+[[nodiscard]] bool sha256_backend_available(Sha256_backend_kind kind);
+
 /// Resolves a kind to a backend; auto_select honours SEDA_SHA_BACKEND
-/// ("scalar" or "fast", read once per process) and otherwise picks fast.
+/// ("scalar", "fast" or "shani", read once per process) and otherwise picks
+/// the best available tier (shani -> fast).  A kind forced on a CPU that
+/// lacks it degrades to fast (with a once-only warning when the forcing
+/// came from the environment).
 [[nodiscard]] const Sha256_backend& sha256_backend_for(Sha256_backend_kind kind);
 
 /// What auto_select currently resolves to.
 [[nodiscard]] Sha256_backend_kind default_sha256_backend_kind();
 
-/// The concrete backends, for cross-validation sweeps.
+/// The concrete backends, for cross-validation sweeps.  Includes hardware
+/// kinds unconditionally; pair with sha256_backend_available() to skip what
+/// the host can't run.
 [[nodiscard]] std::span<const Sha256_backend_kind> all_sha256_backend_kinds();
 
 }  // namespace seda::crypto

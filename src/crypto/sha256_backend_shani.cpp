@@ -1,0 +1,243 @@
+// The SHA-NI hardware backend: FIPS 180-4 compression as instructions.
+//
+// sha256rnds2 executes two rounds on the (ABEF, CDGH) state halves; the
+// message schedule advances through sha256msg1/sha256msg2 plus one alignr
+// per 4-round group.  A 64-byte block costs 32 rnds2 plus schedule ops
+// instead of the software tier's ~64 unrolled scalar rounds, and the state
+// never leaves two XMM registers.
+//
+// The rnds2 chain of one message is serial (latency ~4-6 cycles, one start
+// per chain step), so single-stream compression is latency-bound exactly
+// like the software tiers.  compress_many therefore round-robins TWO
+// independent messages through the pipeline per pass -- every instruction
+// of message B issues in the shadow of message A's chain -- which is the
+// same multi-buffer discipline Hmac_engine's wave scheduler was shaped for.
+// Two is the sweet spot: the working set (2 states + 2x4 schedule + 2
+// message temps + saves) already fills the 16-register XMM file.
+//
+// State packing follows the instruction's convention: state0 = ABEF,
+// state1 = CDGH (high lane first), entered and left through the canonical
+// shuffle/alignr/blend sequence.  Message words load big-endian via one
+// pshufb per 16 bytes.
+//
+// The whole implementation sits in a target("sha,ssse3,sse4.1") pragma
+// region (plus per-file -msha flags in CMake, belt and braces), so the TU
+// builds under the baseline -march; runtime selection happens once in
+// shani_sha256_backend() via __builtin_cpu_supports.  SEDA_DISABLE_HW_CRYPTO
+// compiles the backend out, leaving the nullptr stub at the bottom.
+#include "crypto/sha256_backend.h"
+
+#if defined(__x86_64__) && !defined(SEDA_DISABLE_HW_CRYPTO)
+
+#include <immintrin.h>
+
+namespace seda::crypto {
+namespace {
+
+// The FIPS 180-4 round constants (sec. 4.2.2), duplicated from the software
+// TU: k4() below wants them contiguous in this TU's .rodata, and the
+// anonymous-namespace copy there is deliberately not exported.
+constexpr std::array<u32, 64> k_k = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+#pragma GCC push_options
+#pragma GCC target("sha,ssse3,sse4.1")
+
+/// K constants for 4-round group `g`, one per lane.
+inline __m128i k4(int g)
+{
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(&k_k[static_cast<std::size_t>(4 * g)]));
+}
+
+/// Big-endian 16-byte load: pshufb mask swapping each u32's bytes.
+inline __m128i load_be_words(const u8* p)
+{
+    const __m128i mask = _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+    return _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p)), mask);
+}
+
+/// Four rounds over N interleaved messages with the schedule update for the
+/// NEXT occurrence of this group's registers: cur holds W[4g..4g+3], nxt
+/// accumulates W[4g+4..4g+7], prev is fed through msg1 for the group after.
+/// The three-operand schedule recurrence maps onto alignr + add + msg2
+/// (sigma1 + adds) and msg1 (sigma0 + add), per the instruction split.
+#define SEDA_SHANI_GRP(g, cur, nxt, prev, do_msg1)                                       \
+    for (int j = 0; j < N; ++j) msg[j] = _mm_add_epi32(cur[j], k4(g));                   \
+    for (int j = 0; j < N; ++j) s1[j] = _mm_sha256rnds2_epu32(s1[j], s0[j], msg[j]);     \
+    for (int j = 0; j < N; ++j)                                                          \
+        nxt[j] = _mm_sha256msg2_epu32(                                                   \
+            _mm_add_epi32(nxt[j], _mm_alignr_epi8(cur[j], prev[j], 4)), cur[j]);         \
+    for (int j = 0; j < N; ++j) msg[j] = _mm_shuffle_epi32(msg[j], 0x0E);                \
+    for (int j = 0; j < N; ++j) s0[j] = _mm_sha256rnds2_epu32(s0[j], s1[j], msg[j]);     \
+    if constexpr (do_msg1)                                                               \
+        for (int j = 0; j < N; ++j) prev[j] = _mm_sha256msg1_epu32(prev[j], cur[j]);
+
+/// One 64-byte block over N interleaved messages; states stay packed as
+/// (ABEF, CDGH) in s0/s1.
+template <int N>
+inline void compress_rounds(__m128i (&s0)[N], __m128i (&s1)[N], const u8* (&p)[N])
+{
+    __m128i save0[N], save1[N], t0[N], t1[N], t2[N], t3[N], msg[N];
+    for (int j = 0; j < N; ++j) save0[j] = s0[j];
+    for (int j = 0; j < N; ++j) save1[j] = s1[j];
+
+    // Rounds 0-3: schedule registers fill as the first groups retire.
+    for (int j = 0; j < N; ++j) t0[j] = load_be_words(p[j]);
+    for (int j = 0; j < N; ++j) msg[j] = _mm_add_epi32(t0[j], k4(0));
+    for (int j = 0; j < N; ++j) s1[j] = _mm_sha256rnds2_epu32(s1[j], s0[j], msg[j]);
+    for (int j = 0; j < N; ++j) msg[j] = _mm_shuffle_epi32(msg[j], 0x0E);
+    for (int j = 0; j < N; ++j) s0[j] = _mm_sha256rnds2_epu32(s0[j], s1[j], msg[j]);
+
+    // Rounds 4-7.
+    for (int j = 0; j < N; ++j) t1[j] = load_be_words(p[j] + 16);
+    for (int j = 0; j < N; ++j) msg[j] = _mm_add_epi32(t1[j], k4(1));
+    for (int j = 0; j < N; ++j) s1[j] = _mm_sha256rnds2_epu32(s1[j], s0[j], msg[j]);
+    for (int j = 0; j < N; ++j) msg[j] = _mm_shuffle_epi32(msg[j], 0x0E);
+    for (int j = 0; j < N; ++j) s0[j] = _mm_sha256rnds2_epu32(s0[j], s1[j], msg[j]);
+    for (int j = 0; j < N; ++j) t0[j] = _mm_sha256msg1_epu32(t0[j], t1[j]);
+
+    // Rounds 8-11.
+    for (int j = 0; j < N; ++j) t2[j] = load_be_words(p[j] + 32);
+    for (int j = 0; j < N; ++j) msg[j] = _mm_add_epi32(t2[j], k4(2));
+    for (int j = 0; j < N; ++j) s1[j] = _mm_sha256rnds2_epu32(s1[j], s0[j], msg[j]);
+    for (int j = 0; j < N; ++j) msg[j] = _mm_shuffle_epi32(msg[j], 0x0E);
+    for (int j = 0; j < N; ++j) s0[j] = _mm_sha256rnds2_epu32(s0[j], s1[j], msg[j]);
+    for (int j = 0; j < N; ++j) t1[j] = _mm_sha256msg1_epu32(t1[j], t2[j]);
+
+    // Rounds 12-15: the last loads; the schedule recurrence starts rolling.
+    for (int j = 0; j < N; ++j) t3[j] = load_be_words(p[j] + 48);
+    SEDA_SHANI_GRP(3, t3, t0, t2, true)
+
+    // Rounds 16-51: the rolling pattern, schedule registers rotating roles.
+    SEDA_SHANI_GRP(4, t0, t1, t3, true)
+    SEDA_SHANI_GRP(5, t1, t2, t0, true)
+    SEDA_SHANI_GRP(6, t2, t3, t1, true)
+    SEDA_SHANI_GRP(7, t3, t0, t2, true)
+    SEDA_SHANI_GRP(8, t0, t1, t3, true)
+    SEDA_SHANI_GRP(9, t1, t2, t0, true)
+    SEDA_SHANI_GRP(10, t2, t3, t1, true)
+    SEDA_SHANI_GRP(11, t3, t0, t2, true)
+    SEDA_SHANI_GRP(12, t0, t1, t3, true)
+
+    // Rounds 52-59: no further msg1 -- W[64..] is never needed.
+    SEDA_SHANI_GRP(13, t1, t2, t0, false)
+    SEDA_SHANI_GRP(14, t2, t3, t1, false)
+
+    // Rounds 60-63.
+    for (int j = 0; j < N; ++j) msg[j] = _mm_add_epi32(t3[j], k4(15));
+    for (int j = 0; j < N; ++j) s1[j] = _mm_sha256rnds2_epu32(s1[j], s0[j], msg[j]);
+    for (int j = 0; j < N; ++j) msg[j] = _mm_shuffle_epi32(msg[j], 0x0E);
+    for (int j = 0; j < N; ++j) s0[j] = _mm_sha256rnds2_epu32(s0[j], s1[j], msg[j]);
+
+    for (int j = 0; j < N; ++j) s0[j] = _mm_add_epi32(s0[j], save0[j]);
+    for (int j = 0; j < N; ++j) s1[j] = _mm_add_epi32(s1[j], save1[j]);
+}
+
+#undef SEDA_SHANI_GRP
+
+/// N message streams, `nblocks` consecutive blocks each; the packed states
+/// enter and leave registers exactly once.
+template <int N>
+void compress_shani(Sha256_state* (&states)[N], const u8* (&p)[N], std::size_t nblocks)
+{
+    __m128i s0[N], s1[N];
+    for (int j = 0; j < N; ++j) {
+        // (a,b,c,d) and (e,f,g,h) -> the (ABEF, CDGH) packing rnds2 wants.
+        __m128i abcd =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(states[j]->data()));
+        __m128i efgh =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(states[j]->data() + 4));
+        abcd = _mm_shuffle_epi32(abcd, 0xB1);             // (b,a,d,c)
+        efgh = _mm_shuffle_epi32(efgh, 0x1B);             // (h,g,f,e)
+        s0[j] = _mm_alignr_epi8(abcd, efgh, 8);           // ABEF
+        s1[j] = _mm_blend_epi16(efgh, abcd, 0xF0);        // CDGH
+    }
+
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        compress_rounds<N>(s0, s1, p);
+        for (int j = 0; j < N; ++j) p[j] += 64;
+    }
+
+    for (int j = 0; j < N; ++j) {
+        const __m128i feba = _mm_shuffle_epi32(s0[j], 0x1B);   // (a,b,e,f)
+        const __m128i dchg = _mm_shuffle_epi32(s1[j], 0xB1);   // (g,h,c,d)
+        const __m128i abcd = _mm_blend_epi16(feba, dchg, 0xF0);
+        const __m128i efgh = _mm_alignr_epi8(dchg, feba, 8);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(states[j]->data()), abcd);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(states[j]->data() + 4), efgh);
+    }
+}
+
+class Shani_sha256_backend final : public Sha256_backend {
+public:
+    [[nodiscard]] std::string_view name() const override { return "shani"; }
+
+    void compress(Sha256_state& state, const u8* data, std::size_t nblocks) const override
+    {
+        Sha256_state* states[1] = {&state};
+        const u8* p[1] = {data};
+        compress_shani<1>(states, p, nblocks);
+    }
+
+    void compress_many(std::span<const Sha256_job> jobs) const override
+    {
+        // Four-stream waves, then a pair, then a lone message.  Four lanes
+        // oversubscribe the XMM file, but the t-register spills land on the
+        // load/store ports while every sha256* (and shuffle) instruction
+        // competes for ONE execution port; keeping four serial rnds2 chains
+        // in flight is what fills it.  Wider waves lose to spill traffic:
+        // measured on tile-sized batches (bm_hmac_units_bulk) 4 lanes beat
+        // 2, 6 and 8 on a SHA-NI Xeon.
+        std::size_t i = 0;
+        for (; i + 4 <= jobs.size(); i += 4) {
+            Sha256_state* states[4] = {jobs[i].state, jobs[i + 1].state,
+                                       jobs[i + 2].state, jobs[i + 3].state};
+            const u8* p[4] = {jobs[i].block, jobs[i + 1].block, jobs[i + 2].block,
+                              jobs[i + 3].block};
+            compress_shani<4>(states, p, 1);
+        }
+        if (i + 2 <= jobs.size()) {
+            Sha256_state* states[2] = {jobs[i].state, jobs[i + 1].state};
+            const u8* p[2] = {jobs[i].block, jobs[i + 1].block};
+            compress_shani<2>(states, p, 1);
+            i += 2;
+        }
+        if (i < jobs.size()) compress(*jobs[i].state, jobs[i].block, 1);
+    }
+};
+
+#pragma GCC pop_options
+
+const Shani_sha256_backend k_shani_backend;
+
+}  // namespace
+
+const Sha256_backend* shani_sha256_backend()
+{
+    static const bool available = __builtin_cpu_supports("sha") &&
+                                  __builtin_cpu_supports("ssse3") &&
+                                  __builtin_cpu_supports("sse4.1");
+    return available ? &k_shani_backend : nullptr;
+}
+
+}  // namespace seda::crypto
+
+#else  // non-x86 build or SEDA_DISABLE_HW_CRYPTO: the backend compiles out.
+
+namespace seda::crypto {
+
+const Sha256_backend* shani_sha256_backend() { return nullptr; }
+
+}  // namespace seda::crypto
+
+#endif

@@ -1,6 +1,9 @@
 // Cross-validation of the pluggable AES backends: every backend must produce
 // identical ciphertext from the same key schedule, on the FIPS-197 vectors
-// and on randomized keys/blocks across all three key sizes.
+// and on randomized keys/blocks across all three key sizes.  Backend kinds
+// are enumerated at runtime -- hardware kinds skip with a message on hosts
+// whose CPUID lacks the feature, so the same test binary is exhaustive on
+// an AES-NI Xeon and green on a feature-less VM.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -9,9 +12,19 @@
 #include "common/rng.h"
 #include "crypto/aes.h"
 #include "crypto/aes_backend.h"
+#include "crypto/ctr.h"
 
 namespace seda::crypto {
 namespace {
+
+/// The subset of all_backend_kinds() this host can actually run.
+std::vector<Aes_backend_kind> available_backend_kinds()
+{
+    std::vector<Aes_backend_kind> kinds;
+    for (const auto kind : all_backend_kinds())
+        if (backend_available(kind)) kinds.push_back(kind);
+    return kinds;
+}
 
 std::vector<u8> from_hex(const std::string& hex)
 {
@@ -44,7 +57,15 @@ constexpr Fips_vector k_fips_vectors[] = {
      "00112233445566778899aabbccddeeff", "8ea2b7ca516745bfeafc49904b496089"},
 };
 
-class AesBackendTest : public ::testing::TestWithParam<Aes_backend_kind> {};
+class AesBackendTest : public ::testing::TestWithParam<Aes_backend_kind> {
+protected:
+    void SetUp() override
+    {
+        if (!backend_available(GetParam()))
+            GTEST_SKIP() << to_string(GetParam())
+                         << " backend not available on this CPU/build";
+    }
+};
 
 TEST_P(AesBackendTest, Fips197Vectors)
 {
@@ -91,29 +112,94 @@ TEST_P(AesBackendTest, BulkMatchesBlockwise)
     EXPECT_EQ(bulk, blocks);
 }
 
+TEST_P(AesBackendTest, CtrKeystreamMatchesCounterAssembly)
+{
+    // The fused keystream must equal encrypt(make_counter) blockwise, at
+    // every length that exercises a partial hardware wave (8 blocks in
+    // flight) and a partial ttable lane pair.
+    Rng rng(0x5EED);
+    std::vector<u8> key(16);
+    for (auto& b : key) b = rng.next_byte();
+    const Aes aes(key, GetParam());
+    for (const std::size_t n : {0u, 1u, 2u, 7u, 8u, 9u, 15u, 16u, 65u}) {
+        std::vector<Block16> fused(n);
+        aes.ctr_keystream(0xABCD'0000, 77, fused);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(fused[i], aes.encrypt_block(make_counter(0xABCD'0000, 77 + i)))
+                << "block " << i << " of " << n;
+    }
+}
+
+TEST_P(AesBackendTest, CtrKeystreamWrapsVnHalf)
+{
+    // The VN half wraps mod 2^64 (counter_add's contract); start counters
+    // close enough to the edge that every batch shape crosses it.
+    Rng rng(0x3A9);
+    std::vector<u8> key(16);
+    for (auto& b : key) b = rng.next_byte();
+    const Aes aes(key, GetParam());
+    for (const u64 before : {1u, 3u, 7u, 11u}) {
+        const u64 vn = ~u64{0} - before + 1;  // wraps after `before` blocks
+        std::vector<Block16> fused(24);
+        aes.ctr_keystream(0x4000, vn, fused);
+        for (std::size_t i = 0; i < fused.size(); ++i) {
+            const u64 v = vn + i;  // u64 arithmetic wraps exactly like the spec
+            EXPECT_EQ(fused[i], aes.encrypt_block(make_counter(0x4000, v)))
+                << "block " << i << " from 2^64-" << before;
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Kinds, AesBackendTest,
-                         ::testing::Values(Aes_backend_kind::scalar,
-                                           Aes_backend_kind::ttable),
+                         ::testing::ValuesIn(all_backend_kinds().begin(),
+                                             all_backend_kinds().end()),
                          [](const auto& info) { return to_string(info.param); });
 
 TEST(AesBackendCrossValidation, RandomKeysAndBlocksAgree)
 {
+    // >= 200 randomized (key, block) trials diffing every available backend
+    // against the FIPS-197 scalar reference, across all three key sizes.
     Rng rng(0xC0DE);
+    const auto kinds = available_backend_kinds();
     for (const std::size_t key_len : {16u, 24u, 32u}) {
         for (int trial = 0; trial < 16; ++trial) {
             std::vector<u8> key(key_len);
             for (auto& b : key) b = rng.next_byte();
             const Aes scalar(key, Aes_backend_kind::scalar);
-            const Aes ttable(key, Aes_backend_kind::ttable);
+            std::vector<Aes> others;
+            for (const auto kind : kinds)
+                if (kind != Aes_backend_kind::scalar) others.emplace_back(key, kind);
             for (int i = 0; i < 16; ++i) {
                 Block16 p{};
                 for (auto& b : p) b = rng.next_byte();
                 const Block16 c = scalar.encrypt_block(p);
-                EXPECT_EQ(ttable.encrypt_block(p), c);
                 EXPECT_EQ(scalar.decrypt_block(c), p);
-                EXPECT_EQ(ttable.decrypt_block(c), p);
+                for (const Aes& aes : others) {
+                    EXPECT_EQ(aes.encrypt_block(p), c) << aes.backend_name();
+                    EXPECT_EQ(aes.decrypt_block(c), p) << aes.backend_name();
+                }
             }
         }
+    }
+}
+
+TEST(AesBackendCrossValidation, HardwareKeyExpansionMatchesPortable)
+{
+    // expand_round_keys dispatches AES-128 through aeskeygenassist when the
+    // hardware is present; the schedule must be bit-identical to the
+    // portable RotWord/SubWord/Rcon path for any key.  (On hosts without
+    // AES-NI both calls take the portable path and this degenerates to a
+    // determinism check.)
+    Rng rng(0x4E5);
+    for (int trial = 0; trial < 64; ++trial) {
+        std::vector<u8> key(16);
+        for (auto& b : key) b = rng.next_byte();
+        EXPECT_EQ(expand_round_keys(key), expand_round_keys_portable(key));
+    }
+    for (const std::size_t key_len : {24u, 32u}) {
+        std::vector<u8> key(key_len);
+        for (auto& b : key) b = rng.next_byte();
+        EXPECT_EQ(expand_round_keys(key), expand_round_keys_portable(key));
     }
 }
 
@@ -142,7 +228,18 @@ TEST(AesBackendRegistry, NamesAndResolution)
     // auto_select resolves to the process-wide default.
     EXPECT_EQ(&backend_for(Aes_backend_kind::auto_select),
               &backend_for(default_backend_kind()));
-    EXPECT_EQ(all_backend_kinds().size(), 2u);
+    EXPECT_EQ(all_backend_kinds().size(), 3u);
+    // scalar and ttable run anywhere; aesni mirrors the CPUID gate.
+    EXPECT_TRUE(backend_available(Aes_backend_kind::scalar));
+    EXPECT_TRUE(backend_available(Aes_backend_kind::ttable));
+    EXPECT_EQ(backend_available(Aes_backend_kind::aesni), aesni_backend() != nullptr);
+    if (aesni_backend() != nullptr) {
+        EXPECT_EQ(aesni_backend()->name(), "aesni");
+        EXPECT_EQ(&backend_for(Aes_backend_kind::aesni), aesni_backend());
+    } else {
+        // A hardware kind forced on a CPU without it degrades to ttable.
+        EXPECT_EQ(&backend_for(Aes_backend_kind::aesni), &ttable_backend());
+    }
 }
 
 TEST(AesBackendRegistry, AesReportsItsBackend)
@@ -150,6 +247,9 @@ TEST(AesBackendRegistry, AesReportsItsBackend)
     std::vector<u8> key(16, 0x42);
     EXPECT_EQ(Aes(key, Aes_backend_kind::scalar).backend_name(), "scalar");
     EXPECT_EQ(Aes(key, Aes_backend_kind::ttable).backend_name(), "ttable");
+    if (backend_available(Aes_backend_kind::aesni)) {
+        EXPECT_EQ(Aes(key, Aes_backend_kind::aesni).backend_name(), "aesni");
+    }
 }
 
 }  // namespace

@@ -16,11 +16,14 @@
 // cross-validation knob.
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <span>
 #include <string>
 
+#include "crypto/aes_backend.h"
+#include "crypto/sha256_backend.h"
 #include "seda.h"
 
 using namespace seda;
@@ -416,6 +419,80 @@ int cmd_infer(const Options& o)
     return 0;
 }
 
+/// One row of the `backends` report: a backend kind with its availability
+/// and whether the process-wide default resolved to it.
+struct Backend_row {
+    std::string name;
+    bool available;
+    bool selected;
+};
+
+template <typename Kind>
+std::vector<Backend_row> backend_rows(std::span<const Kind> kinds, bool (*available)(Kind),
+                                      Kind selected)
+{
+    std::vector<Backend_row> rows;
+    for (const Kind kind : kinds)
+        rows.push_back({std::string(to_string(kind)), available(kind), kind == selected});
+    return rows;
+}
+
+int cmd_backends(const Options& o)
+{
+    const auto features = crypto::cpu_crypto_features();
+    const char* aes_env = std::getenv("SEDA_AES_BACKEND");
+    const char* sha_env = std::getenv("SEDA_SHA_BACKEND");
+    // Resolving the defaults here also emits the startup warning (once) if
+    // an env override names an unknown or unavailable backend.
+    const auto aes_rows = backend_rows<crypto::Aes_backend_kind>(
+        crypto::all_backend_kinds(), crypto::backend_available,
+        crypto::default_backend_kind());
+    const auto sha_rows = backend_rows<crypto::Sha256_backend_kind>(
+        crypto::all_sha256_backend_kinds(), crypto::sha256_backend_available,
+        crypto::default_sha256_backend_kind());
+
+    if (o.json) {
+        const auto row_list = [](const std::vector<Backend_row>& rows) {
+            std::string out;
+            for (std::size_t i = 0; i < rows.size(); ++i)
+                out += std::string(i ? ", " : "") + "{\"name\": " + json_string(rows[i].name) +
+                       ", \"available\": " + (rows[i].available ? "true" : "false") +
+                       ", \"selected\": " + (rows[i].selected ? "true" : "false") + "}";
+            return out;
+        };
+        std::cout << "{\n  \"cpu\": {\"aes\": " << (features.aes ? "true" : "false")
+                  << ", \"vaes\": " << (features.vaes ? "true" : "false")
+                  << ", \"sha_ni\": " << (features.sha_ni ? "true" : "false")
+                  << ", \"avx2\": " << (features.avx2 ? "true" : "false") << "},\n"
+                  << "  \"env\": {\"SEDA_AES_BACKEND\": "
+                  << (aes_env ? json_string(aes_env) : "null")
+                  << ", \"SEDA_SHA_BACKEND\": " << (sha_env ? json_string(sha_env) : "null")
+                  << "},\n"
+                  << "  \"aes\": {\"selected\": "
+                  << json_string(to_string(crypto::default_backend_kind()))
+                  << ", \"backends\": [" << row_list(aes_rows) << "]},\n"
+                  << "  \"sha256\": {\"selected\": "
+                  << json_string(to_string(crypto::default_sha256_backend_kind()))
+                  << ", \"backends\": [" << row_list(sha_rows) << "]}\n"
+                  << "}\n";
+        return 0;
+    }
+
+    const auto flag = [](bool b) { return b ? "yes" : "no"; };
+    std::cout << "cpu features: aes=" << flag(features.aes) << " vaes=" << flag(features.vaes)
+              << " sha_ni=" << flag(features.sha_ni) << " avx2=" << flag(features.avx2)
+              << "\n"
+              << "env overrides: SEDA_AES_BACKEND=" << (aes_env ? aes_env : "(unset)")
+              << " SEDA_SHA_BACKEND=" << (sha_env ? sha_env : "(unset)") << "\n";
+    Ascii_table t({"interface", "backend", "available", "selected"});
+    for (const auto& r : aes_rows)
+        t.add_row({"aes", r.name, flag(r.available), r.selected ? "*" : ""});
+    for (const auto& r : sha_rows)
+        t.add_row({"sha256", r.name, flag(r.available), r.selected ? "*" : ""});
+    t.print(std::cout);
+    return 0;
+}
+
 // ---------------------------------------------------------- command table ---
 
 struct Command {
@@ -431,6 +508,7 @@ constexpr Command k_commands[] = {
     {"suite", cmd_suite, "the full Fig. 5/6 sweep on one NPU"},
     {"loadgen", cmd_loadgen, "closed-loop multi-tenant serving load"},
     {"infer", cmd_infer, "replay DNN layer traces as protected traffic"},
+    {"backends", cmd_backends, "detected CPU crypto features and backend selection"},
 };
 
 int usage(std::ostream& os)
@@ -451,7 +529,7 @@ int usage(std::ostream& os)
           "  --jobs N                  worker threads, 0 = hardware (run, suite,\n"
           "                            loadgen, infer)\n"
           "  --csv                     CSV output (run, suite)\n"
-          "  --json                    JSON output (suite, loadgen, infer)\n"
+          "  --json                    JSON output (suite, loadgen, infer, backends)\n"
           "  --tenants N               tenants to serve (loadgen 2; infer 1)\n"
           "  --clients N               closed-loop clients per tenant (loadgen; default 4)\n"
           "  --requests N              requests per client (loadgen 64) /\n"
@@ -461,9 +539,10 @@ int usage(std::ostream& os)
           "  --seed S                  determinism seed (loadgen, infer; default 24282)\n"
           "\n"
           "environment:\n"
-          "  SEDA_AES_BACKEND=scalar|ttable   process-wide AES round impl\n"
-          "  SEDA_SHA_BACKEND=scalar|fast     process-wide SHA-256 compression\n"
-          "  (both read once at startup; see docs/BACKENDS.md)\n";
+          "  SEDA_AES_BACKEND=scalar|ttable|aesni   process-wide AES round impl\n"
+          "  SEDA_SHA_BACKEND=scalar|fast|shani     process-wide SHA-256 compression\n"
+          "  (read once at startup; hardware kinds need CPU support -- run\n"
+          "  `seda_cli backends` to see what this host resolves; docs/BACKENDS.md)\n";
     return os.rdbuf() == std::cout.rdbuf() ? 0 : 2;
 }
 
