@@ -84,4 +84,31 @@ private:
     return percentile_sorted(sorted, pct);
 }
 
+/// Linearly interpolated percentile (numpy's default): pos = pct/100*(n-1),
+/// blending the two straddling samples.  Nearest-rank overstates the tail of
+/// small samples -- p99 of 100 uniform samples lands on the literal maximum,
+/// where interpolation reads 99% of the way to it -- so human-readable rows
+/// use this form; tests that assert on exact sample members keep
+/// percentile_sorted.
+[[nodiscard]] inline double percentile_interp_sorted(std::span<const double> sorted,
+                                                     double pct)
+{
+    if (sorted.empty()) return 0.0;
+    assert(std::is_sorted(sorted.begin(), sorted.end()));
+    assert(pct >= 0.0 && pct <= 100.0);
+    const double pos = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[lo + 1] - sorted[lo]) * frac;
+}
+
+/// Interpolated percentile of an unsorted sample (copies and sorts).
+[[nodiscard]] inline double percentile_interp_of(std::span<const double> xs, double pct)
+{
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    return percentile_interp_sorted(sorted, pct);
+}
+
 }  // namespace seda

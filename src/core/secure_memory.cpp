@@ -5,6 +5,7 @@
 
 #include "common/bitutil.h"
 #include "common/error.h"
+#include "obs/stage.h"
 
 namespace seda::core {
 
@@ -55,6 +56,7 @@ void Secure_memory::encrypt_slot(const Write_slot& slot, const crypto::Baes_engi
 std::vector<Secure_memory::Write_slot> Secure_memory::stage_writes(
     std::span<const Unit_write> batch)
 {
+    obs::Stage_span span(obs::Stage::stage_writes);
     // Validate everything up front: a bad entry must throw before any VN is
     // bumped or slot inserted, so a rejected batch leaves no half-staged
     // (never-encrypted) units behind.
@@ -118,6 +120,9 @@ void Secure_memory::encrypt_slots(std::span<const Write_slot> slots,
                                   const crypto::Baes_engine& baes,
                                   const crypto::Hmac_engine& hmac, Bulk_scratch& scratch)
 {
+    // Lap boundaries reuse one clock read, so phase attribution adds no
+    // extra reads over a single whole-call span.
+    obs::Phase_timer phases;
     // Phase 0: every live slot's base OTP in one bulk AES call (the whole
     // flush streams through the cipher's interleaved backend at once).
     auto& otp_reqs = scratch.otp_reqs;
@@ -150,11 +155,13 @@ void Secure_memory::encrypt_slots(std::span<const Write_slot> slots,
                         context_for(w.addr, slot.vn, w.layer_id, w.fmap_idx, w.blk_idx)});
         targets.push_back(&unit);
     }
+    phases.lap(obs::Stage::baes);
 
     // Phase 2: one bulk-HMAC call MACs the whole run.
     scratch.macs.resize(reqs.size());
     hmac.positional_macs(reqs, scratch.macs);
     for (std::size_t i = 0; i < targets.size(); ++i) targets[i]->mac = scratch.macs[i];
+    phases.lap(obs::Stage::bulk_mac);
 }
 
 void Secure_memory::write_one(const Unit_write& w, std::vector<crypto::Block16>& pad_scratch)
@@ -208,6 +215,7 @@ void Secure_memory::read_units_with(std::span<const Unit_read> batch,
 {
     require(batch.size() == out_status.size(),
             "Secure_memory::read_units: status span must match batch");
+    obs::Phase_timer phases;
 
     // Phase 1: validate and locate every entry before any output is
     // touched, gathering the expected-MAC inputs (mirrors stage_writes's
@@ -227,11 +235,13 @@ void Secure_memory::read_units_with(std::span<const Unit_read> batch,
         reqs[i] = {unit.ciphertext,
                    context_for(r.addr, vn, r.layer_id, r.fmap_idx, r.blk_idx)};
     }
+    phases.lap(obs::Stage::locate);
 
     // Phase 2: every expected MAC through the bulk HMAC pipeline at once.
     auto& expected = scratch.macs;
     expected.resize(batch.size());
     hmac.positional_macs(reqs, expected);
+    phases.lap(obs::Stage::bulk_mac);
 
     // Phase 3: compare and decrypt per unit -- detection still fires per
     // unit inside the batch.
@@ -248,6 +258,7 @@ void Secure_memory::read_units_with(std::span<const Unit_read> batch,
         baes.crypt_with(r.out, r.addr, located[i].vn, scratch.pads);
         out_status[i] = Verify_status::ok;
     }
+    phases.lap(obs::Stage::verify);
 }
 
 Verify_status Secure_memory::read_one(const Unit_read& r,

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/stage.h"
 
 namespace seda::infer {
 
@@ -29,6 +30,7 @@ void Inference_engine::fill_payload(Addr addr, std::span<u8> out) const
 void Inference_engine::load(Unit_sink& sink)
 {
     require(!loaded_, "Inference_engine: load() may only be called once");
+    obs::Stage_span span(obs::Stage::infer_load);
     const auto fresh = [this](Addr a, std::span<u8> out) { fill_payload(a, out); };
     player_.stage_units(binding_.weight_load_units(), sink, mirror_, fresh, stats_.load);
     player_.stage_units(binding_.act_prefill_units(), sink, mirror_, fresh, stats_.load);
@@ -44,8 +46,11 @@ void Inference_engine::infer(Unit_sink& sink)
     // write phase (and the VN bumps that make replay detection meaningful).
     ++epoch_;
     require(!stats_.layers.empty(), "Inference_engine: model has no layers");
-    player_.stage_units(binding_.input_units(), sink, mirror_, fresh,
-                        stats_.layers.front().ifmap);
+    {
+        obs::Stage_span span(obs::Stage::infer_input);
+        player_.stage_units(binding_.input_units(), sink, mirror_, fresh,
+                            stats_.layers.front().ifmap);
+    }
 
     const auto& layers = binding_.sim().layers;
     for (std::size_t i = 0; i < layers.size(); ++i) {

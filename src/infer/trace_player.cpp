@@ -4,6 +4,7 @@
 
 #include "common/bitutil.h"
 #include "common/error.h"
+#include "obs/stage.h"
 
 namespace seda::infer {
 
@@ -26,6 +27,10 @@ void Trace_player::play_layer(const accel::Layer_sim& layer, Unit_sink& sink,
                               Mirror& mirror, const Payload_fn& fresh_payload,
                               Layer_infer_stats& stats)
 {
+    // Synthetic traces (tests) may carry no layer descriptor.
+    obs::Stage_span span(obs::Stage::infer_layer,
+                         layer.layer != nullptr ? std::string_view(layer.layer->name)
+                                                : std::string_view{});
     addrs_.clear();
     kinds_.clear();
     for (const accel::Access_range& r : layer.trace) {

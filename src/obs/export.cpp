@@ -1,0 +1,114 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "common/table.h"
+
+namespace seda::obs {
+
+namespace {
+
+/// Shortest round-trippable double (the CLI's json_double discipline).
+std::string fmt_g(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/// Compact double for le labels and table cells.
+std::string fmt_short(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+}
+
+std::string escaped(std::string_view s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+}  // namespace
+
+void write_prometheus(const Snapshot& snap, std::ostream& os)
+{
+    for (const auto& c : snap.counters) {
+        os << "# TYPE seda_" << c.name << " counter\n"
+           << "seda_" << c.name << " " << c.value << "\n";
+    }
+    for (const auto& g : snap.gauges) {
+        os << "# TYPE seda_" << g.name << " gauge\n"
+           << "seda_" << g.name << " " << g.value << "\n";
+    }
+    for (const auto& h : snap.histograms) {
+        os << "# TYPE seda_" << h.name << " histogram\n";
+        const auto& counts = h.hist.bucket_counts();
+        u64 cum = 0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            if (counts[i] == 0) continue;
+            cum += counts[i];
+            os << "seda_" << h.name << "_bucket{le=\""
+               << fmt_short(Log_histogram::bucket_upper(i)) << "\"} " << cum << "\n";
+        }
+        os << "seda_" << h.name << "_bucket{le=\"+Inf\"} " << h.hist.count() << "\n"
+           << "seda_" << h.name << "_sum " << fmt_g(h.hist.sum()) << "\n"
+           << "seda_" << h.name << "_count " << h.hist.count() << "\n";
+    }
+}
+
+void write_json(const Snapshot& snap, std::ostream& os)
+{
+    os << "{\n  \"counters\": [";
+    for (std::size_t i = 0; i < snap.counters.size(); ++i)
+        os << (i ? "," : "") << "\n    {\"name\": \"" << escaped(snap.counters[i].name)
+           << "\", \"value\": " << snap.counters[i].value << "}";
+    os << (snap.counters.empty() ? "" : "\n  ") << "],\n  \"gauges\": [";
+    for (std::size_t i = 0; i < snap.gauges.size(); ++i)
+        os << (i ? "," : "") << "\n    {\"name\": \"" << escaped(snap.gauges[i].name)
+           << "\", \"value\": " << snap.gauges[i].value << "}";
+    os << (snap.gauges.empty() ? "" : "\n  ") << "],\n  \"histograms\": [";
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+        const auto& h = snap.histograms[i].hist;
+        os << (i ? "," : "") << "\n    {\"name\": \"" << escaped(snap.histograms[i].name)
+           << "\", \"count\": " << h.count() << ", \"sum\": " << fmt_g(h.sum())
+           << ", \"min\": " << fmt_g(h.min()) << ", \"mean\": " << fmt_g(h.mean())
+           << ", \"p50\": " << fmt_g(h.percentile(50))
+           << ", \"p90\": " << fmt_g(h.percentile(90))
+           << ", \"p99\": " << fmt_g(h.percentile(99))
+           << ", \"p999\": " << fmt_g(h.percentile(99.9))
+           << ", \"max\": " << fmt_g(h.max()) << "}";
+    }
+    os << (snap.histograms.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+void write_stage_table(const Snapshot& snap, std::ostream& os)
+{
+    Ascii_table t({"metric", "count", "mean", "p50", "p90", "p99", "p999", "max"});
+    for (const auto& h : snap.histograms) {
+        if (h.hist.count() == 0) continue;
+        t.add_row({h.name, std::to_string(h.hist.count()), fmt_short(h.hist.mean()),
+                   fmt_short(h.hist.percentile(50)), fmt_short(h.hist.percentile(90)),
+                   fmt_short(h.hist.percentile(99)), fmt_short(h.hist.percentile(99.9)),
+                   fmt_short(h.hist.max())});
+    }
+    if (t.row_count() != 0) t.print(os);
+    for (const auto& c : snap.counters) os << c.name << " = " << c.value << "\n";
+    for (const auto& g : snap.gauges) os << g.name << " = " << g.value << "\n";
+}
+
+const Snapshot::Histogram_row* find_histogram(const Snapshot& snap, std::string_view name)
+{
+    for (const auto& h : snap.histograms)
+        if (h.name == name) return &h;
+    return nullptr;
+}
+
+}  // namespace seda::obs

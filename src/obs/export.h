@@ -1,0 +1,31 @@
+// Snapshot exporters: Prometheus text exposition, JSON, and the stderr
+// per-stage table.  All outputs are timing-bound by construction (they
+// render a scrape); they must never be routed to the deterministic stdout
+// --json contracts.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace seda::obs {
+
+/// Prometheus text exposition: counters, gauges, and histograms (cumulative
+/// `le` buckets -- only non-empty ones plus `+Inf` -- with `_sum`/`_count`).
+/// Metric names gain a `seda_` prefix; the unit stays in the name suffix
+/// (`_us` stages are microseconds).
+void write_prometheus(const Snapshot& snap, std::ostream& os);
+
+/// JSON snapshot: counters/gauges verbatim, histograms as summary rows
+/// (count, sum, min, mean, p50/p90/p99/p999, max).
+void write_json(const Snapshot& snap, std::ostream& os);
+
+/// Human-readable per-stage percentile table plus the counter/gauge lines.
+void write_stage_table(const Snapshot& snap, std::ostream& os);
+
+/// The histogram row named `name`, or nullptr when absent.
+[[nodiscard]] const Snapshot::Histogram_row* find_histogram(const Snapshot& snap,
+                                                            std::string_view name);
+
+}  // namespace seda::obs

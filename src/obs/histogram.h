@@ -1,0 +1,208 @@
+// Log-scale fixed-bucket histogram for latency-class metrics.
+//
+// HdrHistogram-style bucketing: a recorded value is scaled into fixed-point
+// "ticks" (2^10 per unit, so microsecond metrics resolve to ~1 ns), small
+// tick counts get exact single-tick buckets, and every later octave splits
+// into 2^5 linear sub-buckets.  Worst-case relative bucket width is 1/32
+// (~3.1%), so p50/p99/p999 read back exact to that resolution from a FIXED
+// number of buckets -- memory stays bounded no matter how many samples are
+// recorded, and two histograms merge by adding bucket counts (the property
+// Serve_stats needs to accumulate per-dispatch deltas, and the registry
+// needs to fold per-thread shards on scrape).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace seda::obs {
+
+/// The value -> bucket mapping, shared by Log_histogram and the registry's
+/// atomic per-thread shard cells (obs/metrics.cpp) so shard counts fold
+/// straight into a Log_histogram on scrape.
+struct Log_bucketing {
+    static constexpr unsigned k_tick_bits = 10;  ///< fixed point: 1024 ticks per unit
+    static constexpr unsigned k_sub_bits = 5;    ///< 32 linear sub-buckets per octave
+    static constexpr unsigned k_max_exp = 47;    ///< ticks clamp below 2^48 (~2^38 units)
+    static constexpr u64 k_max_ticks = (u64{1} << (k_max_exp + 1)) - 1;
+    static constexpr std::size_t k_sub_count = std::size_t{1} << k_sub_bits;
+    static constexpr std::size_t k_bucket_count =
+        ((k_max_exp - k_sub_bits + 1) << k_sub_bits) + k_sub_count;
+
+    /// Fixed-point ticks for a value (negative values clamp to 0, huge ones
+    /// to the top bucket -- a histogram must never throw from a hot path).
+    [[nodiscard]] static u64 ticks_from(double v)
+    {
+        if (!(v > 0.0)) return 0;
+        const double t = std::round(v * static_cast<double>(u64{1} << k_tick_bits));
+        if (t >= static_cast<double>(k_max_ticks)) return k_max_ticks;
+        return static_cast<u64>(t);
+    }
+
+    [[nodiscard]] static constexpr double value_from_ticks(double ticks)
+    {
+        return ticks / static_cast<double>(u64{1} << k_tick_bits);
+    }
+
+    [[nodiscard]] static constexpr std::size_t index_of(u64 ticks)
+    {
+        if (ticks < k_sub_count) return static_cast<std::size_t>(ticks);
+        const unsigned e = static_cast<unsigned>(std::bit_width(ticks)) - 1;
+        return ((e - k_sub_bits + 1) << k_sub_bits) +
+               static_cast<std::size_t>((ticks >> (e - k_sub_bits)) & (k_sub_count - 1));
+    }
+
+    /// Inclusive lower tick of bucket `i`.
+    [[nodiscard]] static constexpr u64 lower_ticks(std::size_t i)
+    {
+        if (i < k_sub_count) return i;
+        const unsigned e = static_cast<unsigned>(i >> k_sub_bits) + k_sub_bits - 1;
+        return (u64{1} << e) + (static_cast<u64>(i & (k_sub_count - 1)) << (e - k_sub_bits));
+    }
+
+    /// Tick width of bucket `i` (its exclusive upper edge is lower + width).
+    [[nodiscard]] static constexpr u64 width_ticks(std::size_t i)
+    {
+        if (i < k_sub_count) return 1;
+        const unsigned e = static_cast<unsigned>(i >> k_sub_bits) + k_sub_bits - 1;
+        return u64{1} << (e - k_sub_bits);
+    }
+};
+
+static_assert(Log_bucketing::index_of(Log_bucketing::k_max_ticks) + 1 ==
+              Log_bucketing::k_bucket_count);
+static_assert(Log_bucketing::lower_ticks(Log_bucketing::k_sub_count) ==
+              Log_bucketing::k_sub_count);
+
+/// The plain (single-writer) histogram.  Unit-agnostic: record whatever the
+/// metric's natural unit is (the name carries it, e.g. `latency_us`).
+class Log_histogram {
+public:
+    void record(double v)
+    {
+        const u64 t = Log_bucketing::ticks_from(v);
+        const std::size_t i = Log_bucketing::index_of(t);
+        if (counts_.size() <= i) counts_.resize(i + 1, 0);
+        ++counts_[i];
+        ++count_;
+        sum_ticks_ += t;
+        min_ticks_ = std::min(min_ticks_, t);
+        max_ticks_ = std::max(max_ticks_, t);
+    }
+
+    /// Adds another histogram's samples (bucket counts add; used both by
+    /// Serve_stats::merge and by tests cross-checking shard merges).
+    void merge(const Log_histogram& o)
+    {
+        if (o.count_ == 0) return;
+        if (counts_.size() < o.counts_.size()) counts_.resize(o.counts_.size(), 0);
+        for (std::size_t i = 0; i < o.counts_.size(); ++i) counts_[i] += o.counts_[i];
+        count_ += o.count_;
+        sum_ticks_ += o.sum_ticks_;
+        min_ticks_ = std::min(min_ticks_, o.min_ticks_);
+        max_ticks_ = std::max(max_ticks_, o.max_ticks_);
+    }
+
+    [[nodiscard]] u64 count() const { return count_; }
+    [[nodiscard]] double sum() const
+    {
+        return Log_bucketing::value_from_ticks(static_cast<double>(sum_ticks_));
+    }
+    [[nodiscard]] double mean() const
+    {
+        return count_ == 0 ? 0.0 : sum() / static_cast<double>(count_);
+    }
+    [[nodiscard]] double min() const
+    {
+        return count_ == 0 ? 0.0
+                           : Log_bucketing::value_from_ticks(static_cast<double>(min_ticks_));
+    }
+    [[nodiscard]] double max() const
+    {
+        return count_ == 0 ? 0.0
+                           : Log_bucketing::value_from_ticks(static_cast<double>(max_ticks_));
+    }
+
+    /// The `pct`-th percentile (0..100; 0 for empty).  Rank is nearest-rank
+    /// over the bucket counts; the position inside the owning bucket is then
+    /// linearly interpolated (and clamped to the recorded min/max, which
+    /// makes single-value and extreme-tail reads exact).  Error vs the true
+    /// sample percentile is therefore at most one bucket width --
+    /// `resolution_at` that value.
+    [[nodiscard]] double percentile(double pct) const
+    {
+        if (count_ == 0) return 0.0;
+        pct = std::clamp(pct, 0.0, 100.0);
+        u64 rank = static_cast<u64>(std::ceil(pct / 100.0 * static_cast<double>(count_)));
+        rank = std::clamp<u64>(rank, 1, count_);
+        u64 cum = 0;
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            const u64 n = counts_[i];
+            if (n == 0) continue;
+            if (cum + n >= rank) {
+                const double lower = static_cast<double>(Log_bucketing::lower_ticks(i));
+                const double width = static_cast<double>(Log_bucketing::width_ticks(i));
+                const double frac =
+                    static_cast<double>(rank - cum) / static_cast<double>(n);
+                const double t = std::clamp(lower + width * frac,
+                                            static_cast<double>(min_ticks_),
+                                            static_cast<double>(max_ticks_));
+                return Log_bucketing::value_from_ticks(t);
+            }
+            cum += n;
+        }
+        return max();
+    }
+
+    /// Bucket width (in value units) at `v`: the bound on percentile error
+    /// around that value.
+    [[nodiscard]] static double resolution_at(double v)
+    {
+        const std::size_t i = Log_bucketing::index_of(Log_bucketing::ticks_from(v));
+        return Log_bucketing::value_from_ticks(
+            static_cast<double>(Log_bucketing::width_ticks(i)));
+    }
+
+    /// Raw bucket counts (trimmed: indexes past the last touched bucket are
+    /// implicitly zero).  Exporters pair entry `i` with
+    /// `Log_bucketing::lower_ticks/width_ticks(i)`.
+    [[nodiscard]] const std::vector<u64>& bucket_counts() const { return counts_; }
+
+    /// Exclusive upper edge of bucket `i` in value units (export helper).
+    [[nodiscard]] static double bucket_upper(std::size_t i)
+    {
+        return Log_bucketing::value_from_ticks(static_cast<double>(
+            Log_bucketing::lower_ticks(i) + Log_bucketing::width_ticks(i)));
+    }
+
+    // Shard-merge entries used by the registry scrape: fold one pre-bucketed
+    // per-thread cell in (bucket counts first, then the summary fields; the
+    // sample count is derived from the buckets so rank walks stay
+    // self-consistent even if a concurrent record is mid-flight).
+    void absorb_bucket(std::size_t i, u64 n)
+    {
+        if (n == 0) return;
+        if (counts_.size() <= i) counts_.resize(i + 1, 0);
+        counts_[i] += n;
+        count_ += n;
+    }
+    void absorb_summary(u64 sum_ticks, u64 min_ticks, u64 max_ticks)
+    {
+        sum_ticks_ += sum_ticks;
+        min_ticks_ = std::min(min_ticks_, min_ticks);
+        max_ticks_ = std::max(max_ticks_, max_ticks);
+    }
+
+private:
+    std::vector<u64> counts_;  ///< grown lazily up to the highest touched bucket
+    u64 count_ = 0;
+    u64 sum_ticks_ = 0;
+    u64 min_ticks_ = ~u64{0};
+    u64 max_ticks_ = 0;
+};
+
+}  // namespace seda::obs

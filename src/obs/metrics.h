@@ -1,0 +1,150 @@
+// Process-wide metrics registry: named counters, gauges, and log-scale
+// latency histograms with lock-free per-thread shards.
+//
+// Hot-path contract: a handle (Counter/Gauge/Histogram) holds only a metric
+// id.  Recording does one thread-local slot lookup plus relaxed atomic
+// updates on this thread's private cell -- no locks, no allocation after
+// the first touch.  The registry mutex is taken only on registration, on a
+// thread's first touch of a metric, at thread exit (cells are donated back
+// to a free list for the next thread, so memory is bounded by the PEAK
+// concurrent thread count), and on scrape (which folds every cell).
+//
+// Determinism rules (load-bearing, see docs/OBSERVABILITY.md): everything
+// in here is timing-bound.  Nothing recorded through this registry may feed
+// the deterministic stdout --json contracts -- exports go to stderr or to
+// explicit files, and CI byte-diffs the JSON with observability on, off
+// (SEDA_OBS=0) and compiled out (SEDA_DISABLE_OBS).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/histogram.h"
+
+namespace seda::obs {
+
+#ifdef SEDA_DISABLE_OBS
+inline constexpr bool k_compiled_in = false;
+#else
+inline constexpr bool k_compiled_in = true;
+#endif
+
+/// Whether the runtime hot paths are live: compiled in AND not switched off
+/// by SEDA_OBS=0|off|false (resolved once per process, like the crypto
+/// backends' env overrides).  When false every handle is unarmed and every
+/// record is a no-op.
+[[nodiscard]] bool enabled();
+
+/// Raw monotonic timestamp for span timing: the TSC on x86-64 (a few ns per
+/// read -- cheap enough to sit inside the serve dispatch loop), a
+/// steady_clock read elsewhere.
+[[nodiscard]] u64 now_ticks();
+
+/// Microseconds spanned by `dt` raw ticks.  The tick rate is calibrated
+/// against steady_clock once per process (~1 ms spin on first use; both
+/// enabled() and Trace_recorder::start() pre-trigger it so no measured span
+/// absorbs the stall).
+[[nodiscard]] double ticks_to_us(u64 dt);
+
+inline constexpr u32 k_no_metric = 0xFFFFFFFFu;
+
+/// Monotonically increasing count (exported as a Prometheus counter).
+class Counter {
+public:
+    Counter() = default;
+    void add(u64 delta = 1) const;
+    [[nodiscard]] bool armed() const { return id_ != k_no_metric; }
+
+private:
+    friend class Metrics_registry;
+    explicit Counter(u32 id) : id_(id) {}
+    u32 id_ = k_no_metric;
+};
+
+/// Up/down instantaneous value (scraped as the sum over every shard, so
+/// inc-on-one-thread / dec-on-another nets out correctly).
+class Gauge {
+public:
+    Gauge() = default;
+    void add(i64 delta) const;
+    [[nodiscard]] bool armed() const { return id_ != k_no_metric; }
+
+private:
+    friend class Metrics_registry;
+    explicit Gauge(u32 id) : id_(id) {}
+    u32 id_ = k_no_metric;
+};
+
+/// Log-bucketed value distribution (Log_histogram semantics, sharded).
+class Histogram {
+public:
+    Histogram() = default;
+    void record(double v) const;
+    [[nodiscard]] bool armed() const { return id_ != k_no_metric; }
+
+private:
+    friend class Metrics_registry;
+    explicit Histogram(u32 id) : id_(id) {}
+    u32 id_ = k_no_metric;
+};
+
+/// One scrape: every metric's shards merged, rows sorted by name (so two
+/// scrapes of a quiesced process are identical -- CI and tests rely on it).
+struct Snapshot {
+    struct Counter_row {
+        std::string name;
+        u64 value = 0;
+    };
+    struct Gauge_row {
+        std::string name;
+        i64 value = 0;
+    };
+    struct Histogram_row {
+        std::string name;
+        Log_histogram hist;
+    };
+    std::vector<Counter_row> counters;
+    std::vector<Gauge_row> gauges;
+    std::vector<Histogram_row> histograms;
+};
+
+class Metrics_registry {
+public:
+    /// The process-wide registry.  Leaky singleton: threads may still record
+    /// (and donate cells at exit) while statics are being destroyed.
+    static Metrics_registry& instance();
+
+    Metrics_registry(const Metrics_registry&) = delete;
+    Metrics_registry& operator=(const Metrics_registry&) = delete;
+
+    /// Registers (or re-opens) a named metric.  Re-registering the same
+    /// name with the same kind returns a handle onto the same metric;
+    /// re-registering it as a different kind throws.  When !enabled() the
+    /// returned handle is unarmed and nothing is registered.
+    Counter counter(std::string_view name);
+    Gauge gauge(std::string_view name);
+    Histogram histogram(std::string_view name);
+
+    /// Merges every per-thread shard into one snapshot.  Concurrent-safe;
+    /// a record racing the scrape lands in this snapshot or the next.
+    [[nodiscard]] Snapshot scrape() const;
+
+    /// Zeroes every cell in place (metric names stay registered).  Only
+    /// meaningful when recorders are quiesced; for tests and benches.
+    void reset();
+
+    // Internal (backing the handle hot paths and thread-exit cleanup).
+    void* acquire_cell(u32 id);
+    void release_cells(const std::vector<void*>& cells);
+
+private:
+    Metrics_registry();
+    u32 intern(std::string_view name, unsigned type);
+
+    struct Impl;
+    Impl* impl_;
+};
+
+}  // namespace seda::obs

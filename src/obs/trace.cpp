@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace seda::obs {
+
+#ifdef SEDA_DISABLE_OBS
+
+void Trace_recorder::start() {}
+bool Trace_recorder::active() { return false; }
+void Trace_recorder::write_json(std::ostream& os)
+{
+    os << "{\"traceEvents\": []}\n";
+}
+u64 Trace_recorder::dropped() { return 0; }
+void Trace_recorder::emit(Stage, std::string_view, u64, u64) {}
+
+#else
+
+namespace {
+
+struct Trace_event {
+    Stage stage;
+    std::string detail;
+    u64 t0, t1;
+};
+
+struct Trace_buffer {
+    std::mutex mutex;  ///< emit vs write_json drain (uncontended in steady state)
+    u32 tid = 0;
+    std::vector<Trace_event> events;
+    u64 dropped = 0;
+};
+
+std::atomic<bool> g_active{false};
+std::atomic<u64> g_origin{0};  ///< ticks at start(); the ts origin
+
+std::mutex g_mutex;  ///< guards the buffer list
+
+/// All buffers ever created, leaky so events from exited threads survive
+/// until the drain and thread_local pointers never dangle.
+std::vector<std::unique_ptr<Trace_buffer>>& buffers()
+{
+    static auto* const v = new std::vector<std::unique_ptr<Trace_buffer>>();
+    return *v;
+}
+
+thread_local Trace_buffer* t_buffer = nullptr;
+
+Trace_buffer& local_buffer()
+{
+    if (t_buffer == nullptr) {
+        std::lock_guard lock(g_mutex);
+        auto& all = buffers();
+        all.push_back(std::make_unique<Trace_buffer>());
+        all.back()->tid = static_cast<u32>(all.size());
+        t_buffer = all.back().get();
+    }
+    return *t_buffer;
+}
+
+void append_escaped(std::string& out, std::string_view s)
+{
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+    }
+}
+
+std::string fmt_us(double us)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", us);
+    return buf;
+}
+
+}  // namespace
+
+void Trace_recorder::start()
+{
+    (void)ticks_to_us(0);  // calibrate before anything is measured
+    g_origin.store(now_ticks(), std::memory_order_relaxed);
+    g_active.store(true, std::memory_order_release);
+    detail::g_span_arm.fetch_or(detail::k_arm_trace, std::memory_order_relaxed);
+}
+
+bool Trace_recorder::active() { return g_active.load(std::memory_order_acquire); }
+
+void Trace_recorder::emit(Stage s, std::string_view detail, u64 t0, u64 t1)
+{
+    if (!active()) return;
+    Trace_buffer& b = local_buffer();
+    std::lock_guard lock(b.mutex);
+    if (b.events.size() >= k_max_events_per_thread) {
+        ++b.dropped;
+        return;
+    }
+    b.events.push_back({s, std::string(detail), t0, t1});
+}
+
+u64 Trace_recorder::dropped()
+{
+    std::lock_guard lock(g_mutex);
+    u64 total = 0;
+    for (auto& b : buffers()) {
+        std::lock_guard block(b->mutex);
+        total += b->dropped;
+    }
+    return total;
+}
+
+void Trace_recorder::write_json(std::ostream& os)
+{
+    g_active.store(false, std::memory_order_release);
+    detail::g_span_arm.fetch_and(static_cast<u8>(~detail::k_arm_trace),
+                                 std::memory_order_relaxed);
+    std::lock_guard lock(g_mutex);
+    const u64 origin = g_origin.load(std::memory_order_relaxed);
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    for (auto& b : buffers()) {
+        std::lock_guard block(b->mutex);
+        for (const Trace_event& e : b->events) {
+            std::string name = stage_trace_name(e.stage);
+            if (!e.detail.empty()) {
+                name += ':';
+                append_escaped(name, e.detail);
+            }
+            const u64 rel0 = e.t0 >= origin ? e.t0 - origin : 0;
+            const u64 dur = e.t1 >= e.t0 ? e.t1 - e.t0 : 0;
+            os << (first ? "\n" : ",\n") << "{\"name\": \"" << name
+               << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << b->tid
+               << ", \"ts\": " << fmt_us(ticks_to_us(rel0))
+               << ", \"dur\": " << fmt_us(ticks_to_us(dur)) << "}";
+            first = false;
+        }
+        b->events.clear();
+    }
+    os << "\n]}\n";
+}
+
+#endif  // SEDA_DISABLE_OBS
+
+}  // namespace seda::obs

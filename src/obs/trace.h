@@ -1,0 +1,44 @@
+// chrome://tracing span capture for the instrumented pipeline stages.
+//
+// When a recording is active every Stage_span/Phase_timer additionally
+// appends a "complete" (ph:"X") event to a per-thread buffer; write_json()
+// drains every buffer into one chrome://tracing JSON object loadable by
+// chrome://tracing or Perfetto.  Buffers are capped per thread (overflow is
+// counted, not silently dropped into the void) so a runaway run stays
+// bounded.  Tracing is independent of the metrics switch: `--trace-out`
+// works even under SEDA_OBS=0.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "common/types.h"
+#include "obs/stage.h"
+
+namespace seda::obs {
+
+class Trace_recorder {
+public:
+    /// Events per thread before overflow counting kicks in.
+    static constexpr std::size_t k_max_events_per_thread = std::size_t{1} << 16;
+
+    /// Arms capture process-wide (idempotent).  With SEDA_DISABLE_OBS this
+    /// is a no-op and active() stays false.
+    static void start();
+
+    [[nodiscard]] static bool active();
+
+    /// Disarms capture, drains every thread's buffer (in first-event order
+    /// per thread), and writes one chrome://tracing JSON object.  May be
+    /// followed by another start(); events are consumed.
+    static void write_json(std::ostream& os);
+
+    /// Events discarded because a thread hit its buffer cap.
+    [[nodiscard]] static u64 dropped();
+
+    /// Appends one span (called from Stage_span/Phase_timer destructors;
+    /// cheap no-op when no recording is active).
+    static void emit(Stage s, std::string_view detail, u64 t0_ticks, u64 t1_ticks);
+};
+
+}  // namespace seda::obs

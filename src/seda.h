@@ -22,6 +22,9 @@
 //   infer     - the secure inference engine: model traces bound onto
 //               protected units, trace replay through a session or the
 //               server, per-layer verification accounting
+//   obs       - stage-level observability: sharded metrics registry,
+//               log-bucketed latency histograms, pipeline span timers,
+//               Prometheus/JSON scrape and chrome://tracing export
 //
 // Typical entry points: accel::simulate_model, core::make_scheme,
 // core::run_protected, core::run_suite, core::Secure_memory,
@@ -55,6 +58,11 @@
 #include "infer/trace_player.h"
 #include "infer/unit_sink.h"
 #include "models/zoo.h"
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/stage.h"
+#include "obs/trace.h"
 #include "protect/scheme.h"
 #include "protect/unit_scheme.h"
 #include "runtime/parallel_suite.h"

@@ -7,6 +7,7 @@
 
 #include "common/bitutil.h"
 #include "common/error.h"
+#include "obs/stage.h"
 
 namespace seda::serve {
 
@@ -17,9 +18,9 @@ namespace {
 void record_latency(const Request& req, Serve_stats& stats)
 {
     if (req.enqueued_at.time_since_epoch().count() == 0) return;  // untimestamped replay
-    stats.latencies_us.push_back(std::chrono::duration<double, std::micro>(
-                                     std::chrono::steady_clock::now() - req.enqueued_at)
-                                     .count());
+    stats.latency_us.record(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - req.enqueued_at)
+                                .count());
 }
 
 void reject(Request& req, std::exception_ptr error, Tenant_counters& counters,
@@ -81,6 +82,7 @@ void Batch_scheduler::flush_writes(Tenant& tenant, std::span<Request* const> seg
     for (Request* r : segment)
         writes_.push_back({r->addr, r->payload, r->layer_id, r->fmap_idx, r->blk_idx});
     try {
+        obs::Stage_span span(obs::Stage::flush_write);
         tenant.session().write_units(writes_);
     } catch (const Seda_error&) {
         // stage_writes validates before mutating, so a rejected batch wrote
@@ -91,6 +93,7 @@ void Batch_scheduler::flush_writes(Tenant& tenant, std::span<Request* const> seg
     }
     ++stats.batches;
     Tenant_counters& counters = stats.tenants[tenant.id()];
+    obs::Stage_span span(obs::Stage::complete);
     for (Request* r : segment) complete(*r, {Verify_status::ok, {}}, counters, stats);
 }
 
@@ -108,6 +111,7 @@ void Batch_scheduler::flush_reads(Tenant& tenant, std::span<Request* const> segm
 
     std::vector<Verify_status> statuses;
     try {
+        obs::Stage_span span(obs::Stage::flush_read);
         statuses = tenant.session().read_units(reads_);
     } catch (const Seda_error&) {
         // The bulk read path locates every unit before touching any output,
@@ -117,6 +121,7 @@ void Batch_scheduler::flush_reads(Tenant& tenant, std::span<Request* const> segm
     }
     ++stats.batches;
     Tenant_counters& counters = stats.tenants[tenant.id()];
+    obs::Stage_span span(obs::Stage::complete);
     for (std::size_t i = 0; i < segment.size(); ++i) {
         Request& req = *segment[i];
         const Verify_status status = statuses[i];
@@ -160,13 +165,16 @@ void Batch_scheduler::dispatch(std::span<Request> run, Serve_stats& stats)
     // against the table, so its tenant already existed when the run was
     // drained (tenants added mid-dispatch only matter for the next run).
     const std::size_t tenant_count = tenants_.size();
-    if (stats.tenants.size() < tenant_count) stats.tenants.resize(tenant_count);
-    if (per_tenant_.size() < tenant_count) per_tenant_.resize(tenant_count);
-    for (auto& bucket : per_tenant_) bucket.clear();
-    for (Request& r : run) {
-        require(r.tenant_id < tenant_count,
-                "Batch_scheduler: request names an unknown tenant");
-        per_tenant_[r.tenant_id].push_back(&r);
+    {
+        obs::Stage_span span(obs::Stage::assembly);
+        if (stats.tenants.size() < tenant_count) stats.tenants.resize(tenant_count);
+        if (per_tenant_.size() < tenant_count) per_tenant_.resize(tenant_count);
+        for (auto& bucket : per_tenant_) bucket.clear();
+        for (Request& r : run) {
+            require(r.tenant_id < tenant_count,
+                    "Batch_scheduler: request names an unknown tenant");
+            per_tenant_[r.tenant_id].push_back(&r);
+        }
     }
     stats.requests += run.size();
 

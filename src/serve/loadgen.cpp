@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/stage.h"
 #include "serve/server.h"
 
 namespace seda::serve {
@@ -23,6 +24,10 @@ struct Client_tally {
 void client_loop(Server& server, const Loadgen_config& cfg, u32 tenant, u32 client,
                  Client_tally& tally)
 {
+    // One span per client lifetime: the trace view shows every closed loop
+    // as a lane-long bar, so stragglers stand out against the batch lanes.
+    obs::Stage_span span(obs::Stage::client,
+                         "t" + std::to_string(tenant) + ".c" + std::to_string(client));
     Rng rng(client_seed(cfg.seed, tenant, client));
     const Addr base = static_cast<Addr>(client) * cfg.units_per_client * cfg.unit_bytes;
     std::vector<std::vector<u8>> mirror(cfg.units_per_client);

@@ -10,7 +10,7 @@
 //                      `seda_cli loadgen --json` prints exactly these, so
 //                      the output is byte-diffable across --jobs values.
 //   * timing-bound   - batches (how traffic happened to coalesce) and
-//                      latencies_us (wall clock).  Human-readable output
+//                      latency_us (wall clock).  Human-readable output
 //                      only; never part of the JSON contract.
 //
 // payload_fold is an XOR of FNV-1a digests of successful read payloads:
@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/histogram.h"
 
 namespace seda::serve {
 
@@ -52,11 +53,6 @@ struct Tenant_counters {
 
 /// Whole-server view: one Tenant_counters per tenant plus global samples.
 struct Serve_stats {
-    /// Retained latency samples are capped (most recent k_max kept), so a
-    /// long-running server's stats stay bounded; percentiles then describe
-    /// a recent window rather than all time.
-    static constexpr std::size_t k_max_latency_samples = 1 << 16;
-
     std::vector<Tenant_counters> tenants;
     u64 requests = 0;  ///< requests dispatched (deterministic)
     u64 batches = 0;   ///< bulk session calls issued (timing-dependent)
@@ -64,7 +60,12 @@ struct Serve_stats {
     /// (deterministic given the submit stream; the request was never
     /// admitted, so it appears in no tenant row).
     u64 evicted_rejects = 0;
-    std::vector<double> latencies_us;  ///< per-request wall latency, when timestamped
+    /// Per-request wall latency (timestamped submits only).  Log-scale
+    /// bucketed: memory stays bounded at ANY request count, deltas merge by
+    /// bucket addition, and p50/p99/p999 read back exact to ~3% bucket
+    /// resolution over ALL of time -- unlike the capped sample ring this
+    /// replaces, whose percentiles described only a recent window.
+    obs::Log_histogram latency_us;
 
     /// Sums every tenant row (folds XOR together, as the fold order-freedom
     /// allows).
@@ -84,21 +85,8 @@ struct Serve_stats {
         requests += delta.requests;
         batches += delta.batches;
         evicted_rejects += delta.evicted_rejects;
-        // Ring-overwrite once saturated: percentiles don't care about
-        // order, so the oldest sample is simply replaced in place (no
-        // per-merge front-erase memmove).
-        for (const double v : delta.latencies_us) {
-            if (latencies_us.size() < k_max_latency_samples) {
-                latencies_us.push_back(v);
-            } else {
-                latencies_us[latency_cursor_] = v;
-                latency_cursor_ = (latency_cursor_ + 1) % k_max_latency_samples;
-            }
-        }
+        latency_us.merge(delta.latency_us);
     }
-
-private:
-    std::size_t latency_cursor_ = 0;  ///< next ring slot once saturated
 };
 
 }  // namespace seda::serve

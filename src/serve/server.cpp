@@ -4,8 +4,22 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/stage.h"
 
 namespace seda::serve {
+
+namespace {
+
+/// Requests admitted but not yet completed (process-wide: every Server in
+/// the process feeds the same gauge, like all registry metrics).
+const obs::Gauge& inflight_gauge()
+{
+    static const obs::Gauge g =
+        obs::Metrics_registry::instance().gauge("serve_inflight_requests");
+    return g;
+}
+
+}  // namespace
 
 Server::Server(std::span<const u8> master_enc, std::span<const u8> master_mac,
                Server_config cfg)
@@ -70,6 +84,7 @@ std::future<Response> Server::submit(Request req)
         all_done_.notify_all();
         throw Seda_error("serve: server stopped while submitting");
     }
+    inflight_gauge().add(1);
     return result;
 }
 
@@ -125,15 +140,40 @@ Serve_stats Server::stats() const
 void Server::scheduler_loop()
 {
     std::vector<Request> run;
+    const obs::Histogram admit_wait = obs::stage_histogram(obs::Stage::admit_wait);
+    const obs::Histogram batch_requests = obs::stage_histogram(obs::Stage::batch_requests);
+    const obs::Counter requests_total =
+        obs::Metrics_registry::instance().counter("serve_requests_total");
+    const obs::Counter windows_total =
+        obs::Metrics_registry::instance().counter("serve_windows_total");
     for (;;) {
         run.clear();
-        if (queue_.pop_batch(run, cfg_.max_batch,
-                             std::chrono::microseconds(cfg_.max_wait_us)) == 0)
-            return;  // closed + drained
+        {
+            // The window span covers the whole pop_batch call: linger window
+            // plus any idle wait for the first request (docs/OBSERVABILITY.md).
+            obs::Stage_span window(obs::Stage::window);
+            if (queue_.pop_batch(run, cfg_.max_batch,
+                                 std::chrono::microseconds(cfg_.max_wait_us)) == 0)
+                return;  // closed + drained
+        }
+        if (obs::enabled()) {
+            windows_total.add(1);
+            requests_total.add(run.size());
+            batch_requests.record(static_cast<double>(run.size()));
+            // One clock read amortized over the window; replayed requests
+            // without a submit timestamp carry no admit-wait sample.
+            const auto now = std::chrono::steady_clock::now();
+            for (const Request& r : run)
+                if (r.enqueued_at.time_since_epoch().count() != 0)
+                    admit_wait.record(
+                        std::chrono::duration<double, std::micro>(now - r.enqueued_at)
+                            .count());
+        }
         // Dispatch into a local delta so client submit() calls never
         // contend with the crypto phase for the stats mutex.
         Serve_stats delta;
         scheduler_.dispatch(run, delta);
+        inflight_gauge().add(-static_cast<i64>(run.size()));
         {
             std::lock_guard lock(mutex_);
             stats_.merge(delta);

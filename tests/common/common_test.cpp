@@ -138,6 +138,33 @@ TEST(Stats, PercentilesNearestRank)
     EXPECT_DOUBLE_EQ(percentile_of(shuffled, 100.0), 9.0);
 }
 
+TEST(Stats, PercentilesInterpolated)
+{
+    EXPECT_DOUBLE_EQ(percentile_interp_sorted({}, 50.0), 0.0);
+
+    const double one[] = {7.0};
+    EXPECT_DOUBLE_EQ(percentile_interp_sorted(one, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile_interp_sorted(one, 100.0), 7.0);
+
+    // Even sample count: the median blends the straddling pair instead of
+    // snapping to one member the way nearest-rank does.
+    const double four[] = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile_interp_sorted(four, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(percentile_sorted(four, 50.0), 20.0);
+
+    // 1..100: nearest-rank p99 lands on the literal maximum (tail
+    // overstatement); interpolation reads 99% of the way there.
+    std::vector<double> hundred(100);
+    for (int i = 0; i < 100; ++i) hundred[static_cast<std::size_t>(i)] = i + 1.0;
+    EXPECT_DOUBLE_EQ(percentile_sorted(hundred, 99.0), 99.0);
+    EXPECT_DOUBLE_EQ(percentile_interp_sorted(hundred, 99.0), 99.01);
+    EXPECT_DOUBLE_EQ(percentile_interp_sorted(hundred, 100.0), 100.0);
+
+    const double shuffled[] = {9.0, 1.0, 5.0, 3.0, 7.0};
+    EXPECT_DOUBLE_EQ(percentile_interp_of(shuffled, 50.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile_interp_of(shuffled, 75.0), 7.0);
+}
+
 TEST(Bitutil, Fnv1a64KnownVectorsAndSensitivity)
 {
     // FNV-1a reference values: empty input is the offset basis; "a" is a

@@ -1,0 +1,129 @@
+// Log_histogram: bucketing geometry, percentile accuracy vs the exact
+// sample percentile, and merge semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "obs/histogram.h"
+
+namespace seda::obs {
+namespace {
+
+TEST(ObsHistogram, EmptyReadsZero)
+{
+    Log_histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(ObsHistogram, SingleValueIsExactEverywhere)
+{
+    // The min/max clamp pins every percentile of a one-sample histogram to
+    // the recorded value itself, not a bucket boundary.
+    Log_histogram h;
+    h.record(123.456);
+    EXPECT_EQ(h.count(), 1u);
+    for (const double pct : {0.0, 50.0, 99.0, 99.9, 100.0})
+        EXPECT_NEAR(h.percentile(pct), 123.456, 123.456 / 1024.0) << pct;
+    EXPECT_NEAR(h.min(), 123.456, 123.456 / 1024.0);
+    EXPECT_NEAR(h.max(), 123.456, 123.456 / 1024.0);
+}
+
+TEST(ObsHistogram, CountSumMinMaxTrackRecords)
+{
+    Log_histogram h;
+    h.record(10.0);
+    h.record(1000.0);
+    h.record(0.5);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_NEAR(h.sum(), 1010.5, 1010.5 / 1024.0 * 3);
+    EXPECT_NEAR(h.mean(), 1010.5 / 3.0, 1.0);
+    EXPECT_NEAR(h.min(), 0.5, 0.01);
+    EXPECT_NEAR(h.max(), 1000.0, 1.0);
+}
+
+TEST(ObsHistogram, PercentilesMatchExactSampleWithinResolution)
+{
+    // Log-uniform samples across six decades: every percentile the
+    // histogram reports must sit within one bucket width (plus the
+    // fixed-point quantum) of the exact sample percentile.
+    Rng rng(0x0B5A1570u);
+    Log_histogram h;
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i) {
+        const double v = std::exp(rng.next_unit() * 13.8);  // ~[1, 1e6)
+        xs.push_back(v);
+        h.record(v);
+    }
+    for (const double pct : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9}) {
+        const double exact = percentile_of(xs, pct);
+        const double approx = h.percentile(pct);
+        const double tol = Log_histogram::resolution_at(exact) + exact / 1024.0;
+        EXPECT_NEAR(approx, exact, tol) << "pct=" << pct;
+    }
+}
+
+TEST(ObsHistogram, MergeEqualsCombinedStream)
+{
+    Rng rng(0xC0FFEEu);
+    Log_histogram a;
+    Log_histogram b;
+    Log_histogram combined;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = 1.0 + rng.next_unit() * 9999.0;
+        (i % 3 == 0 ? a : b).record(v);
+        combined.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+    EXPECT_DOUBLE_EQ(a.min(), combined.min());
+    EXPECT_DOUBLE_EQ(a.max(), combined.max());
+    for (const double pct : {50.0, 99.0, 99.9})
+        EXPECT_DOUBLE_EQ(a.percentile(pct), combined.percentile(pct)) << pct;
+}
+
+TEST(ObsHistogram, MergeWithEmptyIsIdentity)
+{
+    Log_histogram h;
+    h.record(42.0);
+    Log_histogram empty;
+    h.merge(empty);
+    EXPECT_EQ(h.count(), 1u);
+    empty.merge(h);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_NEAR(empty.percentile(50), 42.0, 42.0 / 1024.0);
+}
+
+TEST(ObsHistogram, ResolutionBoundIsThreePercent)
+{
+    // The advertised contract: relative bucket width stays ~3.1% (1/32)
+    // everywhere past the exact-integer range.
+    for (const double v : {100.0, 5e3, 7e5, 1e9, 3e12})
+        EXPECT_LT(Log_histogram::resolution_at(v) / v, 0.033) << v;
+    // Sub-unit values fall into the exact fixed-point buckets.
+    EXPECT_LE(Log_histogram::resolution_at(0.01), 1.0 / 1024.0);
+}
+
+TEST(ObsHistogram, ExtremesClampInsteadOfCrashing)
+{
+    Log_histogram h;
+    h.record(-5.0);   // clamps to zero
+    h.record(0.0);
+    h.record(1e18);   // far past the representable range: clamps to the cap
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    // The tick cap is 2^48 fixed-point ticks = 2^38 value units (~76 hours
+    // when the unit is µs) -- anything beyond saturates there.
+    EXPECT_GT(h.max(), 2.7e11);
+}
+
+}  // namespace
+}  // namespace seda::obs

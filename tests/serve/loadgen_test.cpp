@@ -70,7 +70,7 @@ TEST(Loadgen, CleanLoadHasZeroFailuresAndFullCounts)
     EXPECT_GT(totals.writes, 0u);
     EXPECT_GT(totals.reads, 0u);
     // Every request was timestamped through the real submit path.
-    EXPECT_EQ(result.stats.latencies_us.size(), result.total_requests);
+    EXPECT_EQ(result.stats.latency_us.count(), result.total_requests);
 }
 
 TEST(Loadgen, StatsAreDeterministicAcrossWorkerCounts)

@@ -160,7 +160,7 @@ TEST(ServeServer, ConcurrentClosedLoopClientsStayConsistent)
     EXPECT_EQ(totals.ok, k_clients * k_rounds * 2);
     EXPECT_EQ(totals.bytes, k_clients * k_rounds * 2 * k_unit_bytes);
     EXPECT_EQ(totals.mac_mismatch + totals.replay_detected + totals.rejected, 0u);
-    EXPECT_EQ(stats.latencies_us.size(), k_clients * k_rounds * 2);
+    EXPECT_EQ(stats.latency_us.count(), k_clients * k_rounds * 2);
 }
 
 TEST(ServeServer, BatchedResultsMatchSerialMemoryState)

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <span>
 #include <string>
@@ -49,6 +50,12 @@ struct Options {
     // thousand unit ops); explicit flags override.
     bool tenants_set = false;
     bool requests_set = false;
+    // observability exports (loadgen, infer) -- all timing-bound, so they
+    // go to stderr or the named files, never the stdout JSON contract
+    std::string stats_out;   ///< Prometheus text scrape file
+    std::string stats_json;  ///< JSON scrape file
+    std::string trace_out;   ///< chrome://tracing span file
+    bool stages = false;     ///< per-stage percentile table on stderr
 };
 
 // ---------------------------------------------------------------- helpers ---
@@ -103,6 +110,53 @@ std::string hex64(u64 v)
     char buf[20];
     std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
     return buf;
+}
+
+/// Arms the observability exports requested by the flags; call before the
+/// instrumented run so a --trace-out recording covers it.
+void obs_begin(const Options& o)
+{
+    const bool wants =
+        !o.stats_out.empty() || !o.stats_json.empty() || !o.trace_out.empty() || o.stages;
+    if (!wants) return;
+    if (!obs::k_compiled_in) {
+        std::cerr << "seda_cli: note: built with SEDA_DISABLE_OBS; "
+                     "--stages/--stats-out/--stats-json/--trace-out emit empty output\n";
+        return;
+    }
+    if (!obs::enabled())
+        std::cerr << "seda_cli: note: SEDA_OBS=0 disables stage metrics; "
+                     "scrape output will be empty\n";
+    if (!o.trace_out.empty()) obs::Trace_recorder::start();
+}
+
+/// Scrapes once and writes every requested export (stderr table, Prometheus
+/// text, JSON snapshot, chrome trace).
+void obs_finish(const Options& o)
+{
+    const bool wants_scrape = !o.stats_out.empty() || !o.stats_json.empty() || o.stages;
+    if (wants_scrape) {
+        const obs::Snapshot snap = obs::Metrics_registry::instance().scrape();
+        if (o.stages) obs::write_stage_table(snap, std::cerr);
+        if (!o.stats_out.empty()) {
+            std::ofstream f(o.stats_out);
+            obs::write_prometheus(snap, f);
+            require(f.good(), "seda_cli: failed to write " + o.stats_out);
+        }
+        if (!o.stats_json.empty()) {
+            std::ofstream f(o.stats_json);
+            obs::write_json(snap, f);
+            require(f.good(), "seda_cli: failed to write " + o.stats_json);
+        }
+    }
+    if (!o.trace_out.empty()) {
+        std::ofstream f(o.trace_out);
+        obs::Trace_recorder::write_json(f);
+        require(f.good(), "seda_cli: failed to write " + o.trace_out);
+        if (const u64 dropped = obs::Trace_recorder::dropped(); dropped != 0)
+            std::cerr << "seda_cli: note: trace buffers overflowed, " << dropped
+                      << " spans dropped\n";
+    }
 }
 
 // --------------------------------------------------------------- commands ---
@@ -288,20 +342,23 @@ int cmd_loadgen(const Options& o)
     cfg.max_wait_us = o.max_wait_us;
     cfg.seed = o.seed;
 
+    obs_begin(o);
     const auto result = serve::run_loadgen(cfg);
 
     // Timing always goes to stderr: humans see it either way, and the
-    // stdout JSON stays byte-diffable across --jobs values.
-    auto sorted = result.stats.latencies_us;
-    std::sort(sorted.begin(), sorted.end());
+    // stdout JSON stays byte-diffable across --jobs values.  Percentiles
+    // come interpolated from the latency histogram (stats.h discusses the
+    // nearest-rank tail bias this avoids).
+    const auto& lat = result.stats.latency_us;
     std::cerr << "loadgen: " << result.total_requests << " requests ("
               << cfg.tenants << " tenants x " << cfg.clients << " clients x "
               << cfg.requests << " each) in " << fmt_f(result.wall_seconds, 3) << " s = "
-              << fmt_f(result.requests_per_second(), 1) << " req/s; latency us p50/p95/p99 = "
-              << fmt_f(percentile_sorted(sorted, 50), 1) << "/"
-              << fmt_f(percentile_sorted(sorted, 95), 1) << "/"
-              << fmt_f(percentile_sorted(sorted, 99), 1) << "; "
-              << result.stats.batches << " batches\n";
+              << fmt_f(result.requests_per_second(), 1)
+              << " req/s; latency us p50/p95/p99/p999 = "
+              << fmt_f(lat.percentile(50), 1) << "/" << fmt_f(lat.percentile(95), 1) << "/"
+              << fmt_f(lat.percentile(99), 1) << "/" << fmt_f(lat.percentile(99.9), 1)
+              << "; " << result.stats.batches << " batches\n";
+    obs_finish(o);
 
     if (o.json) {
         print_loadgen_json(cfg, result, std::cout);
@@ -385,6 +442,7 @@ int cmd_infer(const Options& o)
     else
         throw Seda_error("seda_cli: unknown --mode '" + o.mode + "' (serve|session)");
 
+    obs_begin(o);
     const auto result =
         infer::run_infer(models::model_by_name(o.model), npu_by_name(o.npu), cfg);
 
@@ -394,6 +452,19 @@ int cmd_infer(const Options& o)
               << fmt_f(result.wall_seconds, 3) << " s = "
               << fmt_f(result.mb_per_second(), 1) << " MB/s protected ("
               << fmt_bytes(result.protected_bytes()) << " through the secure path)\n";
+    if (obs::enabled()) {
+        // Layer-replay percentiles from the registry: infer has no
+        // per-request latency, so the layer span histogram is its tail view.
+        const auto snap = obs::Metrics_registry::instance().scrape();
+        if (const auto* h = obs::find_histogram(snap, "infer_layer_us"))
+            std::cerr << "infer: layer replay us p50/p95/p99/p999 = "
+                      << fmt_f(h->hist.percentile(50), 1) << "/"
+                      << fmt_f(h->hist.percentile(95), 1) << "/"
+                      << fmt_f(h->hist.percentile(99), 1) << "/"
+                      << fmt_f(h->hist.percentile(99.9), 1) << " over "
+                      << h->hist.count() << " layer replays\n";
+    }
+    obs_finish(o);
 
     if (o.json) {
         print_infer_json(o.model, o.npu, cfg, result, std::cout);
@@ -537,8 +608,15 @@ int usage(std::ostream& os)
           "  --mode serve|session      infer replay path (default serve)\n"
           "  --max-wait-us N           batching linger window (loadgen, infer; default 0)\n"
           "  --seed S                  determinism seed (loadgen, infer; default 24282)\n"
+          "  --stages                  per-stage latency table on stderr (loadgen, infer)\n"
+          "  --stats-out FILE          Prometheus text scrape (loadgen, infer)\n"
+          "  --stats-json FILE         JSON metrics snapshot (loadgen, infer)\n"
+          "  --trace-out FILE          chrome://tracing span dump (loadgen, infer)\n"
           "\n"
           "environment:\n"
+          "  SEDA_OBS=0                disable stage metrics/trace collection at runtime\n"
+          "  SEDA_OBS_SAMPLE=N         time every Nth span per thread (default 32; 1 = all)\n"
+          "  (observability output never reaches stdout --json; docs/OBSERVABILITY.md)\n"
           "  SEDA_AES_BACKEND=scalar|ttable|aesni   process-wide AES round impl\n"
           "  SEDA_SHA_BACKEND=scalar|fast|shani     process-wide SHA-256 compression\n"
           "  (read once at startup; hardware kinds need CPU support -- run\n"
@@ -578,6 +656,14 @@ Options parse(int argc, char** argv)
             parse_int(arg, next(), o.max_wait_us);
         else if (arg == "--seed")
             parse_int(arg, next(), o.seed);
+        else if (arg == "--stages")
+            o.stages = true;
+        else if (arg == "--stats-out")
+            o.stats_out = next();
+        else if (arg == "--stats-json")
+            o.stats_json = next();
+        else if (arg == "--trace-out")
+            o.trace_out = next();
         else if (arg == "--csv")
             o.csv = true;
         else if (arg == "--json")
