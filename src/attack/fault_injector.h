@@ -1,0 +1,64 @@
+// Fault_injector: the campaign's dram::Dram_tap implementation.
+//
+// Prober threads ARM adversary moves (closures over Secure_memory's
+// attacker interface) at any time; the serving data path EXECUTES them at
+// its next tap pull -- which happens on the scheduler thread, at the head
+// of a flush, when no legitimate crypto is in flight on ANY tenant's
+// memory (the server has exactly one scheduler thread and the session's
+// shard fan-out joins before the flush returns).  One injector may
+// therefore be shared across every tenant of a server: wherever the pull
+// fires, running the queued moves is serialized against all traffic, and a
+// move may safely touch a different tenant's memory than the one flushing
+// (the cross-tenant splice does exactly that).
+//
+// Ordering guarantee the campaign relies on: a probe request submitted
+// AFTER arm() returns can only be dispatched after a pull that ran the
+// armed move -- every flush pulls first -- so "arm, then probe, then
+// assert the detection" is race-free by construction.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/dram_tap.h"
+
+namespace seda::attack {
+
+class Fault_injector final : public dram::Dram_tap {
+public:
+    /// Queues one adversary move; it runs inside the next pull().
+    void arm(std::function<void()> fault)
+    {
+        std::lock_guard lock(mutex_);
+        armed_.push_back(std::move(fault));
+    }
+
+    /// Executes every queued move, in arm order, then clears the queue.
+    /// Called by the data path (dram/dram_tap.h contract); moves run under
+    /// the injector lock, which arm() never holds while a move runs a
+    /// submit -- moves must not call back into the serving interface.
+    void pull() override
+    {
+        std::lock_guard lock(mutex_);
+        for (auto& fault : armed_) fault();
+        executed_ += armed_.size();
+        armed_.clear();
+    }
+
+    /// Moves executed so far (stable once the server has drained).
+    [[nodiscard]] u64 executed() const
+    {
+        std::lock_guard lock(mutex_);
+        return executed_;
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<std::function<void()>> armed_;
+    u64 executed_ = 0;
+};
+
+}  // namespace seda::attack

@@ -1,0 +1,84 @@
+#include "attack/fault_plan.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace seda::attack {
+
+std::size_t Fault_plan::detections_per_fault(Fault_kind kind)
+{
+    switch (kind) {
+        case Fault_kind::shuffle: return 2;
+        case Fault_kind::seca_probe: return 0;
+        case Fault_kind::tamper:
+        case Fault_kind::mac_corrupt:
+        case Fault_kind::splice:
+        case Fault_kind::rollback: return 1;
+        case Fault_kind::count_: break;
+    }
+    return 0;
+}
+
+core::Verify_status Fault_plan::expected_status(Fault_kind kind)
+{
+    switch (kind) {
+        case Fault_kind::rollback: return core::Verify_status::replay_detected;
+        case Fault_kind::seca_probe: return core::Verify_status::ok;
+        default: return core::Verify_status::mac_mismatch;
+    }
+}
+
+std::vector<Detection> Fault_plan::expected_detections() const
+{
+    std::vector<Detection> out;
+    for (u32 t = 1; t <= victim_tenants; ++t)
+        for (const Fault& f : faults) {
+            if (f.tenant != t) continue;
+            const std::size_t n = detections_per_fault(f.kind);
+            for (std::size_t i = 0; i < n; ++i)
+                out.push_back({f.tenant, f.layer_id, f.tensor_kind, expected_status(f.kind)});
+        }
+    return out;
+}
+
+std::size_t Fault_plan::count(Fault_kind kind) const
+{
+    std::size_t n = 0;
+    for (const Fault& f : faults)
+        if (f.kind == kind) ++n;
+    return n;
+}
+
+Fault_plan make_fault_plan(u64 seed, u32 tenants, std::size_t faults,
+                           std::vector<Fault_kind> kinds)
+{
+    require(tenants >= 2, "make_fault_plan: need tenant 0 (control) plus >= 1 victim");
+    require(faults >= 1, "make_fault_plan: empty campaigns make no assertions");
+    if (kinds.empty())
+        for (std::size_t k = 0; k < k_fault_kind_count; ++k)
+            kinds.push_back(static_cast<Fault_kind>(k));
+
+    Fault_plan plan;
+    plan.seed = seed;
+    plan.victim_tenants = tenants - 1;
+    u64 sm = seed ^ 0xA77AC4ULL;
+    Rng rng(splitmix64(sm));
+    plan.faults.reserve(faults);
+    for (std::size_t i = 0; i < faults; ++i) {
+        Fault f;
+        // Deal every allowed kind once before drawing uniformly, so short
+        // plans still mix kinds; victims round-robin so every victim
+        // tenant gets probed.
+        f.kind = i < kinds.size() ? kinds[i] : kinds[rng.next_below(kinds.size())];
+        f.tenant = 1 + static_cast<u32>(i % plan.victim_tenants);
+        f.index = static_cast<u32>(i);
+        f.layer_id = static_cast<u32>(1 + rng.next_below(12));
+        f.tensor_kind = static_cast<u32>(rng.next_below(3));
+        f.byte_offset = static_cast<u8>(rng.next_below(64));
+        f.xor_mask = static_cast<u8>(1 + rng.next_below(255));
+        plan.faults.push_back(f);
+    }
+    return plan;
+}
+
+}  // namespace seda::attack

@@ -1,0 +1,106 @@
+// Fault_plan: the seeded recipe of an adversary-under-load campaign.
+//
+// A plan is a PURE FUNCTION of (seed, tenant count, fault count): which
+// victim tenant each fault hits, which fault kind, which MAC-context
+// fields the probe traffic binds, and which bits flip.  Campaign runs,
+// unit tests and the `seda_cli attack` subcommand all derive the same plan
+// from the same seed, which is what makes "detected == injected, exactly"
+// an executable assertion instead of a statistical one
+// (docs/THREAT_MODEL.md catalogs the kinds and their contracts).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "core/verify_status.h"
+
+namespace seda::attack {
+
+/// The adversary moves a campaign composes.  Every ACTIVE kind has an
+/// exact detection contract (expected_status / expected_detections below);
+/// seca_probe is passive -- it must produce zero detections AND recover
+/// zero plaintext under B-AES.
+enum class Fault_kind : u8 {
+    tamper,       ///< flip ciphertext bits of one stored unit
+    mac_corrupt,  ///< flip bits of one stored unit's MAC word
+    splice,       ///< copy another tenant's stored unit over the victim's
+    shuffle,      ///< swap two stored units wholesale (RePA at memory level)
+    rollback,     ///< replay a stale snapshot over newer data (VN rollback)
+    seca_probe,   ///< passive: snapshot a sparse unit, run Alg. 1 offline
+    count_
+};
+
+inline constexpr std::size_t k_fault_kind_count =
+    static_cast<std::size_t>(Fault_kind::count_);
+
+[[nodiscard]] constexpr const char* to_string(Fault_kind k)
+{
+    switch (k) {
+        case Fault_kind::tamper: return "tamper";
+        case Fault_kind::mac_corrupt: return "mac_corrupt";
+        case Fault_kind::splice: return "splice";
+        case Fault_kind::shuffle: return "shuffle";
+        case Fault_kind::rollback: return "rollback";
+        case Fault_kind::seca_probe: return "seca_probe";
+        case Fault_kind::count_: break;
+    }
+    return "?";
+}
+
+/// One planned fault: everything the campaign's prober needs.  `index` is
+/// the fault's position in the whole plan and names its dedicated probe
+/// units, so no two faults -- on any tenant -- ever touch the same slot.
+struct Fault {
+    Fault_kind kind = Fault_kind::tamper;
+    u32 tenant = 0;       ///< victim tenant id (never 0: tenant 0 is control/donor)
+    u32 index = 0;        ///< position in the plan (also the probe blk_idx)
+    u32 layer_id = 0;     ///< MAC-context layer the probe traffic binds
+    u32 tensor_kind = 0;  ///< 0 weight / 1 ifmap / 2 ofmap (probe fmap_idx)
+    u8 byte_offset = 0;   ///< tamper position inside the unit
+    u8 xor_mask = 1;      ///< ciphertext/MAC bit flips (never 0)
+
+    [[nodiscard]] bool operator==(const Fault&) const = default;
+};
+
+/// One expected or observed detection, at the attribution granularity the
+/// acceptance gate names: right tenant, right layer, right tensor kind,
+/// right failure class.
+struct Detection {
+    u32 tenant = 0;
+    u32 layer_id = 0;
+    u32 tensor_kind = 0;
+    core::Verify_status status = core::Verify_status::ok;
+
+    [[nodiscard]] bool operator==(const Detection&) const = default;
+};
+
+struct Fault_plan {
+    u64 seed = 0;
+    u32 victim_tenants = 0;     ///< victims are tenant ids [1, victim_tenants]
+    std::vector<Fault> faults;  ///< plan order (per-tenant order = probe order)
+
+    /// How many detections one fault of `kind` must produce (shuffle swaps
+    /// two units, so both probe reads fail; seca_probe produces none).
+    [[nodiscard]] static std::size_t detections_per_fault(Fault_kind kind);
+
+    /// The failure class one fault of `kind` must surface as.
+    [[nodiscard]] static core::Verify_status expected_status(Fault_kind kind);
+
+    /// Every detection this plan must produce, grouped per victim tenant in
+    /// ascending id, each tenant's entries in its probe order.
+    [[nodiscard]] std::vector<Detection> expected_detections() const;
+
+    /// Faults of `kind` in the plan.
+    [[nodiscard]] std::size_t count(Fault_kind kind) const;
+};
+
+/// Builds the campaign recipe as a pure function of its arguments.
+/// Victims are tenants [1, tenants); tenant 0 is never attacked (it is the
+/// untouched-control row and the splice-donor space).  A non-empty `kinds`
+/// restricts the draw (targeted campaigns); the first faults deal every
+/// allowed kind once so even short plans are mixed.
+[[nodiscard]] Fault_plan make_fault_plan(u64 seed, u32 tenants, std::size_t faults,
+                                         std::vector<Fault_kind> kinds = {});
+
+}  // namespace seda::attack

@@ -335,4 +335,12 @@ void Secure_memory::rollback(Addr addr, const Stored_unit& old)
     units_.at(addr) = old;
 }
 
+void Secure_memory::corrupt_mac(Addr addr, u64 xor_mask)
+{
+    require(xor_mask != 0, "Secure_memory::corrupt_mac: mask must flip at least one bit");
+    auto it = units_.find(addr);
+    require(it != units_.end(), "Secure_memory::corrupt_mac: unit never written");
+    it->second.mac ^= xor_mask;
+}
+
 }  // namespace seda::core

@@ -23,27 +23,18 @@
 // (tests/core/secure_memory_batch_test.cpp holds both properties).
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "core/verify_status.h"
 #include "crypto/baes.h"
 #include "crypto/mac.h"
+#include "dram/dram_tap.h"
 
 namespace seda::core {
-
-enum class Verify_status { ok, mac_mismatch, replay_detected };
-
-[[nodiscard]] constexpr const char* to_string(Verify_status s)
-{
-    switch (s) {
-        case Verify_status::ok: return "ok";
-        case Verify_status::mac_mismatch: return "mac_mismatch";
-        case Verify_status::replay_detected: return "replay_detected";
-    }
-    return "?";
-}
 
 struct Secure_mem_config {
     Bytes unit_bytes = 64;  ///< protection-unit size (one MAC per unit)
@@ -221,6 +212,25 @@ public:
     /// Restores a previously snapshotted unit (replay / rollback attack).
     void rollback(Addr addr, const Stored_unit& old);
 
+    /// Flips bits of a stored unit's MAC word (integrity-metadata fault).
+    void corrupt_mac(Addr addr, u64 xor_mask);
+
+    // ---- bus-adversary tap (dram/dram_tap.h) ----------------------------
+
+    /// Installs (nullptr clears) the adversary tap.  Safe while traffic
+    /// runs: the pointer is atomic and pull_dram_tap() only fires on the
+    /// thread that owns the memory for the current flush.
+    void set_dram_tap(dram::Dram_tap* tap) { tap_.store(tap, std::memory_order_release); }
+
+    /// Gives an installed tap its injection window.  Called by the bulk
+    /// entry points (runtime::Secure_session) and the serving layer's
+    /// per-request fallback at the head of each flush, before any unit is
+    /// staged or verified; near-free when no tap is installed.
+    void pull_dram_tap()
+    {
+        if (dram::Dram_tap* tap = tap_.load(std::memory_order_acquire)) tap->pull();
+    }
+
 private:
     [[nodiscard]] static crypto::Mac_context context_for(Addr addr, u64 vn, u32 layer_id,
                                                          u32 fmap_idx, u32 blk_idx);
@@ -238,6 +248,7 @@ private:
     // across rehash, which stage_writes's Write_slot pointers rely on).
     std::unordered_map<Addr, Stored_unit> units_;  ///< the untrusted array
     std::unordered_map<Addr, u64> onchip_vns_;     ///< trusted on-chip VN table
+    std::atomic<dram::Dram_tap*> tap_{nullptr};    ///< bus-adversary seam
 };
 
 }  // namespace seda::core

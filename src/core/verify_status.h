@@ -1,0 +1,22 @@
+// Verify_status: the per-unit outcome of protected-memory verification.
+//
+// Split out of secure_memory.h so the accounting layers that only name the
+// enum (serve::Serve_stats failure records, infer::Infer_stats failure
+// logs, the attack campaign's ledger) need not pull in the crypto engines.
+#pragma once
+
+namespace seda::core {
+
+enum class Verify_status { ok, mac_mismatch, replay_detected };
+
+[[nodiscard]] constexpr const char* to_string(Verify_status s)
+{
+    switch (s) {
+        case Verify_status::ok: return "ok";
+        case Verify_status::mac_mismatch: return "mac_mismatch";
+        case Verify_status::replay_detected: return "replay_detected";
+    }
+    return "?";
+}
+
+}  // namespace seda::core

@@ -112,4 +112,23 @@ Repa_result repa_attack(std::span<const std::vector<u8>> layer_blocks,
     return result;
 }
 
+void splice_unit(core::Secure_memory& dst, Addr dst_addr, const core::Secure_memory& src,
+                 Addr src_addr)
+{
+    dst.rollback(dst_addr, src.snapshot(src_addr));
+}
+
+void Rollback_capsule::capture(const core::Secure_memory& mem, Addr addr)
+{
+    unit_ = mem.snapshot(addr);
+    addr_ = addr;
+    armed_ = true;
+}
+
+void Rollback_capsule::replay(core::Secure_memory& mem) const
+{
+    require(armed_, "Rollback_capsule::replay: nothing captured");
+    mem.rollback(addr_, unit_);
+}
+
 }  // namespace seda::crypto

@@ -21,6 +21,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "core/secure_memory.h"
 #include "crypto/ctr.h"
 #include "crypto/mac.h"
 
@@ -74,5 +75,42 @@ struct Repa_result {
                                       std::span<const u64> block_vns, u32 layer_id,
                                       std::span<const u8> mac_key, Layer_mac_kind kind,
                                       Rng& rng);
+
+// ------------------------------------------- memory-level adversary moves ----
+//
+// The primitives below act on core::Secure_memory through its attacker
+// interface.  They are shared by the unit tests and the campaign driver
+// (attack/campaign.h) so both exercise the exact same adversary.
+
+/// Cross-tenant splice: a bus adversary copies tenant `src`'s stored unit
+/// (ciphertext + MAC + stored VN) at `src_addr` wholesale over tenant
+/// `dst`'s unit at `dst_addr`.  Both units must already exist.  Detection
+/// contract: the spliced MAC was minted under src's key and position, so
+/// dst's next verified read reports mac_mismatch.
+void splice_unit(core::Secure_memory& dst, Addr dst_addr, const core::Secure_memory& src,
+                 Addr src_addr);
+
+/// VN-rollback helper: captures a unit's full stored state at one point in
+/// time and replays it later, after the legitimate owner wrote newer data
+/// -- the freshness attack on-chip VNs exist to catch.  Detection
+/// contract: with on-chip VNs the replayed unit carries a stale stored_vn,
+/// so the next read reports replay_detected; with VNs stored off-chip the
+/// rollback verifies clean (the strawman the tests demonstrate).
+class Rollback_capsule {
+public:
+    /// Snapshots `addr`'s stored unit.  Re-capturing overwrites.
+    void capture(const core::Secure_memory& mem, Addr addr);
+
+    /// Restores the captured state.  Throws when nothing was captured.
+    void replay(core::Secure_memory& mem) const;
+
+    [[nodiscard]] bool armed() const { return armed_; }
+    [[nodiscard]] Addr addr() const { return addr_; }
+
+private:
+    Addr addr_ = 0;
+    bool armed_ = false;
+    core::Secure_memory::Stored_unit unit_;
+};
 
 }  // namespace seda::crypto

@@ -20,8 +20,20 @@
 
 #include "accel/trace.h"
 #include "common/types.h"
+#include "core/verify_status.h"
 
 namespace seda::infer {
+
+/// One failed verification of a protected unit.  The owning Unit_counters
+/// supplies the (layer, tensor kind) attribution; the record pins down
+/// which unit failed and how -- what the attack campaign's ledger matches
+/// against its injected plan.
+struct Unit_failure {
+    Addr addr = 0;
+    core::Verify_status status = core::Verify_status::ok;
+
+    [[nodiscard]] bool operator==(const Unit_failure&) const = default;
+};
 
 /// Counters for one stream of protected-unit operations.
 struct Unit_counters {
@@ -33,6 +45,9 @@ struct Unit_counters {
     u64 bytes = 0;          ///< plaintext bytes moved by ok operations
     u64 payload_fold = 0;   ///< XOR of fnv1a64(payload) over ok reads
     u64 data_mismatches = 0;///< ok reads whose payload != the write mirror
+    /// Every non-ok verification in trace order (deterministic: the trace
+    /// fixes the unit sequence regardless of sharding or replay path).
+    std::vector<Unit_failure> failure_log;
 
     Unit_counters& operator+=(const Unit_counters& o)
     {
@@ -44,6 +59,7 @@ struct Unit_counters {
         bytes += o.bytes;
         payload_fold ^= o.payload_fold;
         data_mismatches += o.data_mismatches;
+        failure_log.insert(failure_log.end(), o.failure_log.begin(), o.failure_log.end());
         return *this;
     }
 

@@ -136,8 +136,14 @@ void Trace_player::dispatch_reads(Unit_sink& sink, const Mirror& mirror,
                     ++c.data_mismatches;
                 break;
             }
-            case core::Verify_status::mac_mismatch: ++c.mac_mismatch; break;
-            case core::Verify_status::replay_detected: ++c.replay_detected; break;
+            case core::Verify_status::mac_mismatch:
+                ++c.mac_mismatch;
+                c.failure_log.push_back({addrs_[i], statuses_[i]});
+                break;
+            case core::Verify_status::replay_detected:
+                ++c.replay_detected;
+                c.failure_log.push_back({addrs_[i], statuses_[i]});
+                break;
         }
     }
 }

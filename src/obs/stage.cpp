@@ -36,6 +36,7 @@ constexpr std::array<Stage_names, k_stage_count> k_stage_names{{
     {"infer_input_us", "infer.input", false},
     {"infer_layer_us", "infer.layer", false},
     {"loadgen_client_us", "loadgen.client", false},
+    {"attack_probe_us", "attack.probe", false},
 }};
 
 // Deterministic 1-in-N metric sampling.  A timed span costs two rdtsc

@@ -48,6 +48,8 @@ enum class Stage : u8 {
     infer_layer,  ///< one layer's trace replay
     // loadgen
     client,  ///< one closed-loop client's whole run
+    // attack campaign
+    attack_probe,  ///< one prober's whole fault sequence against its tenant
     count_
 };
 

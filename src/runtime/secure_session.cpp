@@ -39,6 +39,10 @@ void Secure_session::build_workers(std::span<const u8> enc_key, std::span<const 
 
 void Secure_session::write_units(std::span<const core::Secure_memory::Unit_write> batch)
 {
+    // The bus adversary's window: between flushes, before any unit of this
+    // batch is staged, on the one thread that owns the memory right now.
+    mem_.pull_dram_tap();
+
     // Validation, VN bumps and slot insertion happen here, serially and in
     // batch order -- so a bad entry throws before any worker starts.
     const auto slots = mem_.stage_writes(batch);
@@ -63,6 +67,10 @@ void Secure_session::write_units(std::span<const core::Secure_memory::Unit_write
 std::vector<core::Verify_status> Secure_session::read_units(
     std::span<const core::Secure_memory::Unit_read> batch)
 {
+    // Same adversary window as the write path: before any verification of
+    // this batch starts, never concurrent with it.
+    mem_.pull_dram_tap();
+
     std::vector<core::Verify_status> statuses(batch.size());
 
     if (batch.size() <= k_inline_batch_units) {

@@ -22,6 +22,9 @@
 //   infer     - the secure inference engine: model traces bound onto
 //               protected units, trace replay through a session or the
 //               server, per-layer verification accounting
+//   attack    - the adversary-under-load campaign driver: seeded fault
+//               plans injected through the Dram_tap seam against a live
+//               server, with exact detection attribution
 //   obs       - stage-level observability: sharded metrics registry,
 //               log-bucketed latency histograms, pipeline span timers,
 //               Prometheus/JSON scrape and chrome://tracing export
@@ -30,10 +33,13 @@
 // core::run_protected, core::run_suite, core::Secure_memory,
 // core::provision_model, runtime::run_suite_parallel,
 // runtime::Secure_session, serve::Server, serve::run_loadgen,
-// infer::run_infer.
+// infer::run_infer, attack::run_campaign.
 #pragma once
 
 #include "accel/accel_sim.h"
+#include "attack/campaign.h"
+#include "attack/fault_injector.h"
+#include "attack/fault_plan.h"
 #include "accel/report.h"
 #include "common/error.h"
 #include "common/rng.h"
@@ -52,6 +58,7 @@
 #include "crypto/kdf.h"
 #include "crypto/mac.h"
 #include "dram/dram_sim.h"
+#include "dram/dram_tap.h"
 #include "infer/inference_engine.h"
 #include "infer/model_binding.h"
 #include "infer/run_infer.h"

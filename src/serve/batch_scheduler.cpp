@@ -47,8 +47,16 @@ void Batch_scheduler::complete(Request& req, Response&& resp, Tenant_counters& c
             if (req.op == Op::read)
                 counters.payload_fold ^= fnv1a64(resp.payload.data(), resp.payload.size());
             break;
-        case Verify_status::mac_mismatch: ++counters.mac_mismatch; break;
-        case Verify_status::replay_detected: ++counters.replay_detected; break;
+        case Verify_status::mac_mismatch:
+            ++counters.mac_mismatch;
+            counters.failures.push_back(
+                {req.addr, req.layer_id, req.fmap_idx, req.blk_idx, resp.status});
+            break;
+        case Verify_status::replay_detected:
+            ++counters.replay_detected;
+            counters.failures.push_back(
+                {req.addr, req.layer_id, req.fmap_idx, req.blk_idx, resp.status});
+            break;
     }
     record_latency(req, stats);
     if (req.reply) req.reply->set_value(std::move(resp));
@@ -58,6 +66,9 @@ void Batch_scheduler::dispatch_one(Tenant& tenant, Request& req, Serve_stats& st
 {
     Tenant_counters& counters = stats.tenants[req.tenant_id];
     core::Secure_memory& mem = tenant.session().memory();
+    // Same adversary window as the bulk paths, so per-request fallback
+    // dispatch offers the tap identical injection points.
+    mem.pull_dram_tap();
     try {
         if (req.op == Op::write) {
             mem.write(req.addr, req.payload, req.layer_id, req.fmap_idx, req.blk_idx);
@@ -132,8 +143,16 @@ void Batch_scheduler::flush_reads(Tenant& tenant, std::span<Request* const> segm
                 counters.bytes += read_bufs_[i].size();
                 counters.payload_fold ^= fnv1a64(read_bufs_[i].data(), read_bufs_[i].size());
                 break;
-            case Verify_status::mac_mismatch: ++counters.mac_mismatch; break;
-            case Verify_status::replay_detected: ++counters.replay_detected; break;
+            case Verify_status::mac_mismatch:
+                ++counters.mac_mismatch;
+                counters.failures.push_back(
+                    {req.addr, req.layer_id, req.fmap_idx, req.blk_idx, status});
+                break;
+            case Verify_status::replay_detected:
+                ++counters.replay_detected;
+                counters.failures.push_back(
+                    {req.addr, req.layer_id, req.fmap_idx, req.blk_idx, status});
+                break;
         }
         record_latency(req, stats);
         // Only surrender the buffer when someone is waiting for it; the

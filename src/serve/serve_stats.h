@@ -21,9 +21,26 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/verify_status.h"
 #include "obs/histogram.h"
 
 namespace seda::serve {
+
+/// One verification failure with full positional attribution: which unit,
+/// under which bound MAC context (layer / fmap / blk), with which outcome.
+/// The scheduler completes a tenant's requests in admission order, so a
+/// tenant whose failing probes come from a single submitter observes its
+/// failure records exactly in submission order at ANY worker count -- the
+/// property the attack campaign's exact-attribution ledger relies on.
+struct Failure_record {
+    Addr addr = 0;
+    u32 layer_id = 0;
+    u32 fmap_idx = 0;
+    u32 blk_idx = 0;
+    core::Verify_status status = core::Verify_status::ok;
+
+    [[nodiscard]] bool operator==(const Failure_record&) const = default;
+};
 
 /// Counters for one tenant's completed requests.
 struct Tenant_counters {
@@ -35,8 +52,13 @@ struct Tenant_counters {
     u64 rejected = 0;      ///< completed with an exception (e.g. never-written read)
     u64 bytes = 0;         ///< payload bytes moved (written in + read out, ok only)
     u64 payload_fold = 0;  ///< XOR of fnv1a64(payload) over ok reads
+    /// Every non-ok verification this tenant's requests produced, in
+    /// completion order (== admission order per tenant).  Deterministic
+    /// like the counters above: which requests fail is a property of the
+    /// request streams and the adversary, not of batching or --jobs.
+    std::vector<Failure_record> failures;
 
-    /// Accumulates another row (counts add, folds XOR).
+    /// Accumulates another row (counts add, folds XOR, failures append).
     Tenant_counters& operator+=(const Tenant_counters& o)
     {
         writes += o.writes;
@@ -47,8 +69,11 @@ struct Tenant_counters {
         rejected += o.rejected;
         bytes += o.bytes;
         payload_fold ^= o.payload_fold;
+        failures.insert(failures.end(), o.failures.begin(), o.failures.end());
         return *this;
     }
+
+    [[nodiscard]] bool operator==(const Tenant_counters&) const = default;
 };
 
 /// Whole-server view: one Tenant_counters per tenant plus global samples.

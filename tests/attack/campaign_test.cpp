@@ -1,0 +1,144 @@
+// Adversary-under-load campaigns: the live server detects EXACTLY the
+// injected plan -- right tenant, right MAC context, right failure class,
+// zero false positives -- while background clients, a model hot swap and
+// inference engines keep traffic flowing on every tenant.
+//
+// Suite names are load-bearing for CI: quick scenarios live in
+// AttackCampaign (part of the TSan filter), the 50-seed sweep lives in
+// CampaignSweep so the instrumented run stays fast.
+#include <gtest/gtest.h>
+
+#include "attack/campaign.h"
+
+namespace seda::attack {
+namespace {
+
+/// Small-but-mixed config the quick scenarios share.
+Campaign_config quick_config(u64 seed)
+{
+    Campaign_config cfg;
+    cfg.seed = seed;
+    cfg.tenants = 3;
+    cfg.faults = 6;  // deals every kind once (k_fault_kind_count == 6)
+    cfg.clients = 2;
+    cfg.requests = 8;
+    cfg.jobs = 4;
+    cfg.hot_swap = false;
+    cfg.infer_traffic = false;
+    cfg.control_run = false;
+    return cfg;
+}
+
+TEST(AttackCampaign, DetectsExactlyTheInjectedPlan)
+{
+    auto cfg = quick_config(0xC0FFEE);
+    cfg.control_run = true;  // untouched rows must match a no-campaign run
+    const auto r = run_campaign(cfg);
+
+    EXPECT_TRUE(r.attribution_exact);
+    EXPECT_EQ(r.false_positives, 0u);
+    EXPECT_EQ(r.probe_surprises, 0u);
+    EXPECT_EQ(r.background_failures, 0u);
+    EXPECT_EQ(r.detected_mac_mismatch, r.expected_mac_mismatch);
+    EXPECT_EQ(r.detected_replay_detected, r.expected_replay_detected);
+    EXPECT_GT(r.expected_mac_mismatch + r.expected_replay_detected, 0u);
+    EXPECT_GE(r.faults_injected, r.plan.faults.size());
+    EXPECT_TRUE(r.control_checked);
+    EXPECT_TRUE(r.control_identical);
+    EXPECT_TRUE(r.clean());
+
+    // Tenant 0 carries control/donor traffic only: no failure may ever
+    // land there, and the ledger said so up front.
+    EXPECT_TRUE(r.stats.tenants[0].failures.empty());
+}
+
+TEST(AttackCampaign, HotSwapUnderTrafficKeepsAttributionExact)
+{
+    auto cfg = quick_config(0xBEEF);
+    cfg.hot_swap = true;
+    const auto r = run_campaign(cfg);
+
+    EXPECT_TRUE(r.clean());
+    EXPECT_NE(r.swap_tenant, k_no_tenant);
+    EXPECT_NE(r.replacement_tenant, k_no_tenant);
+    // Every post-evict submit bounced at the door...
+    EXPECT_EQ(r.evicted_rejects, r.expected_evicted_rejects);
+    EXPECT_GT(r.expected_evicted_rejects, 0u);
+    // ...and the re-provisioned tenant detected exactly its one planted
+    // tamper, attributed to the swap scenario's MAC context.
+    const auto& swapped = r.stats.tenants[r.replacement_tenant].failures;
+    ASSERT_EQ(swapped.size(), 1u);
+    EXPECT_EQ(swapped[0].status, core::Verify_status::mac_mismatch);
+}
+
+TEST(AttackCampaign, InferVictimSeesExactlyThePlantedWeightFault)
+{
+    auto cfg = quick_config(0xD00D);
+    cfg.faults = 3;
+    cfg.infer_traffic = true;
+    cfg.model = "lenet";
+    cfg.inferences = 1;
+    const auto r = run_campaign(cfg);
+
+    EXPECT_TRUE(r.clean());
+    EXPECT_NE(r.infer_victim_tenant, k_no_tenant);
+    EXPECT_GT(r.infer_expected_failures, 0u);
+    EXPECT_EQ(r.infer_detected_failures, r.infer_expected_failures);
+    // The untouched control engine replayed the same model spotlessly.
+    EXPECT_EQ(r.infer_control.totals().mac_mismatch, 0u);
+    EXPECT_EQ(r.infer_control.totals().replay_detected, 0u);
+}
+
+TEST(AttackCampaign, SecaProbesRecoverNothingUnderBaes)
+{
+    auto cfg = quick_config(0x5ECA);
+    cfg.faults = 4;
+    cfg.kinds = {Fault_kind::seca_probe};
+    const auto r = run_campaign(cfg);
+
+    EXPECT_EQ(r.seca_probes, 4u);
+    EXPECT_EQ(r.seca_recoveries, 0u);
+    // Passive probes must produce zero detections anywhere.
+    EXPECT_EQ(r.expected_mac_mismatch + r.expected_replay_detected, 0u);
+    EXPECT_EQ(r.detected_mac_mismatch + r.detected_replay_detected, 0u);
+    EXPECT_TRUE(r.clean());
+}
+
+// ------------------------------------------------- 50-seed x jobs sweep ----
+
+TEST(CampaignSweep, FiftySeedsDetectExactlyAtEveryWorkerCount)
+{
+    for (u64 seed = 1; seed <= 50; ++seed) {
+        Campaign_config cfg;
+        cfg.seed = seed * 0x9E37'79B9 + 17;
+        cfg.tenants = 3;
+        cfg.faults = 5;
+        cfg.clients = 1;
+        cfg.requests = 6;
+        cfg.hot_swap = false;
+        cfg.infer_traffic = false;
+        cfg.control_run = false;
+
+        cfg.jobs = 1;
+        const auto r1 = run_campaign(cfg);
+        cfg.jobs = 8;
+        const auto r8 = run_campaign(cfg);
+
+        ASSERT_TRUE(r1.clean()) << "seed " << cfg.seed << " jobs 1";
+        ASSERT_TRUE(r8.clean()) << "seed " << cfg.seed << " jobs 8";
+        ASSERT_EQ(r1.detected_mac_mismatch, r1.expected_mac_mismatch)
+            << "seed " << cfg.seed;
+        ASSERT_EQ(r1.detected_replay_detected, r1.expected_replay_detected)
+            << "seed " << cfg.seed;
+
+        // Every deterministic per-tenant row -- counters, folds AND the
+        // ordered failure-record lists -- is independent of --jobs.
+        ASSERT_EQ(r1.stats.tenants.size(), r8.stats.tenants.size());
+        for (std::size_t t = 0; t < r1.stats.tenants.size(); ++t)
+            ASSERT_EQ(r1.stats.tenants[t], r8.stats.tenants[t])
+                << "seed " << cfg.seed << " tenant " << t;
+    }
+}
+
+}  // namespace
+}  // namespace seda::attack

@@ -1,0 +1,86 @@
+// Fault_plan: the campaign recipe is a pure function of its seed, mixes
+// kinds, round-robins victims, and its expected-detection bookkeeping
+// matches the per-kind contracts.
+#include <gtest/gtest.h>
+
+#include "attack/fault_plan.h"
+#include "common/error.h"
+
+namespace seda::attack {
+namespace {
+
+TEST(AttackPlan, IsAPureFunctionOfItsSeed)
+{
+    const auto a = make_fault_plan(0x5EDA, 4, 20);
+    const auto b = make_fault_plan(0x5EDA, 4, 20);
+    EXPECT_EQ(a.faults, b.faults);
+    EXPECT_EQ(a.victim_tenants, 3u);
+
+    const auto c = make_fault_plan(0x5EDB, 4, 20);
+    EXPECT_NE(a.faults, c.faults);
+}
+
+TEST(AttackPlan, DealsEveryKindBeforeDrawingUniformly)
+{
+    // The first k_fault_kind_count faults are one of each kind, in order,
+    // so even the shortest mixed plan exercises every adversary move.
+    const auto plan = make_fault_plan(7, 3, k_fault_kind_count);
+    for (std::size_t k = 0; k < k_fault_kind_count; ++k) {
+        EXPECT_EQ(plan.faults[k].kind, static_cast<Fault_kind>(k));
+        EXPECT_EQ(plan.count(static_cast<Fault_kind>(k)), 1u);
+    }
+}
+
+TEST(AttackPlan, VictimsRoundRobinSoEveryTenantIsProbed)
+{
+    const auto plan = make_fault_plan(9, 4, 9);  // 3 victims, 9 faults
+    for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+        EXPECT_EQ(plan.faults[i].tenant, 1 + i % 3);
+        EXPECT_EQ(plan.faults[i].index, i);
+        EXPECT_GE(plan.faults[i].layer_id, 1u);  // never the 0 sentinel
+        EXPECT_NE(plan.faults[i].xor_mask, 0);   // every mask flips a bit
+    }
+}
+
+TEST(AttackPlan, KindsRestrictionTargetsTheCampaign)
+{
+    const auto plan = make_fault_plan(11, 3, 6, {Fault_kind::rollback});
+    EXPECT_EQ(plan.count(Fault_kind::rollback), 6u);
+    for (const Fault& f : plan.faults)
+        EXPECT_EQ(f.kind, Fault_kind::rollback);
+}
+
+TEST(AttackPlan, ExpectedDetectionsFollowThePerKindContracts)
+{
+    const auto plan = make_fault_plan(13, 3, 24);
+    const auto expected = plan.expected_detections();
+
+    // Totals: shuffle counts twice, seca_probe never, rollback is the only
+    // replay class.
+    std::size_t want = 0;
+    for (std::size_t k = 0; k < k_fault_kind_count; ++k) {
+        const auto kind = static_cast<Fault_kind>(k);
+        want += plan.count(kind) * Fault_plan::detections_per_fault(kind);
+    }
+    EXPECT_EQ(expected.size(), want);
+
+    std::size_t replays = 0;
+    for (const Detection& d : expected) {
+        EXPECT_NE(d.status, core::Verify_status::ok);
+        if (d.status == core::Verify_status::replay_detected) ++replays;
+    }
+    EXPECT_EQ(replays, plan.count(Fault_kind::rollback));
+
+    // Grouped per victim in ascending id (the ledger's tenant-major order).
+    for (std::size_t i = 1; i < expected.size(); ++i)
+        EXPECT_LE(expected[i - 1].tenant, expected[i].tenant);
+}
+
+TEST(AttackPlan, RejectsDegenerateCampaigns)
+{
+    EXPECT_THROW((void)make_fault_plan(1, 1, 4), Seda_error);  // no victim
+    EXPECT_THROW((void)make_fault_plan(1, 3, 0), Seda_error);  // no faults
+}
+
+}  // namespace
+}  // namespace seda::attack

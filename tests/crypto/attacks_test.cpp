@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "core/secure_memory.h"
 #include "crypto/attacks.h"
 #include "crypto/baes.h"
 
@@ -155,6 +156,106 @@ TEST(Repa, RequiresAtLeastTwoBlocks)
     EXPECT_THROW((void)repa_attack(fx.blocks, fx.addrs, fx.vns, 3, test_key(),
                                    Layer_mac_kind::naive_xor, rng),
                  Seda_error);
+}
+
+// ------------------------------------------- splice / rollback primitives ----
+
+std::vector<u8> unit_payload(u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u8> data(64);
+    for (auto& b : data) b = rng.next_byte();
+    return data;
+}
+
+TEST(SpliceUnit, AcrossKeysIsCaughtByTheMac)
+{
+    // Two tenants' memories, same address, same MAC context: the spliced
+    // unit was minted under the donor's keys, so the victim's verifier
+    // must reject it (and the victim's own copy verified before).
+    core::Secure_memory victim(test_key(1), test_key(2));
+    core::Secure_memory donor(test_key(3), test_key(4));
+    constexpr Addr addr = 0x4000;
+    victim.write(addr, unit_payload(10), 5, 1, 2);
+    donor.write(addr, unit_payload(11), 5, 1, 2);
+
+    std::vector<u8> out(64);
+    ASSERT_EQ(victim.read(addr, out, 5, 1, 2), core::Verify_status::ok);
+
+    splice_unit(victim, addr, donor, addr);
+    EXPECT_EQ(victim.read(addr, out, 5, 1, 2), core::Verify_status::mac_mismatch);
+}
+
+TEST(SpliceUnit, AcrossAddressesIsCaughtByThePositionalMac)
+{
+    // Same memory, same keys, same context fields -- only the physical
+    // address differs.  The positional MAC binds PA, so relocation fails.
+    core::Secure_memory mem(test_key(5), test_key(6));
+    mem.write(0x1000, unit_payload(20), 3, 0, 0);
+    mem.write(0x2000, unit_payload(21), 3, 0, 0);
+
+    splice_unit(mem, 0x1000, mem, 0x2000);
+    std::vector<u8> out(64);
+    EXPECT_EQ(mem.read(0x1000, out, 3, 0, 0), core::Verify_status::mac_mismatch);
+    // The donor slot itself was only read, never altered.
+    EXPECT_EQ(mem.read(0x2000, out, 3, 0, 0), core::Verify_status::ok);
+}
+
+TEST(SpliceUnit, RequiresAWrittenSource)
+{
+    core::Secure_memory mem(test_key(7), test_key(8));
+    mem.write(0x1000, unit_payload(30), 1, 0, 0);
+    EXPECT_THROW(splice_unit(mem, 0x1000, mem, 0x9999'0000), Seda_error);
+}
+
+TEST(RollbackCapsule, ReplayIsCaughtWithOnchipVns)
+{
+    core::Secure_memory mem(test_key(9), test_key(10));
+    constexpr Addr addr = 0x3000;
+    const auto v1 = unit_payload(40);
+    mem.write(addr, v1, 2, 1, 0);
+
+    Rollback_capsule capsule;
+    EXPECT_FALSE(capsule.armed());
+    capsule.capture(mem, addr);
+    EXPECT_TRUE(capsule.armed());
+    EXPECT_EQ(capsule.addr(), addr);
+
+    mem.write(addr, unit_payload(41), 2, 1, 0);  // v2 bumps the on-chip VN
+    capsule.replay(mem);
+
+    std::vector<u8> out(64, 0xAA);
+    EXPECT_EQ(mem.read(addr, out, 2, 1, 0), core::Verify_status::replay_detected);
+    EXPECT_EQ(out, std::vector<u8>(64, 0xAA));  // stale plaintext never escapes
+}
+
+TEST(RollbackCapsule, ReplayWinsAgainstOffchipVns)
+{
+    // The strawman SeDA's on-chip VNs exist to kill: with the VN stored in
+    // untrusted memory NEXT TO the unit, the capsule restores data, MAC
+    // and VN together, and verification passes on stale data.
+    core::Secure_memory::Config cfg;
+    cfg.onchip_vns = false;
+    core::Secure_memory mem(test_key(11), test_key(12), cfg);
+    constexpr Addr addr = 0x3000;
+    const auto v1 = unit_payload(50);
+    mem.write(addr, v1, 2, 1, 0);
+
+    Rollback_capsule capsule;
+    capsule.capture(mem, addr);
+    mem.write(addr, unit_payload(51), 2, 1, 0);
+    capsule.replay(mem);
+
+    std::vector<u8> out(64);
+    EXPECT_EQ(mem.read(addr, out, 2, 1, 0), core::Verify_status::ok);
+    EXPECT_EQ(out, v1);  // the rollback silently won
+}
+
+TEST(RollbackCapsule, ReplayBeforeCaptureThrows)
+{
+    core::Secure_memory mem(test_key(13), test_key(14));
+    Rollback_capsule capsule;
+    EXPECT_THROW(capsule.replay(mem), Seda_error);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "crypto/attacks.h"
 #include "crypto/kdf.h"
 #include "serve/server.h"
 
@@ -136,8 +137,9 @@ TEST(TenantIsolation, SplicedUnitFromOtherTenantFailsVerification)
     a.session().memory().write(addr, unit_data(21), 1, 0, 0);
     b.session().memory().write(addr, unit_data(22), 1, 0, 0);
 
-    // Bus adversary splices B's stored unit into A's memory wholesale.
-    a.session().memory().rollback(addr, b.session().memory().snapshot(addr));
+    // Bus adversary splices B's stored unit into A's memory wholesale
+    // (the same primitive the attack campaign's splice fault uses).
+    crypto::splice_unit(a.session().memory(), addr, b.session().memory(), addr);
 
     std::vector<u8> out(k_unit_bytes);
     EXPECT_EQ(a.session().memory().read(addr, out, 1, 0, 0), Verify_status::mac_mismatch);
@@ -192,6 +194,17 @@ TEST(TenantIsolation, TamperAndReplayAreCaughtUnderConcurrentLoad)
     EXPECT_EQ(stats.tenants[0].mac_mismatch, 1u);
     EXPECT_EQ(stats.tenants[1].replay_detected, 1u);
     EXPECT_EQ(stats.tenants[2].mac_mismatch + stats.tenants[2].replay_detected, 0u);
+
+    // Exact attribution: each failure record names the unit, the bound MAC
+    // context (write_request binds layer_id = tenant) and the failure
+    // class -- and no tenant logged anything beyond its one poisoned read.
+    ASSERT_EQ(stats.tenants[0].failures.size(), 1u);
+    EXPECT_EQ(stats.tenants[0].failures[0],
+              (Failure_record{0, 0, 0, 0, Verify_status::mac_mismatch}));
+    ASSERT_EQ(stats.tenants[1].failures.size(), 1u);
+    EXPECT_EQ(stats.tenants[1].failures[0],
+              (Failure_record{64, 1, 0, 0, Verify_status::replay_detected}));
+    EXPECT_TRUE(stats.tenants[2].failures.empty());
 }
 
 }  // namespace

@@ -50,6 +50,9 @@ struct Options {
     // thousand unit ops); explicit flags override.
     bool tenants_set = false;
     bool requests_set = false;
+    // attack
+    std::size_t faults = 8;  ///< faults in the campaign plan
+    bool model_set = false;  ///< attack defaults to lenet unless --model given
     // observability exports (loadgen, infer) -- all timing-bound, so they
     // go to stderr or the named files, never the stdout JSON contract
     std::string stats_out;   ///< Prometheus text scrape file
@@ -490,6 +493,130 @@ int cmd_infer(const Options& o)
     return 0;
 }
 
+/// Deterministic campaign summary: ONLY fields that are byte-identical for
+/// a fixed seed at any --jobs (CI diffs this across worker counts).  Wall
+/// time and batch shapes go to stderr like every other subcommand.
+void print_attack_json(const attack::Campaign_config& cfg, const attack::Campaign_result& r,
+                       std::ostream& os)
+{
+    const auto record = [](const serve::Failure_record& f) {
+        return "{\"addr\": " + std::to_string(f.addr) +
+               ", \"layer_id\": " + std::to_string(f.layer_id) +
+               ", \"fmap_idx\": " + std::to_string(f.fmap_idx) +
+               ", \"blk_idx\": " + std::to_string(f.blk_idx) +
+               ", \"status\": " + json_string(core::to_string(f.status)) + "}";
+    };
+    const auto role = [&](u32 t) -> const char* {
+        if (t == 0) return "control";
+        if (t == r.swap_tenant) return "evicted";
+        if (t == r.replacement_tenant) return "replacement";
+        if (t == r.infer_victim_tenant) return "infer_victim";
+        if (t == r.infer_control_tenant) return "infer_control";
+        return t < cfg.tenants ? "victim" : "idle";
+    };
+    os << "{\n"
+       << "  \"seed\": " << cfg.seed << ",\n"
+       << "  \"tenants\": " << cfg.tenants << ",\n"
+       << "  \"faults\": " << r.plan.faults.size() << ",\n"
+       << "  \"clients_per_tenant\": " << cfg.clients << ",\n"
+       << "  \"requests_per_client\": " << cfg.requests << ",\n"
+       << "  \"hot_swap\": " << (cfg.hot_swap ? "true" : "false") << ",\n"
+       << "  \"infer_traffic\": " << (cfg.infer_traffic ? "true" : "false") << ",\n"
+       << "  \"model\": " << json_string(cfg.infer_traffic ? cfg.model : "") << ",\n"
+       << "  \"injected\": {";
+    for (std::size_t k = 0; k < attack::k_fault_kind_count; ++k) {
+        const auto kind = static_cast<attack::Fault_kind>(k);
+        os << (k ? ", " : "") << json_string(attack::to_string(kind)) << ": "
+           << r.plan.count(kind);
+    }
+    os << "},\n"
+       << "  \"faults_injected\": " << r.faults_injected << ",\n"
+       << "  \"expected\": {\"mac_mismatch\": " << r.expected_mac_mismatch
+       << ", \"replay_detected\": " << r.expected_replay_detected << "},\n"
+       << "  \"detected\": {\"mac_mismatch\": " << r.detected_mac_mismatch
+       << ", \"replay_detected\": " << r.detected_replay_detected << "},\n"
+       << "  \"attribution_exact\": " << (r.attribution_exact ? "true" : "false") << ",\n"
+       << "  \"false_positives\": " << r.false_positives << ",\n"
+       << "  \"probe_surprises\": " << r.probe_surprises << ",\n"
+       << "  \"background_failures\": " << r.background_failures << ",\n"
+       << "  \"seca\": {\"probes\": " << r.seca_probes
+       << ", \"recoveries\": " << r.seca_recoveries << "},\n"
+       << "  \"hot_swap_result\": {\"evicted_rejects\": " << r.evicted_rejects
+       << ", \"expected_evicted_rejects\": " << r.expected_evicted_rejects << "},\n"
+       << "  \"infer\": {\"expected_failures\": " << r.infer_expected_failures
+       << ", \"detected_failures\": " << r.infer_detected_failures << "},\n"
+       << "  \"control\": {\"checked\": " << (r.control_checked ? "true" : "false")
+       << ", \"identical\": " << (r.control_identical ? "true" : "false") << "},\n"
+       << "  \"clean\": " << (r.clean() ? "true" : "false") << ",\n"
+       << "  \"per_tenant\": [\n";
+    for (std::size_t t = 0; t < r.stats.tenants.size(); ++t) {
+        const auto& c = r.stats.tenants[t];
+        os << "    {\"tenant\": " << t << ", \"role\": "
+           << json_string(role(static_cast<u32>(t))) << ", \"writes\": " << c.writes
+           << ", \"reads\": " << c.reads << ", \"ok\": " << c.ok
+           << ", \"mac_mismatch\": " << c.mac_mismatch
+           << ", \"replay_detected\": " << c.replay_detected
+           << ", \"rejected\": " << c.rejected << ",\n     \"detections\": [";
+        for (std::size_t i = 0; i < c.failures.size(); ++i)
+            os << (i ? ",\n       " : "") << record(c.failures[i]);
+        os << "]}" << (t + 1 < r.stats.tenants.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+int cmd_attack(const Options& o)
+{
+    attack::Campaign_config cfg;
+    cfg.seed = o.seed;
+    cfg.tenants = static_cast<u32>(o.tenants_set ? o.tenants : 3);
+    cfg.faults = o.faults;
+    cfg.clients = o.clients;
+    cfg.requests = o.requests_set ? o.requests : 16;
+    cfg.jobs = o.jobs;
+    cfg.max_wait_us = o.max_wait_us;
+    cfg.hot_swap = true;
+    cfg.infer_traffic = true;
+    cfg.model = o.model_set ? o.model : "lenet";
+    cfg.control_run = true;
+
+    obs_begin(o);
+    const auto r = attack::run_campaign(cfg);
+
+    // Timing to stderr: stdout stays byte-diffable across --jobs.
+    std::cerr << "attack: seed " << cfg.seed << ", " << r.plan.faults.size()
+              << " faults over " << (cfg.tenants - 1) << " victim tenant(s), "
+              << cfg.clients << " background client(s)/tenant x " << cfg.requests
+              << " requests, hot swap + " << cfg.model << " inference, in "
+              << fmt_f(r.wall_seconds, 3) << " s; attribution "
+              << (r.attribution_exact ? "exact" : "BROKEN") << ", "
+              << r.false_positives << " false positive(s), SECA recovered "
+              << r.seca_recoveries << "/" << r.seca_probes << "\n";
+    obs_finish(o);
+
+    if (o.json) {
+        print_attack_json(cfg, r, std::cout);
+        return r.clean() ? 0 : 1;
+    }
+
+    Ascii_table t({"tenant", "writes", "reads", "ok", "mac_mismatch", "replay",
+                   "detections"});
+    for (std::size_t i = 0; i < r.stats.tenants.size(); ++i) {
+        const auto& c = r.stats.tenants[i];
+        t.add_row({std::to_string(i), std::to_string(c.writes), std::to_string(c.reads),
+                   std::to_string(c.ok), std::to_string(c.mac_mismatch),
+                   std::to_string(c.replay_detected), std::to_string(c.failures.size())});
+    }
+    t.print(std::cout);
+    std::cout << "injected " << r.plan.faults.size() << " fault(s), detected "
+              << (r.detected_mac_mismatch + r.detected_replay_detected)
+              << " (expected " << (r.expected_mac_mismatch + r.expected_replay_detected)
+              << "); attribution " << (r.attribution_exact ? "exact" : "BROKEN")
+              << ", false positives " << r.false_positives << ", control "
+              << (r.control_identical ? "identical" : "PERTURBED") << ", clean "
+              << (r.clean() ? "yes" : "NO") << "\n";
+    return r.clean() ? 0 : 1;
+}
+
 /// One row of the `backends` report: a backend kind with its availability
 /// and whether the process-wide default resolved to it.
 struct Backend_row {
@@ -579,6 +706,7 @@ constexpr Command k_commands[] = {
     {"suite", cmd_suite, "the full Fig. 5/6 sweep on one NPU"},
     {"loadgen", cmd_loadgen, "closed-loop multi-tenant serving load"},
     {"infer", cmd_infer, "replay DNN layer traces as protected traffic"},
+    {"attack", cmd_attack, "seeded fault-injection campaign against the live server"},
     {"backends", cmd_backends, "detected CPU crypto features and backend selection"},
 };
 
@@ -594,24 +722,32 @@ int usage(std::ostream& os)
     os << "  help                      this message\n"
           "\n"
           "options:\n"
-          "  --model M                 workload short or full name (run, report, infer)\n"
+          "  --model M                 workload short or full name (run, report, infer;\n"
+          "                            attack's inference traffic, default lenet)\n"
           "  --npu server|edge         NPU config (default server)\n"
           "  --scheme S                protection scheme (run; default seda)\n"
           "  --jobs N                  worker threads, 0 = hardware (run, suite,\n"
-          "                            loadgen, infer)\n"
+          "                            loadgen, infer, attack)\n"
           "  --csv                     CSV output (run, suite)\n"
-          "  --json                    JSON output (suite, loadgen, infer, backends)\n"
-          "  --tenants N               tenants to serve (loadgen 2; infer 1)\n"
-          "  --clients N               closed-loop clients per tenant (loadgen; default 4)\n"
-          "  --requests N              requests per client (loadgen 64) /\n"
+          "  --json                    JSON output (suite, loadgen, infer, attack,\n"
+          "                            backends)\n"
+          "  --tenants N               tenants to serve (loadgen 2; infer 1; attack 3)\n"
+          "  --clients N               closed-loop clients per tenant (loadgen 4;\n"
+          "                            attack's background load, same default)\n"
+          "  --requests N              requests per client (loadgen 64, attack 16) /\n"
           "                            inferences per tenant (infer 1)\n"
+          "  --faults N                campaign plan size (attack; default 8)\n"
           "  --mode serve|session      infer replay path (default serve)\n"
-          "  --max-wait-us N           batching linger window (loadgen, infer; default 0)\n"
-          "  --seed S                  determinism seed (loadgen, infer; default 24282)\n"
-          "  --stages                  per-stage latency table on stderr (loadgen, infer)\n"
-          "  --stats-out FILE          Prometheus text scrape (loadgen, infer)\n"
-          "  --stats-json FILE         JSON metrics snapshot (loadgen, infer)\n"
-          "  --trace-out FILE          chrome://tracing span dump (loadgen, infer)\n"
+          "  --max-wait-us N           batching linger window (loadgen, infer, attack;\n"
+          "                            default 0)\n"
+          "  --seed S                  determinism seed (loadgen, infer, attack;\n"
+          "                            default 24282)\n"
+          "  --stages                  per-stage latency table on stderr (loadgen,\n"
+          "                            infer, attack)\n"
+          "  --stats-out FILE          Prometheus text scrape (loadgen, infer, attack)\n"
+          "  --stats-json FILE         JSON metrics snapshot (loadgen, infer, attack)\n"
+          "  --trace-out FILE          chrome://tracing span dump (loadgen, infer,\n"
+          "                            attack)\n"
           "\n"
           "environment:\n"
           "  SEDA_OBS=0                disable stage metrics/trace collection at runtime\n"
@@ -634,9 +770,10 @@ Options parse(int argc, char** argv)
             require(i + 1 < argc, "seda_cli: missing value for " + arg);
             return argv[++i];
         };
-        if (arg == "--model")
+        if (arg == "--model") {
             o.model = next();
-        else if (arg == "--npu")
+            o.model_set = true;
+        } else if (arg == "--npu")
             o.npu = next();
         else if (arg == "--scheme")
             o.scheme = next();
@@ -650,7 +787,9 @@ Options parse(int argc, char** argv)
         else if (arg == "--requests") {
             parse_int(arg, next(), o.requests);
             o.requests_set = true;
-        } else if (arg == "--mode")
+        } else if (arg == "--faults")
+            parse_int(arg, next(), o.faults);
+        else if (arg == "--mode")
             o.mode = next();
         else if (arg == "--max-wait-us")
             parse_int(arg, next(), o.max_wait_us);
