@@ -15,6 +15,7 @@
 #include "infer/run_infer.h"
 #include "infer/unit_sink.h"
 #include "models/zoo.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/stage.h"
 #include "serve/loadgen.h"
@@ -94,6 +95,17 @@ void background_client(serve::Server& server, const Campaign_config& cfg, u32 te
     failures = local;
 }
 
+/// Forensic `inject` flight event, called from INSIDE an armed fault
+/// closure: the timestamp lands at the flush-head pull where the fault
+/// actually executes on the bus, not at arming time -- so a flight dump
+/// shows the injection ordered between the flushes it really fell between.
+/// The fault kind rides in the event's `n` field.
+void log_inject(u32 tenant, Addr addr, Fault_kind kind)
+{
+    obs::Flight_recorder::record(obs::Flight_kind::inject, tenant, addr,
+                                 static_cast<u64>(kind), 0);
+}
+
 struct Prober_outcome {
     u64 surprises = 0;  ///< responses whose status broke the fault's contract
     std::size_t seca_probes = 0;
@@ -135,13 +147,17 @@ void run_prober(serve::Server& server, Fault_injector& tap, const Campaign_confi
             case Fault_kind::tamper:
                 submit_write(tenant, a, f, random_payload(rng));
                 if (inject)
-                    tap.arm([&mem, a, f] { mem.tamper(a, f.byte_offset, f.xor_mask); });
+                    tap.arm([&mem, a, f, tenant] {
+                        log_inject(tenant, a, f.kind);
+                        mem.tamper(a, f.byte_offset, f.xor_mask);
+                    });
                 probe_read(a, f, inject ? Verify_status::mac_mismatch : Verify_status::ok);
                 break;
             case Fault_kind::mac_corrupt:
                 submit_write(tenant, a, f, random_payload(rng));
                 if (inject)
-                    tap.arm([&mem, a, f] {
+                    tap.arm([&mem, a, f, tenant] {
+                        log_inject(tenant, a, f.kind);
                         mem.corrupt_mac(a, 1ULL << (f.byte_offset % 64));
                     });
                 probe_read(a, f, inject ? Verify_status::mac_mismatch : Verify_status::ok);
@@ -153,13 +169,20 @@ void run_prober(serve::Server& server, Fault_injector& tap, const Campaign_confi
                 submit_write(0, a, f, random_payload(rng));
                 submit_write(tenant, a, f, random_payload(rng));
                 if (inject)
-                    tap.arm([&mem, &donor, a] { crypto::splice_unit(mem, a, donor, a); });
+                    tap.arm([&mem, &donor, a, tenant] {
+                        log_inject(tenant, a, Fault_kind::splice);
+                        crypto::splice_unit(mem, a, donor, a);
+                    });
                 probe_read(a, f, inject ? Verify_status::mac_mismatch : Verify_status::ok);
                 break;
             case Fault_kind::shuffle:
                 submit_write(tenant, a, f, random_payload(rng));
                 submit_write(tenant, b, f, random_payload(rng));
-                if (inject) tap.arm([&mem, a, b] { mem.swap_units(a, b); });
+                if (inject)
+                    tap.arm([&mem, a, b, tenant] {
+                        log_inject(tenant, a, Fault_kind::shuffle);
+                        mem.swap_units(a, b);
+                    });
                 probe_read(a, f, inject ? Verify_status::mac_mismatch : Verify_status::ok);
                 probe_read(b, f, inject ? Verify_status::mac_mismatch : Verify_status::ok);
                 break;
@@ -172,7 +195,11 @@ void run_prober(serve::Server& server, Fault_injector& tap, const Campaign_confi
                 // ok in BOTH runs (a snapshot mutates nothing).
                 probe_read(a, f, Verify_status::ok);
                 submit_write(tenant, a, f, random_payload(rng));
-                if (inject) tap.arm([&mem, capsule] { capsule->replay(mem); });
+                if (inject)
+                    tap.arm([&mem, a, capsule, tenant] {
+                        log_inject(tenant, a, Fault_kind::rollback);
+                        capsule->replay(mem);
+                    });
                 probe_read(a, f,
                            inject ? Verify_status::replay_detected : Verify_status::ok);
                 break;
@@ -186,7 +213,11 @@ void run_prober(serve::Server& server, Fault_injector& tap, const Campaign_confi
                 const std::vector<u8> oracle = sparse;
                 submit_write(tenant, a, f, std::move(sparse));
                 auto snap = std::make_shared<core::Secure_memory::Stored_unit>();
-                if (inject) tap.arm([&mem, a, snap] { *snap = mem.snapshot(a); });
+                if (inject)
+                    tap.arm([&mem, a, snap, tenant] {
+                        log_inject(tenant, a, Fault_kind::seca_probe);
+                        *snap = mem.snapshot(a);
+                    });
                 probe_read(a, f, Verify_status::ok);
                 ++out.seca_probes;
                 if (inject) {
@@ -244,7 +275,11 @@ u32 run_hot_swap(serve::Server& server, Fault_injector& tap, const Campaign_conf
 
     write_ok(fresh, a0, 0);
     write_ok(fresh, a1, 1);
-    if (inject) tap.arm([&mem, a1] { mem.tamper(a1, 5, 0x40); });
+    if (inject)
+        tap.arm([&mem, a1, fresh] {
+            log_inject(fresh, a1, Fault_kind::tamper);
+            mem.tamper(a1, 5, 0x40);
+        });
     read_expect(fresh, a1, 1, inject ? Verify_status::mac_mismatch : Verify_status::ok);
     read_expect(fresh, a0, 0, Verify_status::ok);
     return fresh;
@@ -299,7 +334,10 @@ void run_infer_engine(serve::Server& server, Fault_injector& tap,
     engine.load(sink);
     if (arm_tamper) {
         core::Secure_memory& mem = server.tenant(tenant).session().memory();
-        tap.arm([&mem, target] { mem.tamper(target, 7, 0x20); });
+        tap.arm([&mem, target, tenant] {
+            log_inject(tenant, target, Fault_kind::tamper);
+            mem.tamper(target, 7, 0x20);
+        });
     }
     for (std::size_t i = 0; i < cfg.inferences; ++i) engine.infer(sink);
     out = engine.stats();

@@ -2,11 +2,13 @@
 
 #include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "infer/inference_engine.h"
 #include "infer/model_binding.h"
 #include "infer/unit_sink.h"
@@ -101,6 +103,20 @@ Infer_result run_infer(const accel::Model_desc& model, const accel::Npu_config& 
     for (const auto& engine : engines) {
         result.per_tenant.push_back(engine->stats());
         result.merged.merge(engine->stats());
+    }
+    // Per-tenant scrape rows (one shot per run; counters accumulate across
+    // runs in one process like every registry metric).
+    if (obs::enabled()) {
+        auto& reg = obs::Metrics_registry::instance();
+        for (std::size_t t = 0; t < result.per_tenant.size(); ++t) {
+            const Unit_counters tc = result.per_tenant[t].totals();
+            const std::string id = std::to_string(t);
+            reg.counter("infer_tenant_reads_total", "tenant", id).add(tc.reads);
+            reg.counter("infer_tenant_writes_total", "tenant", id).add(tc.writes);
+            reg.counter("infer_tenant_ok_total", "tenant", id).add(tc.ok);
+            reg.counter("infer_tenant_failures_total", "tenant", id).add(tc.failures());
+            reg.counter("infer_tenant_bytes_total", "tenant", id).add(tc.bytes);
+        }
     }
     const Unit_counters totals = result.merged.totals();
     result.verification_failures = totals.failures() + result.merged.load.failures();

@@ -4,6 +4,7 @@
 
 #include "common/bitutil.h"
 #include "common/error.h"
+#include "obs/flight.h"
 #include "obs/stage.h"
 
 namespace seda::infer {
@@ -139,13 +140,26 @@ void Trace_player::dispatch_reads(Unit_sink& sink, const Mirror& mirror,
             case core::Verify_status::mac_mismatch:
                 ++c.mac_mismatch;
                 c.failure_log.push_back({addrs_[i], statuses_[i]});
+                note_failure(i);
                 break;
             case core::Verify_status::replay_detected:
                 ++c.replay_detected;
                 c.failure_log.push_back({addrs_[i], statuses_[i]});
+                note_failure(i);
                 break;
         }
     }
+}
+
+void Trace_player::note_failure(std::size_t i)
+{
+    // Forensic record of the detection as the replay layer saw it (the
+    // serve path additionally records a tenant-attributed `detect` from the
+    // scheduler; this one fires on the session path too).
+    const auto& r = reads_[i];
+    obs::Flight_recorder::detect(obs::Flight_kind::infer_detect, obs::k_flight_no_tenant,
+                                 r.addr, r.layer_id, r.fmap_idx, r.blk_idx,
+                                 static_cast<u8>(statuses_[i]));
 }
 
 }  // namespace seda::infer

@@ -79,6 +79,7 @@ private:
                          std::span<Unit_counters* const> per_unit);
     void dispatch_reads(Unit_sink& sink, const Mirror& mirror,
                         std::span<Unit_counters* const> per_unit);
+    void note_failure(std::size_t i);  ///< flight-recorder detect for reads_[i]
 
     const Model_binding& binding_;
     std::size_t max_batch_units_;

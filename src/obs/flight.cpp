@@ -1,0 +1,244 @@
+#include "obs/flight.h"
+
+#include <ostream>
+
+#include "obs/metrics.h"
+
+#ifndef SEDA_DISABLE_OBS
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/verify_status.h"
+#endif
+
+namespace seda::obs {
+
+const char* to_string(Flight_kind k)
+{
+    switch (k) {
+        case Flight_kind::window: return "window";
+        case Flight_kind::flush_write: return "flush_write";
+        case Flight_kind::flush_read: return "flush_read";
+        case Flight_kind::fallback: return "fallback";
+        case Flight_kind::inject: return "inject";
+        case Flight_kind::detect: return "detect";
+        case Flight_kind::infer_detect: return "infer_detect";
+    }
+    return "?";
+}
+
+#ifdef SEDA_DISABLE_OBS
+
+void Flight_recorder::record(Flight_kind, u32, u64, u64, u64) {}
+void Flight_recorder::detect(Flight_kind, u32, u64, u32, u32, u32, u8) {}
+void Flight_recorder::arm_auto_dump(std::string) {}
+u64 Flight_recorder::detections() { return 0; }
+u64 Flight_recorder::dump(std::ostream& os)
+{
+    os << "{\"events\": 0, \"detections\": 0, \"overwritten\": 0, \"flight\": []}\n";
+    return 0;
+}
+bool Flight_recorder::dump_flight(const std::string&) { return false; }
+void Flight_recorder::reset() {}
+
+#else
+
+namespace {
+
+struct Flight_event {
+    u64 ticks = 0;
+    u64 seq = 0;  ///< per-ring append ordinal (ties broken deterministically)
+    u64 addr = 0;
+    u64 n = 0;
+    u64 bytes = 0;
+    u32 tenant = k_flight_no_tenant;
+    u32 layer = 0, fmap = 0, blk = 0;
+    Flight_kind kind{};
+    u8 status = 0;
+};
+
+/// One thread's ring.  The mutex is uncontended except against a dump.
+struct Flight_ring {
+    std::mutex mutex;
+    u32 tid = 0;
+    u64 appended = 0;  ///< total events ever appended (head = appended % cap)
+    std::vector<Flight_event> events;  ///< sized k_ring_capacity on first use
+
+    void append(const Flight_event& e)
+    {
+        std::lock_guard lock(mutex);
+        if (events.empty()) events.resize(Flight_recorder::k_ring_capacity);
+        Flight_event& slot = events[appended % Flight_recorder::k_ring_capacity];
+        slot = e;
+        slot.seq = appended++;
+    }
+};
+
+std::mutex g_mutex;  ///< guards the ring list
+
+/// Leaky list of every ring ever created (events from exited threads stay
+/// dumpable; thread_local pointers never dangle) -- the trace-buffer shape.
+std::vector<std::unique_ptr<Flight_ring>>& rings()
+{
+    static auto* const v = new std::vector<std::unique_ptr<Flight_ring>>();
+    return *v;
+}
+
+thread_local Flight_ring* t_ring = nullptr;
+
+Flight_ring& local_ring()
+{
+    if (t_ring == nullptr) {
+        std::lock_guard lock(g_mutex);
+        auto& all = rings();
+        all.push_back(std::make_unique<Flight_ring>());
+        all.back()->tid = static_cast<u32>(all.size());
+        t_ring = all.back().get();
+    }
+    return *t_ring;
+}
+
+std::atomic<u64> g_detections{0};
+
+std::mutex g_auto_mutex;  ///< serializes auto-dumps and guards the path
+
+std::string& auto_dump_path()
+{
+    static auto* const p = new std::string();
+    return *p;
+}
+
+std::string fmt_us(double us)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", us);
+    return buf;
+}
+
+void render(std::ostream& os, const Flight_event& e, u32 tid, u64 origin)
+{
+    os << "{\"t_us\": " << fmt_us(ticks_to_us(e.ticks - origin)) << ", \"thread\": " << tid
+       << ", \"seq\": " << e.seq << ", \"kind\": \"" << to_string(e.kind) << "\"";
+    if (e.tenant != k_flight_no_tenant) os << ", \"tenant\": " << e.tenant;
+    os << ", \"addr\": " << e.addr;
+    if (e.kind == Flight_kind::detect || e.kind == Flight_kind::infer_detect) {
+        os << ", \"layer\": " << e.layer << ", \"fmap\": " << e.fmap
+           << ", \"blk\": " << e.blk << ", \"status\": \""
+           << core::to_string(static_cast<core::Verify_status>(e.status)) << "\"";
+    } else {
+        os << ", \"n\": " << e.n << ", \"bytes\": " << e.bytes;
+    }
+    os << "}";
+}
+
+}  // namespace
+
+void Flight_recorder::record(Flight_kind k, u32 tenant, u64 addr, u64 n, u64 bytes)
+{
+    if (!enabled()) return;
+    Flight_event e;
+    e.ticks = now_ticks();
+    e.addr = addr;
+    e.n = n;
+    e.bytes = bytes;
+    e.tenant = tenant;
+    e.kind = k;
+    local_ring().append(e);
+}
+
+void Flight_recorder::detect(Flight_kind k, u32 tenant, u64 addr, u32 layer, u32 fmap,
+                             u32 blk, u8 status)
+{
+    if (!enabled()) return;
+    Flight_event e;
+    e.ticks = now_ticks();
+    e.addr = addr;
+    e.tenant = tenant;
+    e.layer = layer;
+    e.fmap = fmap;
+    e.blk = blk;
+    e.kind = k;
+    e.status = status;
+    local_ring().append(e);
+    g_detections.fetch_add(1, std::memory_order_relaxed);
+
+    std::lock_guard lock(g_auto_mutex);
+    const std::string& path = auto_dump_path();
+    if (path.empty()) return;
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) return;
+    const u64 n_events = dump(os);
+    std::fprintf(stderr, "flight recorder: detection -> dumped %llu events to %s\n",
+                 static_cast<unsigned long long>(n_events), path.c_str());
+}
+
+void Flight_recorder::arm_auto_dump(std::string path)
+{
+    std::lock_guard lock(g_auto_mutex);
+    auto_dump_path() = std::move(path);
+}
+
+u64 Flight_recorder::detections() { return g_detections.load(std::memory_order_relaxed); }
+
+u64 Flight_recorder::dump(std::ostream& os)
+{
+    // Gather under the list lock, then merge-sort by (ticks, thread, seq):
+    // ticks are one invariant-TSC domain, so the order is the bus order up
+    // to tie-breaks, and a quiesced process dumps byte-identically.
+    std::vector<std::pair<u32, Flight_event>> all;
+    u64 overwritten = 0;
+    {
+        std::lock_guard lock(g_mutex);
+        for (auto& r : rings()) {
+            std::lock_guard rlock(r->mutex);
+            const u64 kept = std::min<u64>(r->appended, k_ring_capacity);
+            overwritten += r->appended - kept;
+            for (u64 i = r->appended - kept; i < r->appended; ++i)
+                all.emplace_back(r->tid, r->events[i % k_ring_capacity]);
+        }
+    }
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+        if (a.second.ticks != b.second.ticks) return a.second.ticks < b.second.ticks;
+        if (a.first != b.first) return a.first < b.first;
+        return a.second.seq < b.second.seq;
+    });
+    u64 origin = ~u64{0};
+    for (const auto& [tid, e] : all) origin = std::min(origin, e.ticks);
+    if (all.empty()) origin = 0;
+
+    os << "{\"events\": " << all.size() << ", \"detections\": " << detections()
+       << ", \"overwritten\": " << overwritten << ", \"flight\": [";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        os << (i ? ",\n " : "\n ");
+        render(os, all[i].second, all[i].first, origin);
+    }
+    os << (all.empty() ? "" : "\n") << "]}\n";
+    return all.size();
+}
+
+bool Flight_recorder::dump_flight(const std::string& path)
+{
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) return false;
+    dump(os);
+    return true;
+}
+
+void Flight_recorder::reset()
+{
+    std::lock_guard lock(g_mutex);
+    for (auto& r : rings()) {
+        std::lock_guard rlock(r->mutex);
+        r->appended = 0;
+    }
+    g_detections.store(0, std::memory_order_relaxed);
+}
+
+#endif  // SEDA_DISABLE_OBS
+
+}  // namespace seda::obs

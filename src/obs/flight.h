@@ -1,0 +1,72 @@
+// Flight recorder: an always-on per-thread ring of recent pipeline events
+// (flush batches, coalescing windows, fallback dispatches, fault
+// injections, detections) kept cheap enough to leave running in production
+// -- one event per FLUSH, not per request, appended under an uncontended
+// per-thread mutex into a fixed ring that overwrites its oldest entry.
+//
+// When a detection fires (MAC mismatch / replay on the serve or infer
+// paths) the recorder appends a `detect` event and, if an auto-dump path is
+// armed (seda_cli --flight-out), immediately writes the whole ring to that
+// file: the forensic record of the bus-level activity surrounding the
+// detection, per tenant.  dump_flight() can also be called on demand.
+//
+// Dumps are non-consuming and deterministic for a quiesced process: events
+// are merged across threads and ordered by (ticks, thread, seq).  Gated on
+// obs::enabled(); with SEDA_DISABLE_OBS everything compiles to a no-op.
+// Output goes only to named files / streams, never stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.h"
+
+namespace seda::obs {
+
+enum class Flight_kind : u8 {
+    window,       ///< one scheduler coalescing window (n = requests)
+    flush_write,  ///< one bulk write batch through a session (n = units)
+    flush_read,   ///< one bulk read batch through a session (n = units)
+    fallback,     ///< one per-request fallback dispatch after a bulk reject
+    inject,       ///< a campaign fault armed against DRAM (n = fault kind)
+    detect,       ///< a verification failure (status carries the outcome)
+    infer_detect  ///< a unit failure observed by the inference replay layer
+};
+
+[[nodiscard]] const char* to_string(Flight_kind k);
+
+/// Tenant tag for events with no tenant attribution.
+inline constexpr u32 k_flight_no_tenant = 0xFFFFFFFFu;
+
+class Flight_recorder {
+public:
+    /// Events retained per thread before the ring overwrites its oldest.
+    static constexpr std::size_t k_ring_capacity = 1024;
+
+    /// Appends one event to this thread's ring (no-op unless obs live).
+    static void record(Flight_kind k, u32 tenant, u64 addr, u64 n, u64 bytes);
+
+    /// Appends a detection event (with its exact attribution coordinates
+    /// and Verify_status code) and fires the armed auto-dump, if any.
+    static void detect(Flight_kind k, u32 tenant, u64 addr, u32 layer, u32 fmap, u32 blk,
+                       u8 status);
+
+    /// Arms (or, with "", disarms) the automatic dump-on-detection path.
+    static void arm_auto_dump(std::string path);
+
+    /// Detection events recorded so far (monotonic, survives dumps).
+    static u64 detections();
+
+    /// Writes every ring as one JSON object; returns the event count.
+    /// Non-consuming: dumping twice with no traffic in between yields
+    /// byte-identical output.
+    static u64 dump(std::ostream& os);
+
+    /// dump() to a file; returns false if the file cannot be opened.
+    static bool dump_flight(const std::string& path);
+
+    /// Clears every ring and the detection count (tests/benches only).
+    static void reset();
+};
+
+}  // namespace seda::obs

@@ -36,6 +36,21 @@ struct Hist_cell {
     std::atomic<u64> sum_ticks{0};
     std::atomic<u64> min_ticks{~u64{0}};
     std::atomic<u64> max_ticks{0};
+    // Largest exemplar offered to this shard: value (fixed-point ticks, so
+    // relaxed u64 loads stay tear-free) plus the trace id that produced it.
+    // Single writer like the rest of the cell.
+    std::atomic<u64> exemplar_ticks{0};
+    std::atomic<u64> exemplar_trace{0};
+
+    void offer_exemplar(double v, u64 trace_id)
+    {
+        const u64 t = Log_bucketing::ticks_from(v);
+        if (t < exemplar_ticks.load(std::memory_order_relaxed) &&
+            exemplar_trace.load(std::memory_order_relaxed) != 0)
+            return;
+        exemplar_ticks.store(t, std::memory_order_relaxed);
+        exemplar_trace.store(trace_id, std::memory_order_relaxed);
+    }
 
     void record(double v)
     {
@@ -59,11 +74,14 @@ struct Hist_cell {
         sum_ticks.store(0, std::memory_order_relaxed);
         min_ticks.store(~u64{0}, std::memory_order_relaxed);
         max_ticks.store(0, std::memory_order_relaxed);
+        exemplar_ticks.store(0, std::memory_order_relaxed);
+        exemplar_trace.store(0, std::memory_order_relaxed);
     }
 };
 
 struct Metric {
-    std::string name;
+    std::string name;  ///< family name, without the label
+    std::string label_key, label_value;
     Metric_type type{};
     // Cells are owned here and never freed or moved (unique_ptr keeps each
     // address stable across vector growth).  A thread that exits donates its
@@ -199,42 +217,98 @@ void Histogram::record(double v) const
 #endif
 }
 
-u32 Metrics_registry::intern(std::string_view name, unsigned type)
+void Histogram::record(double v, u64 trace_id) const
+{
+#ifdef SEDA_DISABLE_OBS
+    (void)v;
+    (void)trace_id;
+#else
+    if (id_ == k_no_metric) return;
+    Hist_cell* cell = cell_for<Hist_cell>(id_);
+    cell->record(v);
+    if (trace_id != 0) cell->offer_exemplar(v, trace_id);
+#endif
+}
+
+u32 Metrics_registry::intern(std::string_view name, unsigned type,
+                             std::string_view label_key, std::string_view label_value)
 {
     require(!name.empty(), "obs: metric name must be non-empty");
+    require(label_key.empty() == label_value.empty(),
+            "obs: metric label key and value must be set together");
+    // The interning key distinguishes series; the family name alone is what
+    // must stay kind-consistent (a labeled family and an unlabeled metric of
+    // the same name are one namespace, like Prometheus's).
+    std::string key(name);
+    if (!label_key.empty()) {
+        key += '{';
+        key += label_key;
+        key += "=\"";
+        key += label_value;
+        key += "\"}";
+    }
     std::lock_guard lock(impl_->mutex);
-    const auto it = impl_->by_name.find(std::string(name));
+    const auto it = impl_->by_name.find(key);
     if (it != impl_->by_name.end()) {
         require(static_cast<unsigned>(impl_->metrics[it->second].type) == type,
-                "obs: metric '" + std::string(name) +
-                    "' is already registered with a different kind");
+                "obs: metric '" + key + "' is already registered with a different kind");
         return it->second;
     }
+    for (const Metric& m : impl_->metrics)
+        require(m.name != name || static_cast<unsigned>(m.type) == type,
+                "obs: metric family '" + std::string(name) +
+                    "' is already registered with a different kind");
     const u32 id = static_cast<u32>(impl_->metrics.size());
     Metric m;
     m.name = std::string(name);
+    m.label_key = std::string(label_key);
+    m.label_value = std::string(label_value);
     m.type = static_cast<Metric_type>(type);
     impl_->metrics.push_back(std::move(m));
-    impl_->by_name.emplace(std::string(name), id);
+    impl_->by_name.emplace(std::move(key), id);
     return id;
 }
 
 Counter Metrics_registry::counter(std::string_view name)
 {
     if (!enabled()) return Counter{};
-    return Counter{intern(name, static_cast<unsigned>(Metric_type::counter))};
+    return Counter{intern(name, static_cast<unsigned>(Metric_type::counter), {}, {})};
 }
 
 Gauge Metrics_registry::gauge(std::string_view name)
 {
     if (!enabled()) return Gauge{};
-    return Gauge{intern(name, static_cast<unsigned>(Metric_type::gauge))};
+    return Gauge{intern(name, static_cast<unsigned>(Metric_type::gauge), {}, {})};
 }
 
 Histogram Metrics_registry::histogram(std::string_view name)
 {
     if (!enabled()) return Histogram{};
-    return Histogram{intern(name, static_cast<unsigned>(Metric_type::histogram))};
+    return Histogram{intern(name, static_cast<unsigned>(Metric_type::histogram), {}, {})};
+}
+
+Counter Metrics_registry::counter(std::string_view name, std::string_view label_key,
+                                  std::string_view label_value)
+{
+    if (!enabled()) return Counter{};
+    return Counter{
+        intern(name, static_cast<unsigned>(Metric_type::counter), label_key, label_value)};
+}
+
+Gauge Metrics_registry::gauge(std::string_view name, std::string_view label_key,
+                              std::string_view label_value)
+{
+    if (!enabled()) return Gauge{};
+    return Gauge{
+        intern(name, static_cast<unsigned>(Metric_type::gauge), label_key, label_value)};
+}
+
+Histogram Metrics_registry::histogram(std::string_view name, std::string_view label_key,
+                                      std::string_view label_value)
+{
+    if (!enabled()) return Histogram{};
+    return Histogram{intern(name, static_cast<unsigned>(Metric_type::histogram),
+                            label_key, label_value)};
 }
 
 void* Metrics_registry::acquire_cell(u32 id)
@@ -282,33 +356,48 @@ Snapshot Metrics_registry::scrape() const
                 u64 total = 0;
                 for (const auto& c : m.counter_cells)
                     total += c->value.load(std::memory_order_relaxed);
-                snap.counters.push_back({m.name, total});
+                snap.counters.push_back({m.name, m.label_key, m.label_value, total});
                 break;
             }
             case Metric_type::gauge: {
                 i64 total = 0;
                 for (const auto& c : m.gauge_cells)
                     total += c->value.load(std::memory_order_relaxed);
-                snap.gauges.push_back({m.name, total});
+                snap.gauges.push_back({m.name, m.label_key, m.label_value, total});
                 break;
             }
             case Metric_type::histogram: {
-                Log_histogram h;
+                Snapshot::Histogram_row row;
+                row.name = m.name;
+                row.label_key = m.label_key;
+                row.label_value = m.label_value;
+                u64 best_ticks = 0;
                 for (const auto& c : m.hist_cells) {
                     for (std::size_t i = 0; i < c->counts.size(); ++i) {
                         const u64 n = c->counts[i].load(std::memory_order_relaxed);
-                        if (n != 0) h.absorb_bucket(i, n);
+                        if (n != 0) row.hist.absorb_bucket(i, n);
                     }
-                    h.absorb_summary(c->sum_ticks.load(std::memory_order_relaxed),
-                                     c->min_ticks.load(std::memory_order_relaxed),
-                                     c->max_ticks.load(std::memory_order_relaxed));
+                    row.hist.absorb_summary(c->sum_ticks.load(std::memory_order_relaxed),
+                                            c->min_ticks.load(std::memory_order_relaxed),
+                                            c->max_ticks.load(std::memory_order_relaxed));
+                    const u64 trace = c->exemplar_trace.load(std::memory_order_relaxed);
+                    const u64 ticks = c->exemplar_ticks.load(std::memory_order_relaxed);
+                    if (trace != 0 && (row.exemplar_trace_id == 0 || ticks > best_ticks)) {
+                        best_ticks = ticks;
+                        row.exemplar_trace_id = trace;
+                        row.exemplar_value =
+                            Log_bucketing::value_from_ticks(static_cast<double>(ticks));
+                    }
                 }
-                snap.histograms.push_back({m.name, std::move(h)});
+                snap.histograms.push_back(std::move(row));
                 break;
             }
         }
     }
-    const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+    const auto by_name = [](const auto& a, const auto& b) {
+        if (a.name != b.name) return a.name < b.name;
+        return a.label_value < b.label_value;
+    };
     std::sort(snap.counters.begin(), snap.counters.end(), by_name);
     std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
     std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);

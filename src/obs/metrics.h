@@ -82,6 +82,11 @@ class Histogram {
 public:
     Histogram() = default;
     void record(double v) const;
+    /// Records `v` and, when `trace_id` is non-zero, offers it as this
+    /// shard's exemplar: the scrape surfaces the largest exemplar value per
+    /// histogram with its trace id, linking the worst sampled observation
+    /// back to its request trace.
+    void record(double v, u64 trace_id) const;
     [[nodiscard]] bool armed() const { return id_ != k_no_metric; }
 
 private:
@@ -90,20 +95,27 @@ private:
     u32 id_ = k_no_metric;
 };
 
-/// One scrape: every metric's shards merged, rows sorted by name (so two
-/// scrapes of a quiesced process are identical -- CI and tests rely on it).
+/// One scrape: every metric's shards merged, rows sorted by (name, label)
+/// so two scrapes of a quiesced process are identical -- CI and tests rely
+/// on it.  `label_key`/`label_value` are empty for unlabeled series; rows
+/// of one family (same name, different label values) are adjacent.
 struct Snapshot {
     struct Counter_row {
         std::string name;
+        std::string label_key, label_value;
         u64 value = 0;
     };
     struct Gauge_row {
         std::string name;
+        std::string label_key, label_value;
         i64 value = 0;
     };
     struct Histogram_row {
         std::string name;
+        std::string label_key, label_value;
         Log_histogram hist;
+        u64 exemplar_trace_id = 0;  ///< 0 = no exemplar captured
+        double exemplar_value = 0;
     };
     std::vector<Counter_row> counters;
     std::vector<Gauge_row> gauges;
@@ -127,6 +139,18 @@ public:
     Gauge gauge(std::string_view name);
     Histogram histogram(std::string_view name);
 
+    /// Labeled-series variants: one (key, value) label pair, giving
+    /// per-tenant scoping ("serve_tenant_ok_total", "tenant", "3").  Each
+    /// distinct (name, value) pair is its own series; a family's rows share
+    /// the name and sort adjacently in the scrape.  A family name must not
+    /// collide with a differently-kinded metric, labeled or not.
+    Counter counter(std::string_view name, std::string_view label_key,
+                    std::string_view label_value);
+    Gauge gauge(std::string_view name, std::string_view label_key,
+                std::string_view label_value);
+    Histogram histogram(std::string_view name, std::string_view label_key,
+                        std::string_view label_value);
+
     /// Merges every per-thread shard into one snapshot.  Concurrent-safe;
     /// a record racing the scrape lands in this snapshot or the next.
     [[nodiscard]] Snapshot scrape() const;
@@ -141,7 +165,8 @@ public:
 
 private:
     Metrics_registry();
-    u32 intern(std::string_view name, unsigned type);
+    u32 intern(std::string_view name, unsigned type, std::string_view label_key,
+               std::string_view label_value);
 
     struct Impl;
     Impl* impl_;

@@ -37,6 +37,10 @@ constexpr std::array<Stage_names, k_stage_count> k_stage_names{{
     {"infer_layer_us", "infer.layer", false},
     {"loadgen_client_us", "loadgen.client", false},
     {"attack_probe_us", "attack.probe", false},
+    {"serve_req_queue_us", "req.queue", true},
+    {"serve_req_window_us", "req.window", true},
+    {"serve_req_crypto_us", "req.crypto", true},
+    {"serve_req_complete_us", "req.complete", true},
 }};
 
 // Deterministic 1-in-N metric sampling.  A timed span costs two rdtsc
@@ -63,24 +67,32 @@ bool metric_sample()
     return ++t_sample_tick % stage_sample_stride() == 0;
 }
 
+#endif  // SEDA_DISABLE_OBS
+
+}  // namespace
+
+#ifndef SEDA_DISABLE_OBS
+
+namespace detail {
+
 /// Reads the arming word, resolving it on first use (the trace bit is kept
 /// current by the recorder via fetch_or/fetch_and; resolution recomputes
 /// both bits from their sources of truth, so a concurrent first use is
 /// benign).  Resolving also triggers enabled()'s tick calibration.
 u8 arm_state()
 {
-    u8 arm = detail::g_span_arm.load(std::memory_order_relaxed);
-    if (arm & detail::k_arm_unresolved) {
-        arm = static_cast<u8>((enabled() ? detail::k_arm_metrics : 0) |
-                              (Trace_recorder::active() ? detail::k_arm_trace : 0));
-        detail::g_span_arm.store(arm, std::memory_order_relaxed);
+    u8 arm = g_span_arm.load(std::memory_order_relaxed);
+    if (arm & k_arm_unresolved) {
+        arm = static_cast<u8>((enabled() ? k_arm_metrics : 0) |
+                              (Trace_recorder::active() ? k_arm_trace : 0));
+        g_span_arm.store(arm, std::memory_order_relaxed);
     }
     return arm;
 }
 
-#endif  // SEDA_DISABLE_OBS
+}  // namespace detail
 
-}  // namespace
+#endif  // SEDA_DISABLE_OBS
 
 unsigned stage_sample_stride()
 {
@@ -120,10 +132,10 @@ std::atomic<u8> g_span_arm{k_arm_unresolved};
 
 void Stage_span::arm(std::string_view detail)
 {
-    const u8 a = arm_state();
-    const bool trace = (a & detail::k_arm_trace) != 0;
+    const u8 a = seda::obs::detail::arm_state();
+    const bool trace = (a & seda::obs::detail::k_arm_trace) != 0;
     const bool metric =
-        (a & detail::k_arm_metrics) != 0 &&
+        (a & seda::obs::detail::k_arm_metrics) != 0 &&
         (trace || !k_stage_names[static_cast<std::size_t>(stage_)].sampled ||
          metric_sample());
     if (!metric && !trace) return;
@@ -141,7 +153,7 @@ void Stage_span::finish()
 
 void Phase_timer::arm()
 {
-    const u8 a = arm_state();
+    const u8 a = detail::arm_state();
     const bool trace = (a & detail::k_arm_trace) != 0;
     const bool metric = (a & detail::k_arm_metrics) != 0 && (trace || metric_sample());
     if (!metric && !trace) return;

@@ -50,6 +50,12 @@ enum class Stage : u8 {
     client,  ///< one closed-loop client's whole run
     // attack campaign
     attack_probe,  ///< one prober's whole fault sequence against its tenant
+    // serve: per-request critical-path decomposition (recorded by the
+    // request trace, not by Stage_span sites -- see obs/request_trace.h)
+    req_queue,     ///< submit -> scheduler pickup for one traced request
+    req_window,    ///< pickup -> its flush begins (coalescing window share)
+    req_crypto,    ///< inside the session flush (bulk crypto share)
+    req_complete,  ///< flush end -> completion fan-out done
     count_
 };
 
@@ -94,6 +100,10 @@ inline constexpr u8 k_arm_metrics = 1;
 inline constexpr u8 k_arm_trace = 2;
 inline constexpr u8 k_arm_unresolved = 0x80;
 extern std::atomic<u8> g_span_arm;
+
+/// Reads the arming word, resolving it from SEDA_OBS / the trace recorder
+/// on first use.  Shared by the span timers and the request tracer.
+[[nodiscard]] u8 arm_state();
 
 }  // namespace detail
 

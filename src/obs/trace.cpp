@@ -20,6 +20,7 @@ void Trace_recorder::write_json(std::ostream& os)
 }
 u64 Trace_recorder::dropped() { return 0; }
 void Trace_recorder::emit(Stage, std::string_view, u64, u64) {}
+void Trace_recorder::emit_flow(char, u64, u64) {}
 
 #else
 
@@ -29,6 +30,8 @@ struct Trace_event {
     Stage stage;
     std::string detail;
     u64 t0, t1;
+    char phase = 0;  ///< 0 = complete ("X") span; 's'/'t'/'f' = flow event
+    u64 flow_id = 0;
 };
 
 struct Trace_buffer {
@@ -101,7 +104,19 @@ void Trace_recorder::emit(Stage s, std::string_view detail, u64 t0, u64 t1)
         ++b.dropped;
         return;
     }
-    b.events.push_back({s, std::string(detail), t0, t1});
+    b.events.push_back({s, std::string(detail), t0, t1, 0, 0});
+}
+
+void Trace_recorder::emit_flow(char phase, u64 id, u64 t)
+{
+    if (!active()) return;
+    Trace_buffer& b = local_buffer();
+    std::lock_guard lock(b.mutex);
+    if (b.events.size() >= k_max_events_per_thread) {
+        ++b.dropped;
+        return;
+    }
+    b.events.push_back({Stage::count_, {}, t, t, phase, id});
 }
 
 u64 Trace_recorder::dropped()
@@ -127,12 +142,22 @@ void Trace_recorder::write_json(std::ostream& os)
     for (auto& b : buffers()) {
         std::lock_guard block(b->mutex);
         for (const Trace_event& e : b->events) {
+            const u64 rel0 = e.t0 >= origin ? e.t0 - origin : 0;
+            if (e.phase != 0) {
+                // Flow event: name/cat/id tie the three phases together.
+                os << (first ? "\n" : ",\n")
+                   << "{\"name\": \"req\", \"cat\": \"req\", \"ph\": \"" << e.phase
+                   << "\", \"id\": " << e.flow_id << ", \"pid\": 1, \"tid\": " << b->tid
+                   << ", \"ts\": " << fmt_us(ticks_to_us(rel0))
+                   << (e.phase == 'f' ? ", \"bp\": \"e\"}" : "}");
+                first = false;
+                continue;
+            }
             std::string name = stage_trace_name(e.stage);
             if (!e.detail.empty()) {
                 name += ':';
                 append_escaped(name, e.detail);
             }
-            const u64 rel0 = e.t0 >= origin ? e.t0 - origin : 0;
             const u64 dur = e.t1 >= e.t0 ? e.t1 - e.t0 : 0;
             os << (first ? "\n" : ",\n") << "{\"name\": \"" << name
                << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << b->tid

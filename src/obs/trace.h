@@ -39,6 +39,12 @@ public:
     /// Appends one span (called from Stage_span/Phase_timer destructors;
     /// cheap no-op when no recording is active).
     static void emit(Stage s, std::string_view detail, u64 t0_ticks, u64 t1_ticks);
+
+    /// Appends one flow event (ph "s" start / "t" step / "f" finish).  The
+    /// three phases of one flow share `id`; chrome://tracing draws an arrow
+    /// through the slices enclosing each phase's timestamp.  The request
+    /// tracer links admit -> flush -> complete this way.
+    static void emit_flow(char phase, u64 id, u64 t_ticks);
 };
 
 }  // namespace seda::obs

@@ -1,5 +1,7 @@
 #include "runtime/secure_session.h"
 
+#include "obs/flight.h"
+
 namespace seda::runtime {
 
 namespace {
@@ -39,6 +41,9 @@ void Secure_session::build_workers(std::span<const u8> enc_key, std::span<const 
 
 void Secure_session::write_units(std::span<const core::Secure_memory::Unit_write> batch)
 {
+    obs::Flight_recorder::record(obs::Flight_kind::flush_write, flight_tenant_,
+                                 batch.empty() ? 0 : batch.front().addr, batch.size(),
+                                 batch.size() * mem_.config().unit_bytes);
     // The bus adversary's window: between flushes, before any unit of this
     // batch is staged, on the one thread that owns the memory right now.
     mem_.pull_dram_tap();
@@ -67,6 +72,9 @@ void Secure_session::write_units(std::span<const core::Secure_memory::Unit_write
 std::vector<core::Verify_status> Secure_session::read_units(
     std::span<const core::Secure_memory::Unit_read> batch)
 {
+    obs::Flight_recorder::record(obs::Flight_kind::flush_read, flight_tenant_,
+                                 batch.empty() ? 0 : batch.front().addr, batch.size(),
+                                 batch.size() * mem_.config().unit_bytes);
     // Same adversary window as the write path: before any verification of
     // this batch starts, never concurrent with it.
     mem_.pull_dram_tap();

@@ -75,6 +75,11 @@ public:
 
     [[nodiscard]] std::size_t workers() const { return pool_->size(); }
 
+    /// Tags this session's flight-recorder flush events with a tenant id
+    /// (obs/flight.h; default: untagged).  The serving layer sets it so the
+    /// forensic record attributes bus activity per tenant.
+    void set_flight_tenant(u32 tenant) { flight_tenant_ = tenant; }
+
     /// Sharded batch write; state afterwards is bit-identical to
     /// memory().write_units(batch).
     void write_units(std::span<const core::Secure_memory::Unit_write> batch);
@@ -97,6 +102,7 @@ private:
     void build_workers(std::span<const u8> enc_key, std::span<const u8> mac_key);
 
     core::Secure_memory mem_;
+    u32 flight_tenant_ = 0xFFFFFFFFu;      ///< obs::k_flight_no_tenant until tagged
     std::vector<Worker_state> workers_;    ///< one per pool worker
     std::unique_ptr<Thread_pool> owned_pool_;  ///< null when the pool is shared
     Thread_pool* pool_;                    ///< owned_pool_.get() or the shared pool

@@ -66,6 +66,7 @@
 #include "infer/unit_sink.h"
 #include "models/zoo.h"
 #include "obs/export.h"
+#include "obs/flight.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/stage.h"

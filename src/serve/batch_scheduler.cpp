@@ -3,38 +3,48 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <string>
 #include <utility>
 
 #include "common/bitutil.h"
 #include "common/error.h"
+#include "obs/flight.h"
+#include "obs/request_trace.h"
 #include "obs/stage.h"
 
 namespace seda::serve {
 
 using core::Verify_status;
 
-namespace {
+Batch_scheduler::Batch_scheduler(Tenant_table& tenants) : tenants_(tenants) {}
 
-void record_latency(const Request& req, Serve_stats& stats)
+void Batch_scheduler::record_latency(const Request& req, Serve_stats& stats)
 {
     if (req.enqueued_at.time_since_epoch().count() == 0) return;  // untimestamped replay
-    stats.latency_us.record(std::chrono::duration<double, std::micro>(
-                                std::chrono::steady_clock::now() - req.enqueued_at)
-                                .count());
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - req.enqueued_at)
+                          .count();
+    stats.latency_us.record(us);
+    if (obs::enabled()) {
+        if (tenant_latency_.size() <= req.tenant_id)
+            tenant_latency_.resize(req.tenant_id + std::size_t{1});
+        obs::Histogram& h = tenant_latency_[req.tenant_id];
+        if (!h.armed())
+            h = obs::Metrics_registry::instance().histogram(
+                "serve_tenant_latency_us", "tenant", std::to_string(req.tenant_id));
+        h.record(us, req.trace.trace_id);
+    }
 }
 
-void reject(Request& req, std::exception_ptr error, Tenant_counters& counters,
-            Serve_stats& stats)
+void Batch_scheduler::reject(Request& req, std::exception_ptr error,
+                             Tenant_counters& counters, Serve_stats& stats)
 {
     ++(req.op == Op::write ? counters.writes : counters.reads);
     ++counters.rejected;
     record_latency(req, stats);
+    obs::trace_request_finish(req.trace);
     if (req.reply) req.reply->set_exception(std::move(error));
 }
-
-}  // namespace
-
-Batch_scheduler::Batch_scheduler(Tenant_table& tenants) : tenants_(tenants) {}
 
 void Batch_scheduler::complete(Request& req, Response&& resp, Tenant_counters& counters,
                                Serve_stats& stats)
@@ -58,7 +68,12 @@ void Batch_scheduler::complete(Request& req, Response&& resp, Tenant_counters& c
                 {req.addr, req.layer_id, req.fmap_idx, req.blk_idx, resp.status});
             break;
     }
+    if (resp.status != Verify_status::ok)
+        obs::Flight_recorder::detect(obs::Flight_kind::detect, req.tenant_id, req.addr,
+                                     req.layer_id, req.fmap_idx, req.blk_idx,
+                                     static_cast<u8>(resp.status));
     record_latency(req, stats);
+    obs::trace_request_finish(req.trace);
     if (req.reply) req.reply->set_value(std::move(resp));
 }
 
@@ -66,22 +81,31 @@ void Batch_scheduler::dispatch_one(Tenant& tenant, Request& req, Serve_stats& st
 {
     Tenant_counters& counters = stats.tenants[req.tenant_id];
     core::Secure_memory& mem = tenant.session().memory();
+    obs::Flight_recorder::record(obs::Flight_kind::fallback, req.tenant_id, req.addr, 1,
+                                 mem.config().unit_bytes);
     // Same adversary window as the bulk paths, so per-request fallback
     // dispatch offers the tap identical injection points.
     mem.pull_dram_tap();
+    // The fallback memory op is this request's "crypto" phase, so a traced
+    // request keeps its full decomposition off the bulk path too.
+    const bool traced = req.trace.trace_id != 0;
+    const u64 tf0 = traced ? obs::now_ticks() : 0;
     try {
         if (req.op == Op::write) {
             mem.write(req.addr, req.payload, req.layer_id, req.fmap_idx, req.blk_idx);
+            if (traced) obs::trace_request_flush(req.trace, tf0, obs::now_ticks());
             complete(req, {Verify_status::ok, {}}, counters, stats);
         } else {
             std::vector<u8> out(mem.config().unit_bytes);
             const Verify_status status =
                 mem.read(req.addr, out, req.layer_id, req.fmap_idx, req.blk_idx);
+            if (traced) obs::trace_request_flush(req.trace, tf0, obs::now_ticks());
             Response resp{status,
                           status == Verify_status::ok ? std::move(out) : std::vector<u8>{}};
             complete(req, std::move(resp), counters, stats);
         }
     } catch (...) {
+        if (traced) obs::trace_request_flush(req.trace, tf0, obs::now_ticks());
         reject(req, std::current_exception(), counters, stats);
     }
 }
@@ -90,8 +114,12 @@ void Batch_scheduler::flush_writes(Tenant& tenant, std::span<Request* const> seg
                                    Serve_stats& stats)
 {
     writes_.clear();
-    for (Request* r : segment)
+    bool traced = false;
+    for (Request* r : segment) {
         writes_.push_back({r->addr, r->payload, r->layer_id, r->fmap_idx, r->blk_idx});
+        traced |= r->trace.trace_id != 0;
+    }
+    const u64 tf0 = traced ? obs::now_ticks() : 0;
     try {
         obs::Stage_span span(obs::Stage::flush_write);
         tenant.session().write_units(writes_);
@@ -101,6 +129,10 @@ void Batch_scheduler::flush_writes(Tenant& tenant, std::span<Request* const> seg
         // poisoned entries fail.
         for (Request* r : segment) dispatch_one(tenant, *r, stats);
         return;
+    }
+    if (traced) {
+        const u64 tf1 = obs::now_ticks();
+        for (Request* r : segment) obs::trace_request_flush(r->trace, tf0, tf1);
     }
     ++stats.batches;
     Tenant_counters& counters = stats.tenants[tenant.id()];
@@ -114,12 +146,15 @@ void Batch_scheduler::flush_reads(Tenant& tenant, std::span<Request* const> segm
     const Bytes unit_bytes = tenant.session().memory().config().unit_bytes;
     if (read_bufs_.size() < segment.size()) read_bufs_.resize(segment.size());
     reads_.clear();
+    bool traced = false;
     for (std::size_t i = 0; i < segment.size(); ++i) {
         read_bufs_[i].resize(unit_bytes);
         reads_.push_back({segment[i]->addr, read_bufs_[i], segment[i]->layer_id,
                           segment[i]->fmap_idx, segment[i]->blk_idx});
+        traced |= segment[i]->trace.trace_id != 0;
     }
 
+    const u64 tf0 = traced ? obs::now_ticks() : 0;
     std::vector<Verify_status> statuses;
     try {
         obs::Stage_span span(obs::Stage::flush_read);
@@ -129,6 +164,10 @@ void Batch_scheduler::flush_reads(Tenant& tenant, std::span<Request* const> segm
         // so a rejected batch read nothing; fall back per request.
         for (Request* r : segment) dispatch_one(tenant, *r, stats);
         return;
+    }
+    if (traced) {
+        const u64 tf1 = obs::now_ticks();
+        for (Request* r : segment) obs::trace_request_flush(r->trace, tf0, tf1);
     }
     ++stats.batches;
     Tenant_counters& counters = stats.tenants[tenant.id()];
@@ -154,7 +193,12 @@ void Batch_scheduler::flush_reads(Tenant& tenant, std::span<Request* const> segm
                     {req.addr, req.layer_id, req.fmap_idx, req.blk_idx, status});
                 break;
         }
+        if (status != Verify_status::ok)
+            obs::Flight_recorder::detect(obs::Flight_kind::detect, req.tenant_id, req.addr,
+                                         req.layer_id, req.fmap_idx, req.blk_idx,
+                                         static_cast<u8>(status));
         record_latency(req, stats);
+        obs::trace_request_finish(req.trace);
         // Only surrender the buffer when someone is waiting for it; the
         // fire-and-forget path keeps reusing it allocation-free.
         if (req.reply)

@@ -34,6 +34,7 @@
 // the internal staging vectors are reused across calls.
 #pragma once
 
+#include <exception>
 #include <span>
 #include <vector>
 
@@ -71,10 +72,18 @@ private:
     /// Per-request fallback after a bulk rejection: isolates the poisoned
     /// request(s) without losing the rest of the segment.
     void dispatch_one(Tenant& tenant, Request& req, Serve_stats& stats);
-    static void complete(Request& req, Response&& resp, Tenant_counters& counters,
-                         Serve_stats& stats);
+    void complete(Request& req, Response&& resp, Tenant_counters& counters,
+                  Serve_stats& stats);
+    void reject(Request& req, std::exception_ptr error, Tenant_counters& counters,
+                Serve_stats& stats);
+    /// Serve_stats latency plus the per-tenant labeled registry histogram
+    /// (which carries the request's trace id as an exemplar when sampled).
+    void record_latency(const Request& req, Serve_stats& stats);
 
     Tenant_table& tenants_;
+    /// Cached serve_tenant_latency_us{tenant=N} handles, scheduler thread
+    /// only, grown lazily (unarmed until first use, like all obs handles).
+    std::vector<obs::Histogram> tenant_latency_;
 
     // Staging scratch reused across dispatches (cleared, not freed).
     std::vector<std::vector<Request*>> per_tenant_;

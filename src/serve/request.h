@@ -22,6 +22,7 @@
 
 #include "common/types.h"
 #include "core/secure_memory.h"
+#include "obs/request_trace.h"
 
 namespace seda::serve {
 
@@ -65,6 +66,10 @@ struct Request {
     /// Set by Server::submit; a zero value means "no timestamp" and the
     /// dispatcher records no latency sample (deterministic bench replays).
     std::chrono::steady_clock::time_point enqueued_at{};
+
+    /// Request-scoped trace stamps (obs/request_trace.h); trace_id == 0
+    /// (the untraced/unsampled case) makes every stamp a no-op.
+    obs::Trace_context trace;
 };
 
 }  // namespace seda::serve

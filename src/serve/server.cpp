@@ -3,7 +3,11 @@
 #include <chrono>
 #include <utility>
 
+#include <string>
+
 #include "common/error.h"
+#include "obs/flight.h"
+#include "obs/request_trace.h"
 #include "obs/stage.h"
 
 namespace seda::serve {
@@ -55,6 +59,11 @@ std::future<Response> Server::submit(Request req)
                 std::lock_guard lock(mutex_);
                 ++stats_.evicted_rejects;
             }
+            if (obs::enabled()) {
+                static const obs::Counter evicted =
+                    obs::Metrics_registry::instance().counter("serve_evicted_rejects_total");
+                evicted.add(1);
+            }
             throw Seda_error("serve: tenant has been evicted");
         }
         throw Seda_error("serve: request names an unknown tenant");
@@ -68,6 +77,7 @@ std::future<Response> Server::submit(Request req)
     req.reply.emplace();
     std::future<Response> result = req.reply->get_future();
     req.enqueued_at = std::chrono::steady_clock::now();
+    obs::trace_request_begin(req.trace);
 
     {
         std::lock_guard lock(mutex_);
@@ -160,6 +170,8 @@ void Server::scheduler_loop()
             windows_total.add(1);
             requests_total.add(run.size());
             batch_requests.record(static_cast<double>(run.size()));
+            obs::Flight_recorder::record(obs::Flight_kind::window, obs::k_flight_no_tenant,
+                                         0, run.size(), 0);
             // One clock read amortized over the window; replayed requests
             // without a submit timestamp carry no admit-wait sample.
             const auto now = std::chrono::steady_clock::now();
@@ -169,17 +181,55 @@ void Server::scheduler_loop()
                         std::chrono::duration<double, std::micro>(now - r.enqueued_at)
                             .count());
         }
+        // Pickup stamps for traced requests: one tick read amortized over
+        // the window.  Outside the enabled() block because trace recordings
+        // sample requests even under SEDA_OBS=0.
+        u64 t_pickup = 0;
+        for (Request& r : run)
+            if (r.trace.trace_id != 0) {
+                if (t_pickup == 0) t_pickup = obs::now_ticks();
+                obs::trace_request_pickup(r.trace, t_pickup);
+            }
         // Dispatch into a local delta so client submit() calls never
         // contend with the crypto phase for the stats mutex.
         Serve_stats delta;
         scheduler_.dispatch(run, delta);
         inflight_gauge().add(-static_cast<i64>(run.size()));
+        export_tenant_metrics(delta);
         {
             std::lock_guard lock(mutex_);
             stats_.merge(delta);
             completed_ += run.size();
         }
         all_done_.notify_all();
+    }
+}
+
+void Server::export_tenant_metrics(const Serve_stats& delta)
+{
+    if (!obs::enabled()) return;
+    auto& reg = obs::Metrics_registry::instance();
+    while (tenant_series_.size() < delta.tenants.size()) {
+        const std::string id = std::to_string(tenant_series_.size());
+        tenant_series_.push_back({reg.counter("serve_tenant_writes_total", "tenant", id),
+                                  reg.counter("serve_tenant_reads_total", "tenant", id),
+                                  reg.counter("serve_tenant_ok_total", "tenant", id),
+                                  reg.counter("serve_tenant_mac_mismatch_total", "tenant", id),
+                                  reg.counter("serve_tenant_replay_total", "tenant", id),
+                                  reg.counter("serve_tenant_rejected_total", "tenant", id),
+                                  reg.counter("serve_tenant_bytes_total", "tenant", id)});
+    }
+    for (std::size_t t = 0; t < delta.tenants.size(); ++t) {
+        const Tenant_counters& c = delta.tenants[t];
+        if (c.writes == 0 && c.reads == 0 && c.rejected == 0) continue;
+        const Tenant_series& s = tenant_series_[t];
+        if (c.writes != 0) s.writes.add(c.writes);
+        if (c.reads != 0) s.reads.add(c.reads);
+        if (c.ok != 0) s.ok.add(c.ok);
+        if (c.mac_mismatch != 0) s.mac_mismatch.add(c.mac_mismatch);
+        if (c.replay_detected != 0) s.replay_detected.add(c.replay_detected);
+        if (c.rejected != 0) s.rejected.add(c.rejected);
+        if (c.bytes != 0) s.bytes.add(c.bytes);
     }
 }
 

@@ -112,6 +112,14 @@ public:
 
 private:
     void scheduler_loop();
+    /// Adds one dispatch delta to the per-tenant labeled registry series
+    /// (scheduler thread only; handles are created lazily per tenant).
+    void export_tenant_metrics(const Serve_stats& delta);
+
+    /// Cached labeled-series handles for one tenant (obs/metrics.h).
+    struct Tenant_series {
+        obs::Counter writes, reads, ok, mac_mismatch, replay_detected, rejected, bytes;
+    };
 
     Server_config cfg_;
     runtime::Thread_pool pool_;     ///< shared by every tenant session
@@ -121,6 +129,7 @@ private:
     Admission_queue queue_;
     Batch_scheduler scheduler_;
     std::thread scheduler_thread_;
+    std::vector<Tenant_series> tenant_series_;  ///< scheduler thread only
 
     mutable std::mutex mutex_;
     std::condition_variable all_done_;

@@ -12,6 +12,9 @@ Tenant::Tenant(u32 id, std::span<const u8> master_enc, std::span<const u8> maste
       mac_key_(crypto::derive_key(master_mac, "seda-tenant-mac", id)),
       session_(enc_key_, mac_key_, cfg, pool)
 {
+    // Per-tenant attribution for the forensic flight record: every flush
+    // this session issues carries the tenant id.
+    session_.set_flight_tenant(id);
 }
 
 u32 Tenant_table::add(std::span<const u8> master_enc, std::span<const u8> master_mac,

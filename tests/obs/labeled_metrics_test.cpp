@@ -1,0 +1,145 @@
+// Labeled series (per-tenant scoping) and histogram exemplars: interning,
+// scrape row ordering, Prometheus/JSON/stage-table rendering, and the
+// family-kind consistency rules.
+//
+// Metric names are unique to this file: the registry is process-wide.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace seda::obs {
+namespace {
+
+#define SKIP_UNLESS_OBS_LIVE() \
+    if (!enabled()) GTEST_SKIP() << "observability disabled in this build/env"
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle)
+{
+    std::size_t n = 0;
+    for (auto pos = haystack.find(needle); pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+TEST(ObsLabeledMetrics, LabeledSeriesAreDistinctAndSortAdjacent)
+{
+    SKIP_UNLESS_OBS_LIVE();
+    auto& reg = Metrics_registry::instance();
+    reg.counter("test_lblc_total", "tenant", "1").add(5);
+    reg.counter("test_lblc_total", "tenant", "0").add(3);
+    // Re-opening a (name, value) pair feeds the same series.
+    reg.counter("test_lblc_total", "tenant", "1").add(2);
+
+    const Snapshot snap = reg.scrape();
+    std::vector<const Snapshot::Counter_row*> rows;
+    for (const auto& c : snap.counters)
+        if (c.name == "test_lblc_total") rows.push_back(&c);
+    ASSERT_EQ(rows.size(), 2u);
+    // Family rows are adjacent and sorted by label value.
+    EXPECT_EQ(rows[1] - rows[0], 1);
+    EXPECT_EQ(rows[0]->label_key, "tenant");
+    EXPECT_EQ(rows[0]->label_value, "0");
+    EXPECT_EQ(rows[0]->value, 3u);
+    EXPECT_EQ(rows[1]->label_value, "1");
+    EXPECT_EQ(rows[1]->value, 7u);
+}
+
+TEST(ObsLabeledMetrics, PrometheusRendersLabelsAndOneTypeHeaderPerFamily)
+{
+    SKIP_UNLESS_OBS_LIVE();
+    auto& reg = Metrics_registry::instance();
+    reg.counter("test_lblp_total", "tenant", "0").add(1);
+    reg.counter("test_lblp_total", "tenant", "1").add(2);
+    reg.histogram("test_lblp_us", "tenant", "0").record(10.0);
+    reg.histogram("test_lblp_us", "tenant", "1").record(20.0, 77);
+
+    std::ostringstream os;
+    write_prometheus(reg.scrape(), os);
+    const std::string prom = os.str();
+
+    EXPECT_EQ(count_occurrences(prom, "# TYPE seda_test_lblp_total counter"), 1u);
+    EXPECT_EQ(count_occurrences(prom, "# TYPE seda_test_lblp_us histogram"), 1u);
+    EXPECT_NE(prom.find("seda_test_lblp_total{tenant=\"0\"} 1"), std::string::npos);
+    EXPECT_NE(prom.find("seda_test_lblp_total{tenant=\"1\"} 2"), std::string::npos);
+    // Histogram samples merge the label into the le block; sum/count keep it.
+    EXPECT_NE(prom.find("seda_test_lblp_us_bucket{tenant=\"0\",le=\"+Inf\"} 1"),
+              std::string::npos);
+    EXPECT_NE(prom.find("seda_test_lblp_us_count{tenant=\"1\"} 1"), std::string::npos);
+    // The exemplar rides the +Inf bucket of the series that recorded it.
+    EXPECT_NE(prom.find("seda_test_lblp_us_bucket{tenant=\"1\",le=\"+Inf\"} 1 "
+                        "# {trace_id=\"77\"} 20"),
+              std::string::npos)
+        << prom;
+    EXPECT_EQ(prom.find("seda_test_lblp_us_bucket{tenant=\"0\",le=\"+Inf\"} 1 #"),
+              std::string::npos)
+        << "exemplar leaked onto the unexemplared series";
+}
+
+TEST(ObsLabeledMetrics, JsonCarriesLabelsAndExemplar)
+{
+    SKIP_UNLESS_OBS_LIVE();
+    auto& reg = Metrics_registry::instance();
+    reg.gauge("test_lblj_gauge", "tenant", "4").add(-2);
+    reg.histogram("test_lblj_us", "tenant", "4").record(3.5, 91);
+
+    std::ostringstream os;
+    write_json(reg.scrape(), os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"name\": \"test_lblj_gauge\", \"labels\": "
+                        "{\"tenant\": \"4\"}, \"value\": -2"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"exemplar\": {\"trace_id\": 91, \"value\": 3.5}"),
+              std::string::npos)
+        << json;
+}
+
+TEST(ObsLabeledMetrics, ExemplarKeepsLargestValueAndIgnoresZeroId)
+{
+    SKIP_UNLESS_OBS_LIVE();
+    auto& reg = Metrics_registry::instance();
+    const Histogram h = reg.histogram("test_lble_us", "tenant", "0");
+    h.record(5.0, 11);
+    h.record(50.0, 22);  // larger value wins
+    h.record(9.0, 33);
+    h.record(500.0, 0);  // id 0 = untraced: recorded, but never an exemplar
+    const Snapshot snap = reg.scrape();
+    const auto* row = find_histogram(snap, "test_lble_us{tenant=\"0\"}");
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->hist.count(), 4u);
+    EXPECT_EQ(row->exemplar_trace_id, 22u);
+    EXPECT_GE(row->exemplar_value, 50.0 * 0.97);  // bucketing tolerance
+    EXPECT_LE(row->exemplar_value, 50.0 * 1.03);
+}
+
+TEST(ObsLabeledMetrics, StageTableShowsLabeledRows)
+{
+    SKIP_UNLESS_OBS_LIVE();
+    auto& reg = Metrics_registry::instance();
+    reg.histogram("test_lblt_us", "tenant", "2").record(7.0);
+    std::ostringstream os;
+    write_stage_table(reg.scrape(), os);
+    EXPECT_NE(os.str().find("test_lblt_us{tenant=\"2\"}"), std::string::npos);
+}
+
+TEST(ObsLabeledMetrics, FamilyKindAndLabelShapeAreEnforced)
+{
+    SKIP_UNLESS_OBS_LIVE();
+    auto& reg = Metrics_registry::instance();
+    (void)reg.counter("test_lblk_total", "tenant", "0");
+    // A family keeps one kind, labeled or not.
+    EXPECT_THROW((void)reg.histogram("test_lblk_total", "tenant", "1"), Seda_error);
+    EXPECT_THROW((void)reg.gauge("test_lblk_total"), Seda_error);
+    // Half a label pair is malformed.
+    EXPECT_THROW((void)reg.counter("test_lblk2_total", "tenant", ""), Seda_error);
+    EXPECT_THROW((void)reg.counter("test_lblk2_total", "", "3"), Seda_error);
+}
+
+}  // namespace
+}  // namespace seda::obs

@@ -85,7 +85,12 @@ TEST(ObsRegistry, ScrapeOfQuiescedProcessIsStableAndSorted)
         EXPECT_EQ(s1.counters[i].name, s2.counters[i].name);
         EXPECT_EQ(s1.counters[i].value, s2.counters[i].value);
         if (i > 0) {
-            EXPECT_LT(s1.counters[i - 1].name, s1.counters[i].name);
+            // Strictly increasing by (name, label value): labeled rows of
+            // one family share the name and sort by value.
+            const auto key = [](const Snapshot::Counter_row& r) {
+                return std::pair(r.name, r.label_value);
+            };
+            EXPECT_LT(key(s1.counters[i - 1]), key(s1.counters[i]));
         }
     }
     // Rendered exports are therefore byte-stable too.

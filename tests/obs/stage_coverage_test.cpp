@@ -1,0 +1,69 @@
+// Coverage gate for the stage catalog: every obs::Stage value must carry a
+// metric name, a trace name, unique on both axes, and a row in the
+// docs/OBSERVABILITY.md stage table -- so adding a stage without
+// documenting it fails CI instead of silently shipping an unnamed series.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/stage.h"
+
+namespace seda::obs {
+namespace {
+
+std::string docs_path()
+{
+    // tests/obs/<this file> -> repo root -> docs/OBSERVABILITY.md.
+    std::string path = __FILE__;
+    const auto pos = path.rfind("tests/obs/");
+    EXPECT_NE(pos, std::string::npos) << "unexpected __FILE__ layout: " << path;
+    return path.substr(0, pos) + "docs/OBSERVABILITY.md";
+}
+
+TEST(ObsStageCoverage, EveryStageHasUniqueMetricAndTraceNames)
+{
+    std::set<std::string> metrics;
+    std::set<std::string> traces;
+    for (std::size_t i = 0; i < k_stage_count; ++i) {
+        const auto s = static_cast<Stage>(i);
+        const char* metric = stage_metric_name(s);
+        const char* trace = stage_trace_name(s);
+        ASSERT_NE(metric, nullptr) << "stage " << i;
+        ASSERT_NE(trace, nullptr) << "stage " << i;
+        EXPECT_FALSE(std::string(metric).empty()) << "stage " << i;
+        EXPECT_FALSE(std::string(trace).empty()) << "stage " << i;
+        EXPECT_TRUE(metrics.insert(metric).second)
+            << "duplicate metric name " << metric;
+        EXPECT_TRUE(traces.insert(trace).second) << "duplicate trace name " << trace;
+    }
+}
+
+TEST(ObsStageCoverage, EveryStageHasADocsTableRow)
+{
+    std::ifstream f(docs_path());
+    ASSERT_TRUE(f.good()) << "cannot open " << docs_path();
+    std::stringstream buf;
+    buf << f.rdbuf();
+    const std::string docs = buf.str();
+
+    for (std::size_t i = 0; i < k_stage_count; ++i) {
+        const auto s = static_cast<Stage>(i);
+        // The stage table renders both names in backticks; requiring the
+        // exact `| `name` |` cell shape keeps prose mentions from
+        // satisfying the gate.
+        const std::string metric_cell =
+            "| `" + std::string(stage_metric_name(s)) + "` |";
+        const std::string trace_cell =
+            " `" + std::string(stage_trace_name(s)) + "` |";
+        EXPECT_NE(docs.find(metric_cell), std::string::npos)
+            << stage_metric_name(s) << " has no docs/OBSERVABILITY.md table row";
+        EXPECT_NE(docs.find(trace_cell), std::string::npos)
+            << stage_trace_name(s) << " has no docs/OBSERVABILITY.md table row";
+    }
+}
+
+}  // namespace
+}  // namespace seda::obs

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Captures a serve/infer benchmark trajectory snapshot as BENCH_<n>.json.
+
+Runs the serving-layer and inference-replay benchmarks plus the
+deterministic CLI workloads, and folds everything into one JSON artifact:
+
+  * google-benchmark medians for bm_serve_batched / bm_serve_naive and the
+    infer replay benches (repetitions, aggregates only);
+  * the observability overhead pair -- bm_serve_batched with metrics live
+    vs. SEDA_OBS=0 -- so the <=2% budget (docs/OBSERVABILITY.md) has a
+    recorded number per capture.  Live and off rounds interleave and each
+    side reports the median of round medians: the reference VM's
+    run-to-run drift exceeds the effect, so back-to-back phases would
+    measure the drift, not the overhead (docs/BENCHMARKS.md methodology);
+  * `seda_cli loadgen/infer --json` deterministic counters (requests,
+    verification outcomes, bytes), which must be identical between
+    captures at the same seed -- drift is a correctness bug, not noise.
+
+Usage:
+  python3 tools/capture_bench.py [--build-dir build] [--out BENCH_9.json]
+                                 [--repetitions 7] [--quick]
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+
+
+def run(cmd, env_extra=None, timeout=1800):
+    env = dict(os.environ)
+    if env_extra:
+        env.update(env_extra)
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env,
+                          timeout=timeout)
+    if proc.returncode != 0:
+        sys.stderr.write(f"FAILED: {' '.join(cmd)}\n{proc.stderr}\n")
+        raise SystemExit(1)
+    return proc.stdout
+
+
+def bench_medians(binary, bench_filter, repetitions, env_extra=None):
+    """Median real_time (ns unless the bench says otherwise) per benchmark."""
+    out = run([binary, f"--benchmark_filter={bench_filter}",
+               f"--benchmark_repetitions={repetitions}",
+               "--benchmark_report_aggregates_only=true",
+               "--benchmark_format=json"], env_extra=env_extra)
+    doc = json.loads(out)
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("aggregate_name") != "median":
+            continue
+        rows[b["run_name"]] = {
+            "real_time": b["real_time"],
+            "time_unit": b["time_unit"],
+            "items_per_second": b.get("items_per_second"),
+        }
+    return rows
+
+
+def cli_json(cli, args):
+    return json.loads(run([cli] + args + ["--json"]))
+
+
+def median(xs):
+    xs = sorted(xs)
+    n = len(xs)
+    return xs[n // 2] if n % 2 else 0.5 * (xs[n // 2 - 1] + xs[n // 2])
+
+
+def obs_overhead(bench_serve, reps, rounds):
+    """Interleaved live/SEDA_OBS=0 rounds; per-bench median of medians."""
+    live_rounds = []
+    off_rounds = []
+    for r in range(rounds):
+        # Alternate which side goes first: a fixed order would fold any
+        # within-round drift (cache warmup, neighbor load) into the delta.
+        sides = [(live_rounds, None), (off_rounds, {"SEDA_OBS": "0"})]
+        for acc, env in (sides if r % 2 == 0 else reversed(sides)):
+            acc.append(bench_medians(bench_serve, "bm_serve_batched", reps,
+                                     env_extra=env))
+    overhead = {}
+    for name in live_rounds[0]:
+        live = median([r[name]["real_time"] for r in live_rounds])
+        off = median([r[name]["real_time"] for r in off_rounds])
+        if off > 0:
+            overhead[name] = {
+                "live": live,
+                "obs_off": off,
+                "time_unit": live_rounds[0][name]["time_unit"],
+                "rounds": rounds,
+                "overhead_pct": 100.0 * (live / off - 1.0),
+            }
+    return overhead
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default="BENCH_9.json")
+    ap.add_argument("--repetitions", type=int, default=7)
+    ap.add_argument("--quick", action="store_true",
+                    help="3 repetitions, 2 overhead rounds, smaller "
+                         "CLI workloads")
+    args = ap.parse_args()
+    if args.quick:
+        args.repetitions = 3
+
+    b = args.build_dir
+    cli = os.path.join(b, "seda_cli")
+    bench_serve = os.path.join(b, "bench_serve")
+    bench_infer = os.path.join(b, "bench_infer")
+    for path in (cli, bench_serve, bench_infer):
+        if not os.path.exists(path):
+            sys.stderr.write(f"missing {path}; configure with "
+                             "-DSEDA_BUILD_BENCH=ON and build first\n")
+            raise SystemExit(1)
+
+    reps = args.repetitions
+    requests = "16" if args.quick else "64"
+
+    serve_live = bench_medians(bench_serve, "bm_serve_(batched|naive)", reps)
+    infer_bench = bench_medians(bench_infer, ".", reps)
+    overhead = obs_overhead(bench_serve, reps, rounds=2 if args.quick else 4)
+
+    # Per-variant percentages still swing several points either way on the
+    # 1-core reference VM (oversubscribed worker counts are worst); the
+    # cross-variant median is the number to compare against the 2% budget.
+    overhead_median = median([o["overhead_pct"] for o in overhead.values()]) \
+        if overhead else 0.0
+
+    result = {
+        "bench": 9,
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "cpus": os.cpu_count(),
+        },
+        "repetitions": reps,
+        "serve": serve_live,
+        "serve_obs_overhead": overhead,
+        "serve_obs_overhead_pct_median": overhead_median,
+        "infer_bench": infer_bench,
+        "loadgen": cli_json(cli, ["loadgen", "--tenants", "2", "--clients",
+                                  "4", "--requests", requests, "--jobs", "4",
+                                  "--seed", "9"]),
+        "infer": cli_json(cli, ["infer", "--model", "lenet", "--tenants",
+                                "2", "--jobs", "4", "--seed", "9"]),
+    }
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=1)
+        f.write("\n")
+    print(f"wrote {args.out}: {len(serve_live)} serve + {len(infer_bench)} "
+          f"infer benches, median obs overhead {overhead_median:+.2f}%")
+
+
+if __name__ == "__main__":
+    main()

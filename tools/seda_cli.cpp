@@ -58,6 +58,8 @@ struct Options {
     std::string stats_out;   ///< Prometheus text scrape file
     std::string stats_json;  ///< JSON scrape file
     std::string trace_out;   ///< chrome://tracing span file
+    std::string flight_out;  ///< flight-recorder dump file (also armed for
+                             ///< automatic dump on any detection event)
     bool stages = false;     ///< per-stage percentile table on stderr
 };
 
@@ -119,18 +121,22 @@ std::string hex64(u64 v)
 /// instrumented run so a --trace-out recording covers it.
 void obs_begin(const Options& o)
 {
-    const bool wants =
-        !o.stats_out.empty() || !o.stats_json.empty() || !o.trace_out.empty() || o.stages;
+    const bool wants = !o.stats_out.empty() || !o.stats_json.empty() ||
+                       !o.trace_out.empty() || !o.flight_out.empty() || o.stages;
     if (!wants) return;
     if (!obs::k_compiled_in) {
         std::cerr << "seda_cli: note: built with SEDA_DISABLE_OBS; "
-                     "--stages/--stats-out/--stats-json/--trace-out emit empty output\n";
+                     "--stages/--stats-out/--stats-json/--trace-out/--flight-out "
+                     "emit empty output\n";
         return;
     }
     if (!obs::enabled())
         std::cerr << "seda_cli: note: SEDA_OBS=0 disables stage metrics; "
                      "scrape output will be empty\n";
     if (!o.trace_out.empty()) obs::Trace_recorder::start();
+    // Armed BEFORE the run: the first detection event snapshots the ring
+    // to this path at the moment of detection, not at exit.
+    if (!o.flight_out.empty()) obs::Flight_recorder::arm_auto_dump(o.flight_out);
 }
 
 /// Scrapes once and writes every requested export (stderr table, Prometheus
@@ -159,6 +165,16 @@ void obs_finish(const Options& o)
         if (const u64 dropped = obs::Trace_recorder::dropped(); dropped != 0)
             std::cerr << "seda_cli: note: trace buffers overflowed, " << dropped
                       << " spans dropped\n";
+    }
+    if (!o.flight_out.empty()) {
+        // Final end-of-run dump: overwrites any mid-run detection snapshot
+        // with the complete picture (the detection events themselves are in
+        // the ring, so nothing forensic is lost by the overwrite).
+        require(obs::Flight_recorder::dump_flight(o.flight_out),
+                "seda_cli: failed to write " + o.flight_out);
+        if (const u64 det = obs::Flight_recorder::detections(); det != 0)
+            std::cerr << "seda_cli: note: flight recorder saw " << det
+                      << " detection event(s); dump at " << o.flight_out << "\n";
     }
 }
 
@@ -748,6 +764,8 @@ int usage(std::ostream& os)
           "  --stats-json FILE         JSON metrics snapshot (loadgen, infer, attack)\n"
           "  --trace-out FILE          chrome://tracing span dump (loadgen, infer,\n"
           "                            attack)\n"
+          "  --flight-out FILE         flight-recorder dump (loadgen, infer, attack);\n"
+          "                            also auto-dumps on the first detection event\n"
           "\n"
           "environment:\n"
           "  SEDA_OBS=0                disable stage metrics/trace collection at runtime\n"
@@ -803,6 +821,8 @@ Options parse(int argc, char** argv)
             o.stats_json = next();
         else if (arg == "--trace-out")
             o.trace_out = next();
+        else if (arg == "--flight-out")
+            o.flight_out = next();
         else if (arg == "--csv")
             o.csv = true;
         else if (arg == "--json")
