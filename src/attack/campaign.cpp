@@ -104,6 +104,13 @@ void log_inject(u32 tenant, Addr addr, Fault_kind kind)
 {
     obs::Flight_recorder::record(obs::Flight_kind::inject, tenant, addr,
                                  static_cast<u64>(kind), 0);
+    // Live injection counter, bumped at the moment the fault executes on
+    // the bus: a --watch or /metrics scrape mid-campaign sees the count
+    // climb instead of jumping at exit.
+    static const obs::Counter injected = obs::enabled()
+        ? obs::Metrics_registry::instance().counter("attack_faults_injected_total")
+        : obs::Counter{};
+    injected.add(1);
 }
 
 struct Prober_outcome {
@@ -591,8 +598,8 @@ Campaign_result run_campaign(const Campaign_config& cfg)
             res.control_identical = false;
     }
 
-    obs::Metrics_registry::instance().counter("attack_faults_injected_total")
-        .add(res.faults_injected);
+    // attack_faults_injected_total is counted live at the injection sites
+    // (log_inject); only the detection tally is an end-of-run export.
     obs::Metrics_registry::instance().counter("attack_faults_detected_total")
         .add(res.detected_mac_mismatch + res.detected_replay_detected);
 

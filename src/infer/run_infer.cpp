@@ -24,7 +24,15 @@ namespace {
 void run_tenant(Inference_engine& engine, Unit_sink& sink, std::size_t inferences)
 {
     engine.load(sink);
-    for (std::size_t i = 0; i < inferences; ++i) engine.infer(sink);
+    // Live per-inference counter: gives the --watch differ and the scrape
+    // endpoint a rate signal while the replay is still running.
+    static const obs::Counter live_inferences = obs::enabled()
+        ? obs::Metrics_registry::instance().counter("infer_inferences_total")
+        : obs::Counter{};
+    for (std::size_t i = 0; i < inferences; ++i) {
+        engine.infer(sink);
+        live_inferences.add(1);
+    }
 }
 
 }  // namespace

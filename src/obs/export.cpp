@@ -26,12 +26,40 @@ std::string fmt_short(double v)
     return buf;
 }
 
+/// Prometheus label-value escaping (exposition format rules): backslash,
+/// double quote, and newline; other bytes pass through verbatim.
 std::string escaped(std::string_view s)
 {
     std::string out;
     for (const char c : s) {
-        if (c == '"' || c == '\\') out += '\\';
-        out += c;
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/// JSON string escaping: quotes, backslash, and all control characters
+/// (the metrics JSON must stay parseable whatever a label value holds).
+std::string json_escaped(std::string_view s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
     }
     return out;
 }
@@ -121,8 +149,8 @@ template <typename Row>
 std::string json_labels(const Row& r)
 {
     if (r.label_key.empty()) return {};
-    return ", \"labels\": {\"" + escaped(r.label_key) + "\": \"" + escaped(r.label_value) +
-           "\"}";
+    return ", \"labels\": {\"" + json_escaped(r.label_key) + "\": \"" +
+           json_escaped(r.label_value) + "\"}";
 }
 
 }  // namespace
@@ -131,19 +159,19 @@ void write_json(const Snapshot& snap, std::ostream& os)
 {
     os << "{\n  \"counters\": [";
     for (std::size_t i = 0; i < snap.counters.size(); ++i)
-        os << (i ? "," : "") << "\n    {\"name\": \"" << escaped(snap.counters[i].name)
+        os << (i ? "," : "") << "\n    {\"name\": \"" << json_escaped(snap.counters[i].name)
            << "\"" << json_labels(snap.counters[i])
            << ", \"value\": " << snap.counters[i].value << "}";
     os << (snap.counters.empty() ? "" : "\n  ") << "],\n  \"gauges\": [";
     for (std::size_t i = 0; i < snap.gauges.size(); ++i)
-        os << (i ? "," : "") << "\n    {\"name\": \"" << escaped(snap.gauges[i].name)
+        os << (i ? "," : "") << "\n    {\"name\": \"" << json_escaped(snap.gauges[i].name)
            << "\"" << json_labels(snap.gauges[i])
            << ", \"value\": " << snap.gauges[i].value << "}";
     os << (snap.gauges.empty() ? "" : "\n  ") << "],\n  \"histograms\": [";
     for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
         const auto& row = snap.histograms[i];
         const auto& h = row.hist;
-        os << (i ? "," : "") << "\n    {\"name\": \"" << escaped(row.name) << "\""
+        os << (i ? "," : "") << "\n    {\"name\": \"" << json_escaped(row.name) << "\""
            << json_labels(row) << ", \"count\": " << h.count()
            << ", \"sum\": " << fmt_g(h.sum()) << ", \"min\": " << fmt_g(h.min())
            << ", \"mean\": " << fmt_g(h.mean())

@@ -1,0 +1,59 @@
+#include "obs/health.h"
+
+#include <atomic>
+
+namespace seda::obs {
+
+namespace {
+
+// Relaxed is enough: the state is advisory (a scrape racing a transition
+// reads either side), and every counter is independently monotone-balanced.
+std::atomic<u64> g_started_total{0};
+std::atomic<u64> g_stopped_total{0};
+std::atomic<u64> g_draining{0};
+
+}  // namespace
+
+const char* to_string(Health_state s)
+{
+    switch (s) {
+        case Health_state::idle: return "idle";
+        case Health_state::serving: return "serving";
+        case Health_state::draining: return "draining";
+        case Health_state::stopped: return "stopped";
+    }
+    return "?";
+}
+
+void health_server_started() { g_started_total.fetch_add(1, std::memory_order_relaxed); }
+void health_server_stopped() { g_stopped_total.fetch_add(1, std::memory_order_relaxed); }
+void health_drain_begin() { g_draining.fetch_add(1, std::memory_order_relaxed); }
+void health_drain_end() { g_draining.fetch_sub(1, std::memory_order_relaxed); }
+
+Health_state health_state()
+{
+    const u64 started = g_started_total.load(std::memory_order_relaxed);
+    const u64 stopped = g_stopped_total.load(std::memory_order_relaxed);
+    if (started == 0) return Health_state::idle;
+    if (stopped >= started) return Health_state::stopped;
+    if (g_draining.load(std::memory_order_relaxed) != 0) return Health_state::draining;
+    return Health_state::serving;
+}
+
+u64 health_live_servers()
+{
+    const u64 started = g_started_total.load(std::memory_order_relaxed);
+    const u64 stopped = g_stopped_total.load(std::memory_order_relaxed);
+    return started > stopped ? started - stopped : 0;
+}
+
+u64 health_started_total() { return g_started_total.load(std::memory_order_relaxed); }
+
+void health_reset_for_test()
+{
+    g_started_total.store(0, std::memory_order_relaxed);
+    g_stopped_total.store(0, std::memory_order_relaxed);
+    g_draining.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace seda::obs

@@ -94,6 +94,76 @@ public:
         max_ticks_ = std::max(max_ticks_, t);
     }
 
+    /// Forgets every sample but keeps the bucket vector's capacity, so a
+    /// reused snapshot row (Metrics_registry::scrape_into) re-fills without
+    /// reallocating.
+    void clear()
+    {
+        std::fill(counts_.begin(), counts_.end(), u64{0});
+        count_ = 0;
+        sum_ticks_ = 0;
+        min_ticks_ = ~u64{0};
+        max_ticks_ = 0;
+    }
+
+    /// The interval histogram `this - earlier`, where `earlier` is a prior
+    /// cumulative snapshot of the same series (bucket counts subtract; the
+    /// registry only ever adds, so the difference is itself a valid sample
+    /// set).  min/max are not recoverable from cumulative summaries, so the
+    /// delta's extremes are reconstructed from its own outermost non-empty
+    /// buckets -- exact to one bucket width, same bound as percentile().
+    /// Writes into `out` (cleared first) to keep the periodic differ
+    /// allocation-free once buffers are warm.
+    void delta_since(const Log_histogram& earlier, Log_histogram& out) const
+    {
+        out.clear();
+        if (out.counts_.size() < counts_.size()) out.counts_.resize(counts_.size(), 0);
+        for (std::size_t i = 0; i < counts_.size(); ++i) {
+            const u64 prev = i < earlier.counts_.size() ? earlier.counts_[i] : 0;
+            const u64 d = counts_[i] >= prev ? counts_[i] - prev : 0;
+            out.counts_[i] = d;
+            if (d == 0) continue;
+            out.count_ += d;
+            const u64 lower = Log_bucketing::lower_ticks(i);
+            if (out.min_ticks_ == ~u64{0}) out.min_ticks_ = lower;
+            out.max_ticks_ = lower + Log_bucketing::width_ticks(i) - 1;
+        }
+        out.sum_ticks_ = sum_ticks_ >= earlier.sum_ticks_ ? sum_ticks_ - earlier.sum_ticks_ : 0;
+    }
+
+    [[nodiscard]] Log_histogram delta_since(const Log_histogram& earlier) const
+    {
+        Log_histogram out;
+        delta_since(earlier, out);
+        return out;
+    }
+
+    /// Estimated number of samples <= `v`: whole buckets below, plus a
+    /// linear fraction of the bucket containing `v` (the SLO good-count
+    /// primitive; exact to one bucket width like percentile()).
+    [[nodiscard]] double count_le(double v) const
+    {
+        if (count_ == 0) return 0.0;
+        const u64 t = Log_bucketing::ticks_from(v);
+        if (t >= max_ticks_) return static_cast<double>(count_);
+        if (t < min_ticks_) return 0.0;
+        const std::size_t vi = Log_bucketing::index_of(t);
+        double good = 0.0;
+        for (std::size_t i = 0; i < counts_.size() && i <= vi; ++i) {
+            if (counts_[i] == 0) continue;
+            if (i < vi) {
+                good += static_cast<double>(counts_[i]);
+                continue;
+            }
+            const u64 lower = Log_bucketing::lower_ticks(i);
+            const u64 width = Log_bucketing::width_ticks(i);
+            const double frac =
+                static_cast<double>(t - lower + 1) / static_cast<double>(width);
+            good += static_cast<double>(counts_[i]) * std::min(frac, 1.0);
+        }
+        return std::min(good, static_cast<double>(count_));
+    }
+
     /// Adds another histogram's samples (bucket counts add; used both by
     /// Serve_stats::merge and by tests cross-checking shard merges).
     void merge(const Log_histogram& o)

@@ -230,12 +230,35 @@ void Histogram::record(double v, u64 trace_id) const
 #endif
 }
 
+namespace {
+
+/// Prometheus-compatible identifier: [a-zA-Z_][a-zA-Z0-9_]*.  Metric names
+/// and label KEYS must satisfy this (they are emitted unescaped); label
+/// VALUES stay free-form and are escaped at export time.
+bool valid_identifier(std::string_view s)
+{
+    const auto head = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    };
+    if (s.empty() || !head(s[0])) return false;
+    for (const char c : s.substr(1))
+        if (!head(c) && !(c >= '0' && c <= '9')) return false;
+    return true;
+}
+
+}  // namespace
+
 u32 Metrics_registry::intern(std::string_view name, unsigned type,
                              std::string_view label_key, std::string_view label_value)
 {
-    require(!name.empty(), "obs: metric name must be non-empty");
+    require(valid_identifier(name),
+            "obs: malformed metric name '" + std::string(name) +
+                "' (want [a-zA-Z_][a-zA-Z0-9_]*)");
     require(label_key.empty() == label_value.empty(),
             "obs: metric label key and value must be set together");
+    require(label_key.empty() || valid_identifier(label_key),
+            "obs: malformed label key '" + std::string(label_key) +
+                "' (want [a-zA-Z_][a-zA-Z0-9_]*)");
     // The interning key distinguishes series; the family name alone is what
     // must stay kind-consistent (a labeled family and an unlabeled metric of
     // the same name are one namespace, like Prometheus's).
@@ -349,28 +372,55 @@ void Metrics_registry::release_cells(const std::vector<void*>& cells)
 Snapshot Metrics_registry::scrape() const
 {
     Snapshot snap;
+    scrape_into(snap);
+    return snap;
+}
+
+void Metrics_registry::scrape_into(Snapshot& snap) const
+{
+    // Rows are assigned in place by index: string assignment and
+    // Log_histogram::clear() keep their buffers, so a warm snapshot
+    // re-scrapes without touching the allocator (the registry only ever
+    // grows, so the final shrink-resizes never discard warmed rows).
+    std::size_t nc = 0;
+    std::size_t ng = 0;
+    std::size_t nh = 0;
     std::lock_guard lock(impl_->mutex);
     for (const Metric& m : impl_->metrics) {
         switch (m.type) {
             case Metric_type::counter: {
-                u64 total = 0;
-                for (const auto& c : m.counter_cells)
-                    total += c->value.load(std::memory_order_relaxed);
-                snap.counters.push_back({m.name, m.label_key, m.label_value, total});
-                break;
-            }
-            case Metric_type::gauge: {
-                i64 total = 0;
-                for (const auto& c : m.gauge_cells)
-                    total += c->value.load(std::memory_order_relaxed);
-                snap.gauges.push_back({m.name, m.label_key, m.label_value, total});
-                break;
-            }
-            case Metric_type::histogram: {
-                Snapshot::Histogram_row row;
+                if (snap.counters.size() <= nc) snap.counters.emplace_back();
+                auto& row = snap.counters[nc++];
                 row.name = m.name;
                 row.label_key = m.label_key;
                 row.label_value = m.label_value;
+                u64 total = 0;
+                for (const auto& c : m.counter_cells)
+                    total += c->value.load(std::memory_order_relaxed);
+                row.value = total;
+                break;
+            }
+            case Metric_type::gauge: {
+                if (snap.gauges.size() <= ng) snap.gauges.emplace_back();
+                auto& row = snap.gauges[ng++];
+                row.name = m.name;
+                row.label_key = m.label_key;
+                row.label_value = m.label_value;
+                i64 total = 0;
+                for (const auto& c : m.gauge_cells)
+                    total += c->value.load(std::memory_order_relaxed);
+                row.value = total;
+                break;
+            }
+            case Metric_type::histogram: {
+                if (snap.histograms.size() <= nh) snap.histograms.emplace_back();
+                auto& row = snap.histograms[nh++];
+                row.name = m.name;
+                row.label_key = m.label_key;
+                row.label_value = m.label_value;
+                row.hist.clear();
+                row.exemplar_trace_id = 0;
+                row.exemplar_value = 0;
                 u64 best_ticks = 0;
                 for (const auto& c : m.hist_cells) {
                     for (std::size_t i = 0; i < c->counts.size(); ++i) {
@@ -389,11 +439,13 @@ Snapshot Metrics_registry::scrape() const
                             Log_bucketing::value_from_ticks(static_cast<double>(ticks));
                     }
                 }
-                snap.histograms.push_back(std::move(row));
                 break;
             }
         }
     }
+    snap.counters.resize(nc);
+    snap.gauges.resize(ng);
+    snap.histograms.resize(nh);
     const auto by_name = [](const auto& a, const auto& b) {
         if (a.name != b.name) return a.name < b.name;
         return a.label_value < b.label_value;
@@ -401,7 +453,6 @@ Snapshot Metrics_registry::scrape() const
     std::sort(snap.counters.begin(), snap.counters.end(), by_name);
     std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
     std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
-    return snap;
 }
 
 void Metrics_registry::reset()

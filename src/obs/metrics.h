@@ -155,6 +155,13 @@ public:
     /// a record racing the scrape lands in this snapshot or the next.
     [[nodiscard]] Snapshot scrape() const;
 
+    /// scrape() into a caller-owned snapshot, reusing its row vectors,
+    /// strings, and histogram bucket buffers: after the first call on a
+    /// stable registry, re-scraping allocates nothing -- the contract the
+    /// periodic snapshot differ (obs/snapshot.h) and the HTTP exporter's
+    /// per-request scrape rely on to stay off the allocator.
+    void scrape_into(Snapshot& snap) const;
+
     /// Zeroes every cell in place (metric names stay registered).  Only
     /// meaningful when recorders are quiesced; for tests and benches.
     void reset();

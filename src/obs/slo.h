@@ -1,0 +1,101 @@
+// Declarative latency SLOs with error-budget burn tracking.
+//
+// An objective reads `FAMILY:pPCT<THRESH[us|ms|s]:TARGET`, e.g.
+//   serve_tenant_latency_us:p99<500us:0.999
+// "at least 99.9% of observations in FAMILY must land at or under 500 us"
+// (the pPCT names the percentile reported per window; the budget itself is
+// counted sample-exact from the histogram buckets, not from the
+// percentile).
+//
+// Evaluation is windowed over the snapshot differ's intervals
+// (obs/snapshot.h): each non-empty window contributes its interval
+// histogram, the good count comes from Log_histogram::count_le, and the
+// SRE error-budget arithmetic follows:
+//     budget          = 1 - target            (allowed bad fraction)
+//     window burn     = (bad/total) / budget  (1.0 = consuming exactly on
+//                                              schedule; >1 = overspending)
+//     budget_consumed = (1 - availability) / budget  over the whole run
+// Burn is tracked multi-window: the peak single-window burn (fast signal)
+// and the peak burn over a sliding run of `slow_windows` windows (slow
+// signal) -- the standard fast+slow alert pair.
+//
+// Reports go to --slo-out files or stderr, NEVER stdout: SLO numbers are
+// timing-bound and must not perturb the byte-identical --json contracts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/snapshot.h"
+
+namespace seda::obs {
+
+/// One parsed objective.
+struct Slo_spec {
+    std::string text;          ///< the original spec string, verbatim
+    std::string family;        ///< histogram family name (label rows fold)
+    double percentile = 99.0;  ///< reported per window (0 < p <= 100)
+    double threshold = 0;      ///< in the family's native unit (us for *_us)
+    double target = 0.999;     ///< required good fraction (0 < t < 1)
+};
+
+/// Parses `FAMILY:pPCT<THRESH[us|ms|s]:TARGET`; throws Seda_error with a
+/// pointed message on any malformed piece.
+[[nodiscard]] Slo_spec parse_slo(std::string_view spec);
+
+/// Accumulated verdict for one objective.
+struct Slo_result {
+    Slo_spec spec;
+    u64 windows = 0;           ///< non-empty windows observed
+    u64 violations = 0;        ///< windows whose pPCT exceeded the threshold
+    u64 total = 0;             ///< observations across all windows
+    double good = 0;           ///< observations <= threshold (bucket-exact)
+    double worst_window_pct = 0;  ///< worst per-window pPCT value seen
+    double peak_burn_1w = 0;   ///< fast burn signal
+    double peak_burn_slow = 0; ///< slow burn signal (over `slow_windows`)
+    double last_burn = 0;      ///< most recent window's burn
+
+    [[nodiscard]] double availability() const
+    {
+        return total == 0 ? 1.0 : good / static_cast<double>(total);
+    }
+    /// Fraction of the error budget consumed (>1 = SLO missed).
+    [[nodiscard]] double budget_consumed() const
+    {
+        return (1.0 - availability()) / (1.0 - spec.target);
+    }
+    [[nodiscard]] bool met() const { return budget_consumed() <= 1.0; }
+};
+
+/// Evaluates a set of objectives over snapshot windows.  Feed it from the
+/// Snapshot_poller callback; it is not itself thread-safe (all calls on
+/// the poller thread, report after stop()).
+class Slo_tracker {
+public:
+    explicit Slo_tracker(std::vector<Slo_spec> specs, std::size_t slow_windows = 12);
+
+    /// Folds one differ interval into every objective.  Windows where an
+    /// objective's family recorded nothing are skipped for that objective
+    /// (an idle window neither burns nor earns budget).
+    void observe(const Interval& iv);
+
+    [[nodiscard]] const std::vector<Slo_result>& results() const { return results_; }
+    [[nodiscard]] bool all_met() const;
+
+    /// JSON report (one object, `slos` array + `all_met`), for --slo-out.
+    void write_json(std::ostream& os) const;
+
+    /// One-line-per-objective human summary, for stderr.
+    void write_summary(std::ostream& os) const;
+
+private:
+    std::size_t slow_windows_;
+    std::vector<Slo_result> results_;
+    /// Per-objective ring of recent (bad, total) window pairs backing the
+    /// slow burn signal.
+    std::vector<std::vector<std::pair<double, u64>>> recent_;
+};
+
+}  // namespace seda::obs

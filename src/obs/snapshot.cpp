@@ -1,0 +1,235 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+
+namespace seda::obs {
+
+namespace {
+
+/// Scrape-sort order shared with Metrics_registry::scrape_into.
+template <typename A, typename B>
+bool key_less(const A& a, const B& b)
+{
+    if (a.name != b.name) return a.name < b.name;
+    return a.label_value < b.label_value;
+}
+
+template <typename A, typename B>
+bool key_equal(const A& a, const B& b)
+{
+    return a.name == b.name && a.label_value == b.label_value;
+}
+
+}  // namespace
+
+void diff_snapshots(const Snapshot& prev, const Snapshot& cur, double seconds,
+                    Interval& out)
+{
+    out.seconds = seconds;
+
+    // Two-pointer walks over the sorted row vectors: a series present only
+    // in `cur` (registered mid-interval) diffs against zero; a series only
+    // in `prev` cannot happen (the registry never forgets a metric).
+    std::size_t n = 0;
+    std::size_t p = 0;
+    for (const auto& c : cur.counters) {
+        while (p < prev.counters.size() && key_less(prev.counters[p], c)) ++p;
+        u64 before = 0;
+        if (p < prev.counters.size() && key_equal(prev.counters[p], c))
+            before = prev.counters[p].value;
+        if (out.counters.size() <= n) out.counters.emplace_back();
+        Counter_rate& row = out.counters[n++];
+        row.name = c.name;
+        row.label_key = c.label_key;
+        row.label_value = c.label_value;
+        row.delta = c.value >= before ? c.value - before : 0;
+        row.per_second =
+            seconds > 0 ? static_cast<double>(row.delta) / seconds : 0.0;
+    }
+    out.counters.resize(n);
+
+    static const Log_histogram k_empty;
+    n = 0;
+    p = 0;
+    for (const auto& h : cur.histograms) {
+        while (p < prev.histograms.size() && key_less(prev.histograms[p], h)) ++p;
+        const Log_histogram* before = &k_empty;
+        if (p < prev.histograms.size() && key_equal(prev.histograms[p], h))
+            before = &prev.histograms[p].hist;
+        if (out.histograms.size() <= n) out.histograms.emplace_back();
+        Hist_delta& row = out.histograms[n++];
+        row.name = h.name;
+        row.label_key = h.label_key;
+        row.label_value = h.label_value;
+        h.hist.delta_since(*before, row.hist);
+    }
+    out.histograms.resize(n);
+}
+
+u64 Interval::family_delta(std::string_view name) const
+{
+    u64 total = 0;
+    for (const auto& c : counters)
+        if (c.name == name) total += c.delta;
+    return total;
+}
+
+Log_histogram Interval::family_hist(std::string_view name) const
+{
+    Log_histogram merged;
+    for (const auto& h : histograms)
+        if (h.name == name) merged.merge(h.hist);
+    return merged;
+}
+
+namespace {
+
+std::string fmt1(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+    return buf;
+}
+
+}  // namespace
+
+std::string render_watch_line(const Interval& iv, const Watch_config& cfg)
+{
+    std::string line = "watch: ";
+    const u64 reqs = iv.family_delta(cfg.rate_counter);
+    line += fmt1(iv.seconds > 0 ? static_cast<double>(reqs) / iv.seconds : 0.0);
+    line += " req/s";
+
+    const Log_histogram lat = iv.family_hist(cfg.latency_family);
+    if (lat.count() != 0) {
+        line += " | lat us p50/p99/p999 ";
+        line += fmt1(lat.percentile(50));
+        line += "/";
+        line += fmt1(lat.percentile(99));
+        line += "/";
+        line += fmt1(lat.percentile(99.9));
+        line += " (n=";
+        line += std::to_string(lat.count());
+        line += ")";
+    } else {
+        line += " | lat -";
+    }
+
+    // Per-tenant error rates: fold the numerator/denominator families by
+    // label value; only tenants with interval errors make the line.
+    const auto in = [](const std::vector<std::string>& fams, const std::string& name) {
+        return std::find(fams.begin(), fams.end(), name) != fams.end();
+    };
+    std::vector<std::pair<std::string, std::pair<u64, u64>>> tenants;  // label -> (err, total)
+    for (const auto& c : iv.counters) {
+        if (c.label_key.empty()) continue;
+        const bool err = in(cfg.tenant_error_families, c.name);
+        const bool tot = in(cfg.tenant_total_families, c.name);
+        if (!err && !tot) continue;
+        auto it = std::find_if(tenants.begin(), tenants.end(),
+                               [&](const auto& t) { return t.first == c.label_value; });
+        if (it == tenants.end()) {
+            tenants.push_back({c.label_value, {0, 0}});
+            it = tenants.end() - 1;
+        }
+        if (err) it->second.first += c.delta;
+        if (tot) it->second.second += c.delta;
+    }
+    bool any = false;
+    for (const auto& [label, counts] : tenants) {
+        const auto [errs, total] = counts;
+        if (errs == 0) continue;
+        line += any ? " " : " | errs ";
+        any = true;
+        const u64 denom = std::max<u64>(total, errs);
+        line += "t";
+        line += label;
+        line += ":";
+        line += fmt1(100.0 * static_cast<double>(errs) / static_cast<double>(denom));
+        line += "%";
+    }
+    return line;
+}
+
+struct Snapshot_poller::Impl {
+    std::chrono::milliseconds interval{1000};
+    Callback cb;
+    std::thread thread;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool stop_requested = false;
+    bool started = false;
+    Snapshot snaps[2];  ///< ping-pong scrape buffers
+    Interval iv;        ///< reused diff buffer
+};
+
+Snapshot_poller::Snapshot_poller(std::chrono::milliseconds interval, Callback cb)
+    : impl_(new Impl)
+{
+    require(interval.count() > 0, "obs: poller interval must be positive");
+    require(static_cast<bool>(cb), "obs: poller needs a callback");
+    impl_->interval = interval;
+    impl_->cb = std::move(cb);
+}
+
+Snapshot_poller::~Snapshot_poller()
+{
+    stop();
+    delete impl_;
+}
+
+void Snapshot_poller::start()
+{
+    require(!impl_->started, "obs: poller already started");
+    impl_->started = true;
+    // Baseline scrape on the caller's thread: traffic between start() and
+    // the first tick lands in the first interval, not nowhere.
+    Metrics_registry::instance().scrape_into(impl_->snaps[0]);
+    impl_->thread = std::thread([this] { loop(); });
+}
+
+void Snapshot_poller::stop()
+{
+    if (!impl_->thread.joinable()) return;
+    {
+        std::lock_guard lock(impl_->mutex);
+        impl_->stop_requested = true;
+    }
+    impl_->cv.notify_all();
+    impl_->thread.join();
+}
+
+void Snapshot_poller::loop()
+{
+    auto& reg = Metrics_registry::instance();
+    int cur = 0;
+    auto last = std::chrono::steady_clock::now();
+    for (;;) {
+        bool stopping;
+        {
+            std::unique_lock lock(impl_->mutex);
+            stopping = impl_->cv.wait_for(lock, impl_->interval,
+                                          [&] { return impl_->stop_requested; });
+        }
+        const int next = cur ^ 1;
+        reg.scrape_into(impl_->snaps[next]);
+        const auto now = std::chrono::steady_clock::now();
+        diff_snapshots(impl_->snaps[cur], impl_->snaps[next],
+                       std::chrono::duration<double>(now - last).count(), impl_->iv);
+        last = now;
+        cur = next;
+        // The stop-path flush included: the run's tail interval still
+        // reaches the callback before the thread exits.
+        impl_->cb(impl_->iv);
+        if (stopping) return;
+    }
+}
+
+}  // namespace seda::obs

@@ -1,0 +1,112 @@
+// Periodic snapshot differ: turns the registry's cumulative counters and
+// histograms into per-interval rates and interval-delta distributions --
+// the engine behind seda_cli --watch and the SLO window evaluator
+// (obs/slo.h).
+//
+// The registry only accumulates; an interval is the subtraction of two
+// scrapes.  Counter rows subtract to deltas (and divide by the wall
+// interval for per-second rates); histogram rows subtract bucket-wise
+// (Log_histogram::delta_since), so interval percentiles are exact to one
+// bucket width -- the p99-of-the-last-second a dashboard actually wants,
+// not the run-cumulative p99 that freezes as history accumulates.
+//
+// Everything here is timing-bound by construction and renders only to
+// stderr or to callbacks; nothing may feed the stdout --json contracts.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace seda::obs {
+
+/// One counter series' movement over an interval.
+struct Counter_rate {
+    std::string name;
+    std::string label_key, label_value;
+    u64 delta = 0;
+    double per_second = 0;
+};
+
+/// One histogram series' interval-delta distribution.
+struct Hist_delta {
+    std::string name;
+    std::string label_key, label_value;
+    Log_histogram hist;
+};
+
+/// The difference between two cumulative snapshots, `seconds` apart.
+struct Interval {
+    double seconds = 0;
+    std::vector<Counter_rate> counters;
+    std::vector<Hist_delta> histograms;
+
+    /// Sum of deltas across every series of counter family `name`
+    /// (labeled families fold their per-label rows).
+    [[nodiscard]] u64 family_delta(std::string_view name) const;
+
+    /// Merged interval histogram across every series of family `name`
+    /// (count()==0 when the family is absent or idle).
+    [[nodiscard]] Log_histogram family_hist(std::string_view name) const;
+};
+
+/// Computes `cur - prev` into `out`, reusing its buffers (rows are
+/// assigned in place; the differ allocates nothing once warm).  Series
+/// present only in `cur` (registered mid-run) diff against zero.  Both
+/// snapshots must come from scrape()/scrape_into (sorted rows).
+void diff_snapshots(const Snapshot& prev, const Snapshot& cur, double seconds,
+                    Interval& out);
+
+/// What the --watch line tracks; defaults fit the serve path, cmd_infer
+/// overrides the families for the replay path.
+struct Watch_config {
+    std::chrono::milliseconds interval{1000};
+    std::string rate_counter = "serve_requests_total";       ///< req/s source
+    std::string latency_family = "serve_tenant_latency_us";  ///< p50/p99/p999 source
+    /// Per-tenant error numerator families (summed per label value) and the
+    /// denominator families for the same label.
+    std::vector<std::string> tenant_error_families = {
+        "serve_tenant_mac_mismatch_total", "serve_tenant_replay_total",
+        "serve_tenant_rejected_total"};
+    std::vector<std::string> tenant_total_families = {"serve_tenant_writes_total",
+                                                      "serve_tenant_reads_total"};
+};
+
+/// One stderr live-table line for an interval: req/s, interval latency
+/// percentiles, and per-tenant error rates (only tenants with errors).
+[[nodiscard]] std::string render_watch_line(const Interval& iv, const Watch_config& cfg);
+
+/// Background periodic scraper: every `interval` it scrapes, diffs against
+/// the previous scrape, and hands the Interval to the callback (always on
+/// the poller thread).  stop() emits one final partial interval first, so
+/// the tail of a run is never dropped.  Snapshots ping-pong between two
+/// reused buffers (scrape_into), keeping the steady-state loop
+/// allocation-free.
+class Snapshot_poller {
+public:
+    using Callback = std::function<void(const Interval&)>;
+
+    Snapshot_poller(std::chrono::milliseconds interval, Callback cb);
+    ~Snapshot_poller();  ///< stop()s if still running
+
+    Snapshot_poller(const Snapshot_poller&) = delete;
+    Snapshot_poller& operator=(const Snapshot_poller&) = delete;
+
+    /// Takes the baseline scrape and spawns the poller thread.
+    void start();
+
+    /// Final flush interval, then joins.  Idempotent.
+    void stop();
+
+private:
+    void loop();
+
+    struct Impl;
+    Impl* impl_;
+};
+
+}  // namespace seda::obs

@@ -67,8 +67,12 @@
 #include "models/zoo.h"
 #include "obs/export.h"
 #include "obs/flight.h"
+#include "obs/health.h"
 #include "obs/histogram.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/snapshot.h"
 #include "obs/stage.h"
 #include "obs/trace.h"
 #include "protect/scheme.h"

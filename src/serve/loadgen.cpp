@@ -34,6 +34,11 @@ void client_loop(Server& server, const Loadgen_config& cfg, u32 tenant, u32 clie
     span_name += ".c";
     span_name += std::to_string(client);
     obs::Stage_span span(obs::Stage::client, span_name);
+    // Live per-response counter: the --watch differ and the scrape endpoint
+    // see progress DURING the run, not just the end-of-run summary.
+    static const obs::Counter live_requests = obs::enabled()
+        ? obs::Metrics_registry::instance().counter("loadgen_requests_total")
+        : obs::Counter{};
     Rng rng(client_seed(cfg.seed, tenant, client));
     const Addr base = static_cast<Addr>(client) * cfg.units_per_client * cfg.unit_bytes;
     std::vector<std::vector<u8>> mirror(cfg.units_per_client);
@@ -60,6 +65,7 @@ void client_loop(Server& server, const Loadgen_config& cfg, u32 tenant, u32 clie
         }
 
         Response resp = server.submit(std::move(req)).get();
+        live_requests.add(1);
         if (resp.status != core::Verify_status::ok) {
             ++tally.status_failures;
             continue;

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "obs/flight.h"
+#include "obs/health.h"
 #include "obs/request_trace.h"
 #include "obs/stage.h"
 
@@ -46,6 +47,9 @@ void Server::start()
     require(!started_, "serve: start() may only be called once");
     require(!stopped_, "serve: cannot start() a stopped server");
     started_ = true;
+    // Health transitions are NOT gated on obs::enabled(): /healthz is a
+    // liveness signal and must keep answering under SEDA_OBS=0.
+    obs::health_server_started();
     scheduler_thread_ = std::thread([this] { scheduler_loop(); });
 }
 
@@ -100,19 +104,25 @@ std::future<Response> Server::submit(Request req)
 
 void Server::drain()
 {
-    std::unique_lock lock(mutex_);
-    // Snapshot the goal up front: requests submitted AFTER drain() began
-    // are someone else's to wait for, so concurrent submitters can't
-    // starve this call.  completed_ == submitted_ ("nothing in flight at
-    // all") also satisfies the contract, and covers a snapshot inflated by
-    // a submit whose push lost the race with stop() and was rolled back.
-    const u64 target = submitted_;
-    all_done_.wait(lock, [&] { return completed_ >= target || completed_ == submitted_; });
+    obs::health_drain_begin();
+    {
+        std::unique_lock lock(mutex_);
+        // Snapshot the goal up front: requests submitted AFTER drain() began
+        // are someone else's to wait for, so concurrent submitters can't
+        // starve this call.  completed_ == submitted_ ("nothing in flight at
+        // all") also satisfies the contract, and covers a snapshot inflated by
+        // a submit whose push lost the race with stop() and was rolled back.
+        const u64 target = submitted_;
+        all_done_.wait(lock,
+                       [&] { return completed_ >= target || completed_ == submitted_; });
+    }
+    obs::health_drain_end();
 }
 
 void Server::stop()
 {
     bool join = false;
+    bool transitioned = false;
     {
         std::lock_guard lock(mutex_);
         if (stopped_) {
@@ -120,10 +130,14 @@ void Server::stop()
         } else {
             stopped_ = true;
             join = started_;
+            transitioned = started_;
         }
     }
     queue_.close();
     if (join && scheduler_thread_.joinable()) scheduler_thread_.join();
+    // Balanced against start(): only the call that actually ends a started
+    // server's life flips the health plane.
+    if (transitioned) obs::health_server_stopped();
 }
 
 u32 Server::add_tenant() { return tenants_.add(master_enc_, master_mac_, cfg_.mem, pool_); }

@@ -1,0 +1,262 @@
+// Snapshot differ rate math on synthetic counter/histogram sequences, the
+// histogram delta/count_le primitives behind it, scrape_into buffer reuse,
+// and the live poller.
+//
+// Metric names are unique to this file: the registry is process-wide.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+
+namespace seda::obs {
+namespace {
+
+#define SKIP_UNLESS_OBS_LIVE() \
+    if (!enabled()) GTEST_SKIP() << "observability disabled in this build/env"
+
+Snapshot::Counter_row counter_row(std::string name, u64 value, std::string label = {})
+{
+    Snapshot::Counter_row row;
+    row.name = std::move(name);
+    if (!label.empty()) {
+        row.label_key = "tenant";
+        row.label_value = std::move(label);
+    }
+    row.value = value;
+    return row;
+}
+
+Snapshot::Histogram_row hist_row(std::string name, const Log_histogram& h,
+                                 std::string label = {})
+{
+    Snapshot::Histogram_row row;
+    row.name = std::move(name);
+    if (!label.empty()) {
+        row.label_key = "tenant";
+        row.label_value = std::move(label);
+    }
+    row.hist = h;
+    return row;
+}
+
+TEST(ObsSnapshotDiff, CounterDeltasAndRates)
+{
+    Snapshot prev;
+    prev.counters.push_back(counter_row("a_total", 100));
+    Snapshot cur;
+    cur.counters.push_back(counter_row("a_total", 250));
+
+    Interval iv;
+    diff_snapshots(prev, cur, 2.0, iv);
+    ASSERT_EQ(iv.counters.size(), 1u);
+    EXPECT_EQ(iv.counters[0].delta, 150u);
+    EXPECT_DOUBLE_EQ(iv.counters[0].per_second, 75.0);
+    EXPECT_DOUBLE_EQ(iv.seconds, 2.0);
+}
+
+TEST(ObsSnapshotDiff, SeriesOnlyInCurDiffAgainstZero)
+{
+    Snapshot prev;
+    prev.counters.push_back(counter_row("b_total", 10, "0"));
+    Snapshot cur;  // rows sorted by (name, label_value), like a real scrape
+    cur.counters.push_back(counter_row("b_total", 14, "0"));
+    cur.counters.push_back(counter_row("b_total", 7, "1"));  // appeared mid-run
+
+    Interval iv;
+    diff_snapshots(prev, cur, 1.0, iv);
+    ASSERT_EQ(iv.counters.size(), 2u);
+    EXPECT_EQ(iv.counters[0].delta, 4u);
+    EXPECT_EQ(iv.counters[1].delta, 7u);
+    EXPECT_EQ(iv.counters[1].label_value, "1");
+    EXPECT_EQ(iv.family_delta("b_total"), 11u);
+}
+
+TEST(ObsSnapshotDiff, HistogramIntervalDeltaPercentiles)
+{
+    Log_histogram before;
+    for (int i = 0; i < 5; ++i) before.record(10.0);
+
+    Log_histogram after = before;  // cumulative: the interval adds new samples
+    for (int i = 0; i < 5; ++i) after.record(10.0);
+    for (int i = 0; i < 5; ++i) after.record(1000.0);
+
+    Snapshot prev;
+    prev.histograms.push_back(hist_row("lat_us", before));
+    Snapshot cur;
+    cur.histograms.push_back(hist_row("lat_us", after));
+
+    Interval iv;
+    diff_snapshots(prev, cur, 1.0, iv);
+    ASSERT_EQ(iv.histograms.size(), 1u);
+    const Log_histogram& d = iv.histograms[0].hist;
+    EXPECT_EQ(d.count(), 10u);
+    // The interval's own distribution: half at 10, half at 1000 -- the
+    // cumulative histogram would report p50 == 10 (10 of 15 samples).
+    EXPECT_NEAR(d.percentile(50), 10.0, 10.0 * 0.04);
+    EXPECT_NEAR(d.percentile(99), 1000.0, 1000.0 * 0.04);
+    // min/max reconstructed from the delta's outermost buckets.
+    EXPECT_NEAR(d.min(), 10.0, 10.0 * 0.04);
+    EXPECT_NEAR(d.max(), 1000.0, 1000.0 * 0.04);
+    EXPECT_NEAR(d.sum(), 5 * 10.0 + 5 * 1000.0, 5050.0 * 0.01);
+}
+
+TEST(ObsSnapshotDiff, FamilyHistMergesLabeledRows)
+{
+    Log_histogram a;
+    a.record(10.0);
+    Log_histogram b;
+    b.record(30.0);
+    Snapshot prev;
+    Snapshot cur;
+    cur.histograms.push_back(hist_row("fam_us", a, "0"));
+    cur.histograms.push_back(hist_row("fam_us", b, "1"));
+
+    Interval iv;
+    diff_snapshots(prev, cur, 1.0, iv);
+    const Log_histogram merged = iv.family_hist("fam_us");
+    EXPECT_EQ(merged.count(), 2u);
+    EXPECT_EQ(iv.family_hist("absent_us").count(), 0u);
+}
+
+TEST(ObsSnapshotDiff, DifferReusesBuffersAcrossTicks)
+{
+    Snapshot prev;
+    prev.counters.push_back(counter_row("c_total", 1));
+    prev.counters.push_back(counter_row("d_total", 2));
+    Snapshot cur = prev;
+    cur.counters[0].value = 5;
+
+    Interval iv;
+    diff_snapshots(prev, cur, 1.0, iv);
+    ASSERT_EQ(iv.counters.size(), 2u);
+    EXPECT_EQ(iv.counters[0].delta, 4u);
+    // Second tick with the same buffers: rows overwritten, not appended.
+    diff_snapshots(cur, cur, 1.0, iv);
+    ASSERT_EQ(iv.counters.size(), 2u);
+    EXPECT_EQ(iv.counters[0].delta, 0u);
+}
+
+TEST(ObsSnapshotDiff, WatchLineShowsRatesLatencyAndTenantErrors)
+{
+    Interval iv;
+    iv.seconds = 2.0;
+    Counter_rate reqs;
+    reqs.name = "serve_requests_total";
+    reqs.delta = 100;
+    reqs.per_second = 50.0;
+    iv.counters.push_back(reqs);
+    Counter_rate writes;
+    writes.name = "serve_tenant_writes_total";
+    writes.label_key = "tenant";
+    writes.label_value = "1";
+    writes.delta = 95;
+    iv.counters.push_back(writes);
+    Counter_rate macs;
+    macs.name = "serve_tenant_mac_mismatch_total";
+    macs.label_key = "tenant";
+    macs.label_value = "1";
+    macs.delta = 5;
+    iv.counters.push_back(macs);
+
+    Log_histogram lat;
+    for (int i = 0; i < 100; ++i) lat.record(50.0);
+    Hist_delta hd;
+    hd.name = "serve_tenant_latency_us";
+    hd.label_key = "tenant";
+    hd.label_value = "1";
+    hd.hist = lat;
+    iv.histograms.push_back(hd);
+
+    const std::string line = render_watch_line(iv, Watch_config{});
+    EXPECT_NE(line.find("50.0 req/s"), std::string::npos) << line;
+    EXPECT_NE(line.find("p50/p99/p999"), std::string::npos) << line;
+    EXPECT_NE(line.find("(n=100)"), std::string::npos) << line;
+    EXPECT_NE(line.find("t1:5.3%"), std::string::npos) << line;  // 5 / 95
+}
+
+TEST(ObsSnapshotDiff, WatchLineWithoutTrafficIsQuiet)
+{
+    Interval iv;
+    iv.seconds = 1.0;
+    const std::string line = render_watch_line(iv, Watch_config{});
+    EXPECT_NE(line.find("0.0 req/s"), std::string::npos) << line;
+    EXPECT_NE(line.find("lat -"), std::string::npos) << line;
+    EXPECT_EQ(line.find("errs"), std::string::npos) << line;
+}
+
+TEST(ObsHistogramDelta, CountLeIsBucketExactOnSeparatedModes)
+{
+    Log_histogram h;
+    for (int i = 0; i < 90; ++i) h.record(10.0);
+    for (int i = 0; i < 10; ++i) h.record(10000.0);
+    EXPECT_DOUBLE_EQ(h.count_le(100.0), 90.0);
+    EXPECT_DOUBLE_EQ(h.count_le(20000.0), 100.0);
+    EXPECT_DOUBLE_EQ(h.count_le(1.0), 0.0);
+    Log_histogram empty;
+    EXPECT_DOUBLE_EQ(empty.count_le(100.0), 0.0);
+}
+
+TEST(ObsHistogramDelta, ClearKeepsNothingButStaysUsable)
+{
+    Log_histogram h;
+    h.record(5.0);
+    h.record(500.0);
+    h.clear();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    h.record(7.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_NEAR(h.percentile(50), 7.0, 7.0 * 0.04);
+}
+
+TEST(ObsScrapeInto, MatchesScrapeAndReusesRows)
+{
+    SKIP_UNLESS_OBS_LIVE();
+    auto& reg = Metrics_registry::instance();
+    reg.counter("test_snapri_total").add(3);
+    reg.histogram("test_snapri_us").record(42.0);
+
+    Snapshot reused;
+    reg.scrape_into(reused);
+    reg.counter("test_snapri_total").add(1);
+    reg.scrape_into(reused);  // second fill into the same buffers
+
+    std::ostringstream a;
+    write_prometheus(reused, a);
+    std::ostringstream b;
+    write_prometheus(reg.scrape(), b);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find("seda_test_snapri_total 4"), std::string::npos) << a.str();
+}
+
+TEST(ObsSnapshotPoller, DeliversIntervalsAndFinalFlush)
+{
+    SKIP_UNLESS_OBS_LIVE();
+    auto& reg = Metrics_registry::instance();
+    const Counter c = reg.counter("test_snapoll_total");
+
+    u64 seen = 0;
+    u64 intervals = 0;
+    Snapshot_poller poller(std::chrono::milliseconds(20), [&](const Interval& iv) {
+        seen += iv.family_delta("test_snapoll_total");
+        ++intervals;
+    });
+    poller.start();
+    c.add(5);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    c.add(2);
+    poller.stop();  // flushes the tail interval, so the final 2 arrive too
+
+    EXPECT_EQ(seen, 7u);
+    EXPECT_GE(intervals, 2u);
+}
+
+}  // namespace
+}  // namespace seda::obs

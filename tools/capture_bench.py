@@ -12,12 +12,16 @@ deterministic CLI workloads, and folds everything into one JSON artifact:
     side reports the median of round medians: the reference VM's
     run-to-run drift exceeds the effect, so back-to-back phases would
     measure the drift, not the overhead (docs/BENCHMARKS.md methodology);
+  * the exporter overhead pair -- wall time of a loadgen run with --listen
+    plus a 10 Hz external /metrics scraper vs. no exporter at all --
+    the live telemetry plane's end-to-end price, same interleaved-round
+    methodology;
   * `seda_cli loadgen/infer --json` deterministic counters (requests,
     verification outcomes, bytes), which must be identical between
     captures at the same seed -- drift is a correctness bug, not noise.
 
 Usage:
-  python3 tools/capture_bench.py [--build-dir build] [--out BENCH_9.json]
+  python3 tools/capture_bench.py [--build-dir build] [--out BENCH_10.json]
                                  [--repetitions 7] [--quick]
 """
 
@@ -27,6 +31,9 @@ import os
 import platform
 import subprocess
 import sys
+import threading
+import time
+import urllib.request
 
 
 def run(cmd, env_extra=None, timeout=1800):
@@ -96,10 +103,71 @@ def obs_overhead(bench_serve, reps, rounds):
     return overhead
 
 
+def timed_loadgen(cli, requests, listen_port=None):
+    """Wall seconds of one loadgen run.  With a port, a scraper thread GETs
+    /metrics every 100 ms for the run's duration (an aggressive Prometheus
+    scrape interval), so the enabled side pays the full serve-the-scrape
+    price, not just the idle poll loop."""
+    cmd = [cli, "loadgen", "--tenants", "2", "--clients", "4",
+           "--requests", requests, "--jobs", "4", "--seed", "10", "--json"]
+    if listen_port:
+        cmd += ["--listen", str(listen_port)]
+    stop = threading.Event()
+    scrapes = [0]
+
+    def scraper():
+        url = f"http://127.0.0.1:{listen_port}/metrics"
+        while not stop.is_set():
+            try:
+                urllib.request.urlopen(url, timeout=1).read()
+                scrapes[0] += 1
+            except Exception:
+                pass  # not bound yet / shutting down
+            stop.wait(0.1)
+
+    thread = threading.Thread(target=scraper) if listen_port else None
+    t0 = time.monotonic()
+    proc = subprocess.Popen(cmd, stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    if thread:
+        thread.start()
+    rc = proc.wait()
+    elapsed = time.monotonic() - t0
+    stop.set()
+    if thread:
+        thread.join()
+    if rc != 0:
+        sys.stderr.write(f"FAILED: {' '.join(cmd)}\n")
+        raise SystemExit(1)
+    return elapsed, scrapes[0]
+
+
+def exporter_overhead(cli, requests, rounds):
+    """Interleaved exporter-on/off loadgen rounds; median wall seconds."""
+    on_times = []
+    off_times = []
+    scrape_total = 0
+    for r in range(rounds):
+        sides = [(on_times, 9190), (off_times, None)]
+        for acc, port in (sides if r % 2 == 0 else reversed(sides)):
+            elapsed, scrapes = timed_loadgen(cli, requests, port)
+            acc.append(elapsed)
+            scrape_total += scrapes
+    on = median(on_times)
+    off = median(off_times)
+    return {
+        "enabled_s": on,
+        "disabled_s": off,
+        "rounds": rounds,
+        "scrapes": scrape_total,
+        "overhead_pct": 100.0 * (on / off - 1.0) if off > 0 else 0.0,
+    }
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default="build")
-    ap.add_argument("--out", default="BENCH_9.json")
+    ap.add_argument("--out", default="BENCH_10.json")
     ap.add_argument("--repetitions", type=int, default=7)
     ap.add_argument("--quick", action="store_true",
                     help="3 repetitions, 2 overhead rounds, smaller "
@@ -124,6 +192,8 @@ def main():
     serve_live = bench_medians(bench_serve, "bm_serve_(batched|naive)", reps)
     infer_bench = bench_medians(bench_infer, ".", reps)
     overhead = obs_overhead(bench_serve, reps, rounds=2 if args.quick else 4)
+    exporter = exporter_overhead(cli, "4096" if args.quick else "65536",
+                                 rounds=2 if args.quick else 6)
 
     # Per-variant percentages still swing several points either way on the
     # 1-core reference VM (oversubscribed worker counts are worst); the
@@ -132,7 +202,8 @@ def main():
         if overhead else 0.0
 
     result = {
-        "bench": 9,
+        "bench": 10,
+        "pr": 10,
         "host": {
             "machine": platform.machine(),
             "system": platform.system(),
@@ -142,6 +213,7 @@ def main():
         "serve": serve_live,
         "serve_obs_overhead": overhead,
         "serve_obs_overhead_pct_median": overhead_median,
+        "loadgen_exporter_overhead": exporter,
         "infer_bench": infer_bench,
         "loadgen": cli_json(cli, ["loadgen", "--tenants", "2", "--clients",
                                   "4", "--requests", requests, "--jobs", "4",
@@ -153,7 +225,9 @@ def main():
         json.dump(result, f, indent=1)
         f.write("\n")
     print(f"wrote {args.out}: {len(serve_live)} serve + {len(infer_bench)} "
-          f"infer benches, median obs overhead {overhead_median:+.2f}%")
+          f"infer benches, median obs overhead {overhead_median:+.2f}%, "
+          f"exporter overhead {exporter['overhead_pct']:+.2f}% "
+          f"({exporter['scrapes']} scrapes)")
 
 
 if __name__ == "__main__":

@@ -15,16 +15,23 @@
 // identical under every backend, which is exactly what makes them a
 // cross-validation knob.
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <span>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "crypto/aes_backend.h"
 #include "crypto/sha256_backend.h"
+#include "obs/http_exporter.h"
+#include "obs/slo.h"
+#include "obs/snapshot.h"
 #include "seda.h"
 
 using namespace seda;
@@ -61,6 +68,14 @@ struct Options {
     std::string flight_out;  ///< flight-recorder dump file (also armed for
                              ///< automatic dump on any detection event)
     bool stages = false;     ///< per-stage percentile table on stderr
+    // live telemetry plane (loadgen, infer, attack) -- sockets and stderr
+    // only, so the stdout --json contract is untouched
+    std::size_t listen = 0;          ///< --listen port (0 = ephemeral)
+    bool listen_set = false;         ///< --listen given (env can also arm it)
+    std::size_t listen_linger_ms = 0;  ///< hold the exporter open after the run
+    std::size_t watch_ms = 0;        ///< --watch refresh interval (0 = off)
+    std::vector<std::string> slos;   ///< --slo specs (repeatable)
+    std::string slo_out;             ///< SLO report file (stderr summary if empty)
 };
 
 // ---------------------------------------------------------------- helpers ---
@@ -176,6 +191,101 @@ void obs_finish(const Options& o)
             std::cerr << "seda_cli: note: flight recorder saw " << det
                       << " detection event(s); dump at " << o.flight_out << "\n";
     }
+}
+
+/// The live telemetry plane of one instrumented run: the loopback HTTP
+/// exporter (--listen / SEDA_OBS_LISTEN), the periodic snapshot differ
+/// feeding the --watch stderr table, and the SLO tracker (--slo).  All
+/// output rides sockets or stderr -- the stdout --json contract stays
+/// byte-identical with every piece enabled (CI proves it).
+struct Live_plane {
+    std::unique_ptr<obs::Http_exporter> exporter;
+    std::unique_ptr<obs::Slo_tracker> slo;
+    std::unique_ptr<obs::Snapshot_poller> poller;
+    obs::Watch_config watch;
+    bool want_watch = false;
+
+    /// Starts the exporter and poller (before the workload, so the first
+    /// scrape can observe it ramping).  `defaults` carries the per-command
+    /// watch families (serve vs infer).
+    void start(const Options& o, obs::Watch_config defaults)
+    {
+        u16 port = static_cast<u16>(o.listen);
+        bool want_listen = o.listen_set;
+        if (!want_listen) {
+            if (const u16 env_port = obs::listen_port_from_env(); env_port != 0) {
+                port = env_port;
+                want_listen = true;
+            }
+        }
+        if (want_listen) {
+            obs::Http_exporter_config cfg;
+            cfg.port = port;
+            exporter = std::make_unique<obs::Http_exporter>(cfg);
+            exporter->start();
+            std::cerr << "telemetry: listening on 127.0.0.1:" << exporter->port()
+                      << " (/metrics /metrics.json /healthz /flight)\n";
+        }
+
+        want_watch = o.watch_ms != 0;
+        const bool want_slo = !o.slos.empty();
+        if (!want_watch && !want_slo) return;
+        if (!obs::k_compiled_in || !obs::enabled())
+            std::cerr << "seda_cli: note: observability is off; --watch/--slo see "
+                         "empty snapshots\n";
+        if (want_slo) {
+            std::vector<obs::Slo_spec> specs;
+            specs.reserve(o.slos.size());
+            for (const auto& s : o.slos) specs.push_back(obs::parse_slo(s));
+            slo = std::make_unique<obs::Slo_tracker>(std::move(specs));
+        }
+        watch = std::move(defaults);
+        watch.interval = std::chrono::milliseconds(o.watch_ms != 0 ? o.watch_ms : 1000);
+        poller = std::make_unique<obs::Snapshot_poller>(
+            watch.interval, [this](const obs::Interval& iv) {
+                if (want_watch) std::cerr << obs::render_watch_line(iv, watch) << "\n";
+                if (slo) slo->observe(iv);
+            });
+        poller->start();
+    }
+
+    /// Stops the poller (flushing the tail interval), writes the SLO
+    /// report, lingers if asked (so an external scraper can take a final
+    /// /metrics pass and watch /healthz flip to stopped), then closes the
+    /// exporter.
+    void finish(const Options& o)
+    {
+        if (poller) poller->stop();
+        if (slo) {
+            if (!o.slo_out.empty()) {
+                std::ofstream f(o.slo_out);
+                slo->write_json(f);
+                require(f.good(), "seda_cli: failed to write " + o.slo_out);
+            }
+            slo->write_summary(std::cerr);
+        }
+        if (exporter) {
+            if (o.listen_linger_ms != 0) {
+                std::cerr << "telemetry: lingering " << o.listen_linger_ms
+                          << " ms for final scrapes\n";
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(o.listen_linger_ms));
+            }
+            exporter->stop();
+        }
+    }
+};
+
+/// Watch families for the inference replay path (no serve request stream
+/// when --mode session; the layer histogram is the latency view either way).
+obs::Watch_config infer_watch_defaults()
+{
+    obs::Watch_config w;
+    w.rate_counter = "infer_inferences_total";
+    w.latency_family = "infer_layer_us";
+    w.tenant_error_families = {"infer_tenant_failures_total"};
+    w.tenant_total_families = {"infer_tenant_ok_total"};
+    return w;
 }
 
 // --------------------------------------------------------------- commands ---
@@ -362,6 +472,8 @@ int cmd_loadgen(const Options& o)
     cfg.seed = o.seed;
 
     obs_begin(o);
+    Live_plane plane;
+    plane.start(o, obs::Watch_config{});
     const auto result = serve::run_loadgen(cfg);
 
     // Timing always goes to stderr: humans see it either way, and the
@@ -378,6 +490,7 @@ int cmd_loadgen(const Options& o)
               << fmt_f(lat.percentile(99), 1) << "/" << fmt_f(lat.percentile(99.9), 1)
               << "; " << result.stats.batches << " batches\n";
     obs_finish(o);
+    plane.finish(o);
 
     if (o.json) {
         print_loadgen_json(cfg, result, std::cout);
@@ -462,6 +575,8 @@ int cmd_infer(const Options& o)
         throw Seda_error("seda_cli: unknown --mode '" + o.mode + "' (serve|session)");
 
     obs_begin(o);
+    Live_plane plane;
+    plane.start(o, infer_watch_defaults());
     const auto result =
         infer::run_infer(models::model_by_name(o.model), npu_by_name(o.npu), cfg);
 
@@ -484,6 +599,7 @@ int cmd_infer(const Options& o)
                       << h->hist.count() << " layer replays\n";
     }
     obs_finish(o);
+    plane.finish(o);
 
     if (o.json) {
         print_infer_json(o.model, o.npu, cfg, result, std::cout);
@@ -596,6 +712,8 @@ int cmd_attack(const Options& o)
     cfg.control_run = true;
 
     obs_begin(o);
+    Live_plane plane;
+    plane.start(o, obs::Watch_config{});
     const auto r = attack::run_campaign(cfg);
 
     // Timing to stderr: stdout stays byte-diffable across --jobs.
@@ -608,6 +726,7 @@ int cmd_attack(const Options& o)
               << r.false_positives << " false positive(s), SECA recovered "
               << r.seca_recoveries << "/" << r.seca_probes << "\n";
     obs_finish(o);
+    plane.finish(o);
 
     if (o.json) {
         print_attack_json(cfg, r, std::cout);
@@ -766,10 +885,24 @@ int usage(std::ostream& os)
           "                            attack)\n"
           "  --flight-out FILE         flight-recorder dump (loadgen, infer, attack);\n"
           "                            also auto-dumps on the first detection event\n"
+          "  --listen PORT             serve live telemetry on 127.0.0.1:PORT while the\n"
+          "                            run is live: /metrics /metrics.json /healthz\n"
+          "                            /flight (loadgen, infer, attack; 0 = ephemeral,\n"
+          "                            port printed on stderr)\n"
+          "  --listen-linger MS        keep the exporter up MS ms after the run so a\n"
+          "                            scraper can take a final pass\n"
+          "  --watch MS                live interval table on stderr every MS ms:\n"
+          "                            req/s, p50/p99/p999, per-tenant error rates\n"
+          "  --slo SPEC                latency objective, repeatable; SPEC is\n"
+          "                            FAMILY:pPCT<THRESH[us|ms|s]:TARGET, e.g.\n"
+          "                            serve_tenant_latency_us:p99<500us:0.999\n"
+          "  --slo-out FILE            SLO burn-rate report as JSON (default: stderr\n"
+          "                            summary; never stdout)\n"
           "\n"
           "environment:\n"
           "  SEDA_OBS=0                disable stage metrics/trace collection at runtime\n"
           "  SEDA_OBS_SAMPLE=N         time every Nth span per thread (default 32; 1 = all)\n"
+          "  SEDA_OBS_LISTEN=PORT      arm the telemetry endpoint like --listen PORT\n"
           "  (observability output never reaches stdout --json; docs/OBSERVABILITY.md)\n"
           "  SEDA_AES_BACKEND=scalar|ttable|aesni   process-wide AES round impl\n"
           "  SEDA_SHA_BACKEND=scalar|fast|shani     process-wide SHA-256 compression\n"
@@ -823,6 +956,19 @@ Options parse(int argc, char** argv)
             o.trace_out = next();
         else if (arg == "--flight-out")
             o.flight_out = next();
+        else if (arg == "--listen") {
+            parse_int(arg, next(), o.listen);
+            require(o.listen <= 65535, "seda_cli: --listen expects a port (0-65535)");
+            o.listen_set = true;
+        } else if (arg == "--listen-linger")
+            parse_int(arg, next(), o.listen_linger_ms);
+        else if (arg == "--watch") {
+            parse_int(arg, next(), o.watch_ms);
+            require(o.watch_ms >= 1, "seda_cli: --watch expects an interval in ms (>= 1)");
+        } else if (arg == "--slo")
+            o.slos.push_back(next());
+        else if (arg == "--slo-out")
+            o.slo_out = next();
         else if (arg == "--csv")
             o.csv = true;
         else if (arg == "--json")
